@@ -1,0 +1,242 @@
+//! The Non-durable baseline: plain hardware transactions, no persistence.
+
+use std::sync::Arc;
+
+use crafty_common::{
+    BreakdownRecorder, BreakdownSnapshot, CompletionPath, PAddr, PersistentTm, TmThread, TxAbort,
+    TxnBody, TxnOps, TxnReport,
+};
+use crafty_htm::{HtmConfig, HtmRuntime, HwTxn};
+use crafty_pmem::{MemorySpace, PmemAllocator};
+use parking_lot::Mutex;
+
+/// Executes each persistent transaction in a hardware transaction with a
+/// global-lock fallback, exactly like the `Non-durable` configuration of
+/// the NV-HTM artifact: it provides thread atomicity but **no**
+/// crash-consistency guarantees (nothing is ever flushed).
+pub struct NonDurable {
+    mem: Arc<MemorySpace>,
+    htm: HtmRuntime,
+    recorder: Arc<BreakdownRecorder>,
+    allocator: PmemAllocator,
+    sgl_addr: PAddr,
+    sgl_mutex: Mutex<()>,
+    max_attempts: u32,
+}
+
+impl std::fmt::Debug for NonDurable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NonDurable").finish()
+    }
+}
+
+impl NonDurable {
+    /// Creates a Non-durable engine over `mem` with a heap of `heap_words`
+    /// for transactional allocation.
+    pub fn new(mem: Arc<MemorySpace>, heap_words: u64) -> Self {
+        NonDurable::with_htm_config(mem, heap_words, HtmConfig::skylake())
+    }
+
+    /// Creates the engine with an explicit HTM configuration.
+    pub fn with_htm_config(mem: Arc<MemorySpace>, heap_words: u64, htm_cfg: HtmConfig) -> Self {
+        let recorder = Arc::new(BreakdownRecorder::new());
+        let htm = HtmRuntime::new(Arc::clone(&mem), htm_cfg, Arc::clone(&recorder));
+        let heap = mem.reserve_persistent(heap_words);
+        let sgl_addr = mem.reserve_volatile(1);
+        NonDurable {
+            mem,
+            htm,
+            recorder,
+            allocator: PmemAllocator::new(heap, heap_words),
+            sgl_addr,
+            sgl_mutex: Mutex::new(()),
+            max_attempts: 8,
+        }
+    }
+
+    /// The memory space the engine operates on.
+    pub fn mem(&self) -> &Arc<MemorySpace> {
+        &self.mem
+    }
+}
+
+struct NonDurableThread<'e> {
+    engine: &'e NonDurable,
+    tid: usize,
+}
+
+struct HtmOps<'a, 'rt> {
+    txn: &'a mut HwTxn<'rt>,
+    allocator: &'a PmemAllocator,
+}
+
+impl TxnOps for HtmOps<'_, '_> {
+    fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
+        self.txn.read(addr).map_err(|_| TxAbort::hardware())
+    }
+    fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort> {
+        self.txn.write(addr, value).map_err(|_| TxAbort::hardware())
+    }
+    fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
+        Ok(self.allocator.alloc(words).expect("persistent heap exhausted"))
+    }
+    fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
+        self.allocator.free(addr, words);
+        Ok(())
+    }
+}
+
+struct LockedOps<'a> {
+    htm: &'a HtmRuntime,
+    allocator: &'a PmemAllocator,
+}
+
+impl TxnOps for LockedOps<'_> {
+    fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
+        Ok(self.htm.nontx_read(addr))
+    }
+    fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort> {
+        self.htm.nontx_write(addr, value);
+        Ok(())
+    }
+    fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
+        Ok(self.allocator.alloc(words).expect("persistent heap exhausted"))
+    }
+    fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
+        self.allocator.free(addr, words);
+        Ok(())
+    }
+}
+
+impl TmThread for NonDurableThread<'_> {
+    fn execute(&mut self, body: &mut TxnBody<'_>) -> TxnReport {
+        let engine = self.engine;
+        let mut attempts = 0;
+        while attempts < engine.max_attempts {
+            while engine.htm.nontx_read(engine.sgl_addr) != 0 {
+                std::thread::yield_now();
+            }
+            attempts += 1;
+            let mut txn = engine.htm.begin(self.tid);
+            let subscribed = matches!(txn.read(engine.sgl_addr), Ok(0));
+            if !subscribed {
+                continue;
+            }
+            let ok = {
+                let mut ops = HtmOps {
+                    txn: &mut txn,
+                    allocator: &engine.allocator,
+                };
+                body(&mut ops).is_ok()
+            };
+            if ok && txn.commit().is_ok() {
+                engine.recorder.record_completion(CompletionPath::NonCrafty);
+                return TxnReport::new(CompletionPath::NonCrafty, attempts);
+            }
+        }
+        // Global-lock fallback.
+        let guard = engine.sgl_mutex.lock();
+        engine.htm.nontx_write(engine.sgl_addr, 1);
+        let mut ops = LockedOps {
+            htm: &engine.htm,
+            allocator: &engine.allocator,
+        };
+        body(&mut ops).expect("transaction body must succeed under the global lock");
+        engine.htm.nontx_write(engine.sgl_addr, 0);
+        drop(guard);
+        engine.recorder.record_completion(CompletionPath::Sgl);
+        TxnReport::new(CompletionPath::Sgl, attempts)
+    }
+}
+
+impl PersistentTm for NonDurable {
+    fn name(&self) -> &str {
+        "Non-durable"
+    }
+    fn register_thread(&self, tid: usize) -> Box<dyn TmThread + '_> {
+        Box::new(NonDurableThread { engine: self, tid })
+    }
+    fn breakdown(&self) -> BreakdownSnapshot {
+        self.recorder.snapshot()
+    }
+    fn is_durable(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crafty_pmem::PmemConfig;
+
+    #[test]
+    fn increments_are_atomic_across_threads() {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let engine = Arc::new(NonDurable::new(Arc::clone(&mem), 1 << 12));
+        let cell = mem.reserve_persistent(1);
+        crossbeam::scope(|s| {
+            for tid in 0..4 {
+                let engine = Arc::clone(&engine);
+                s.spawn(move |_| {
+                    let mut t = engine.register_thread(tid);
+                    for _ in 0..250 {
+                        t.execute(&mut |ops| {
+                            let v = ops.read(cell)?;
+                            ops.write(cell, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        })
+        .expect("threads");
+        assert_eq!(mem.read(cell), 1000);
+        assert!(!engine.is_durable());
+        assert_eq!(engine.breakdown().total_persistent(), 1000);
+    }
+
+    #[test]
+    fn nothing_is_persisted() {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let engine = NonDurable::new(Arc::clone(&mem), 1 << 12);
+        let cell = mem.reserve_persistent(1);
+        let mut t = engine.register_thread(0);
+        t.execute(&mut |ops| {
+            ops.write(cell, 99)?;
+            Ok(())
+        });
+        assert_eq!(mem.read(cell), 99);
+        assert_eq!(mem.crash().read(cell), 0, "non-durable writes must not survive");
+    }
+
+    #[test]
+    fn oversized_transactions_fall_back_to_the_lock() {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let engine =
+            NonDurable::with_htm_config(Arc::clone(&mem), 1 << 12, HtmConfig::tiny());
+        let base = mem.reserve_persistent(512);
+        let mut t = engine.register_thread(0);
+        let report = t.execute(&mut |ops| {
+            for i in 0..100 {
+                ops.write(base.add(i), i)?;
+            }
+            Ok(())
+        });
+        assert_eq!(report.path, CompletionPath::Sgl);
+        assert_eq!(mem.read(base.add(99)), 99);
+    }
+
+    #[test]
+    fn alloc_and_dealloc_are_immediate() {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let engine = NonDurable::new(Arc::clone(&mem), 1 << 12);
+        let mut t = engine.register_thread(0);
+        t.execute(&mut |ops| {
+            let a = ops.alloc(4)?;
+            ops.write(a, 1)?;
+            ops.dealloc(a, 4)?;
+            Ok(())
+        });
+        assert_eq!(engine.allocator.live_allocations(), 0);
+    }
+}

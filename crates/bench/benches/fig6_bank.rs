@@ -1,0 +1,41 @@
+//! Criterion bench regenerating Figure 6: the bank microbenchmark at the
+//! paper's three contention levels, every engine, at a reduced scale.
+//!
+//! Each Criterion sample runs a complete (engine, threads) measurement on a
+//! fresh memory space; the measured quantity is the wall-clock time of the
+//! fixed transaction batch (throughput = batch size / time, as in the
+//! paper). Run `cargo run -p crafty-bench --bin figures -- fig6 --paper`
+//! for the full-scale sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crafty_bench::{run_point, HarnessConfig};
+use crafty_workloads::{BankWorkload, Contention, EngineKind};
+
+fn bench_bank(c: &mut Criterion) {
+    let cfg = HarnessConfig::quick().with_txns_per_thread(300);
+    let mut group = c.benchmark_group("fig6_bank");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for contention in [Contention::High, Contention::Medium, Contention::None] {
+        let workload = BankWorkload::paper(contention, 4);
+        for engine in EngineKind::ALL {
+            for threads in [1usize, 2, 4] {
+                let id = BenchmarkId::new(
+                    format!("{}/{}", workload.contention.label(), engine.label()),
+                    threads,
+                );
+                group.bench_with_input(id, &threads, |b, &threads| {
+                    b.iter(|| run_point(&workload, engine, threads, &cfg));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bank);
+criterion_main!(benches);

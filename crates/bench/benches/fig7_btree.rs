@@ -1,0 +1,37 @@
+//! Criterion bench regenerating Figure 7: the B+-tree microbenchmark
+//! (insert-only and mixed operations) across engines and thread counts.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crafty_bench::{run_point, HarnessConfig};
+use crafty_workloads::{BtreeVariant, BtreeWorkload, EngineKind};
+
+fn bench_btree(c: &mut Criterion) {
+    let cfg = HarnessConfig::quick().with_txns_per_thread(300);
+    let mut group = c.benchmark_group("fig7_btree");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for variant in [BtreeVariant::InsertOnly, BtreeVariant::Mixed] {
+        let workload = BtreeWorkload::paper(variant);
+        for engine in [
+            EngineKind::NonDurable,
+            EngineKind::NvHtm,
+            EngineKind::DudeTm,
+            EngineKind::Crafty,
+        ] {
+            for threads in [1usize, 2, 4] {
+                let id = BenchmarkId::new(format!("{variant:?}/{}", engine.label()), threads);
+                group.bench_with_input(id, &threads, |b, &threads| {
+                    b.iter(|| run_point(&workload, engine, threads, &cfg));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

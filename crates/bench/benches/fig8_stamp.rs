@@ -1,0 +1,41 @@
+//! Criterion bench regenerating Figure 8: the STAMP-like kernels across
+//! engines. Labyrinth is run with a reduced batch because its transactions
+//! are two orders of magnitude larger than the others.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crafty_bench::{run_point, HarnessConfig};
+use crafty_workloads::{EngineKind, StampKernel, StampWorkload};
+
+fn bench_stamp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_stamp");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for kernel in StampKernel::ALL {
+        let txns = if kernel == StampKernel::Labyrinth { 30 } else { 300 };
+        let cfg = HarnessConfig::quick().with_txns_per_thread(txns);
+        let workload = StampWorkload::new(kernel);
+        for engine in [
+            EngineKind::NonDurable,
+            EngineKind::NvHtm,
+            EngineKind::DudeTm,
+            EngineKind::Crafty,
+            EngineKind::CraftyNoValidate,
+            EngineKind::CraftyNoRedo,
+        ] {
+            for threads in [1usize, 4] {
+                let id = BenchmarkId::new(format!("{}/{}", kernel.label(), engine.label()), threads);
+                group.bench_with_input(id, &threads, |b, &threads| {
+                    b.iter(|| run_point(&workload, engine, threads, &cfg));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stamp);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Micro-benchmarks of Crafty's building blocks: the cost of one persistent
+//! transaction through the Redo path, the Validate path (forced by the
+//! NoRedo variant), the read-only fast path, and the SGL fallback. These
+//! are the ablation numbers behind the design discussion in Sections 3–4.
+
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crafty_common::PersistentTm;
+use crafty_core::{Crafty, CraftyConfig, CraftyVariant};
+use crafty_htm::HtmConfig;
+use crafty_pmem::{LatencyModel, MemorySpace, PmemConfig};
+
+fn mem() -> Arc<MemorySpace> {
+    Arc::new(MemorySpace::new(
+        PmemConfig::small_for_tests().with_latency(LatencyModel::nvm_300ns()),
+    ))
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crafty_phases");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+
+    // Redo path: single thread, no contention → every transaction commits
+    // through Redo.
+    {
+        let mem = mem();
+        let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+        let cell = mem.reserve_persistent(1);
+        let mut thread = crafty.register_thread(0);
+        group.bench_function("update_via_redo", |b| {
+            b.iter(|| {
+                thread.execute(&mut |ops| {
+                    let v = ops.read(cell)?;
+                    ops.write(cell, v + 1)?;
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    // Validate path: the NoRedo variant always re-executes and validates.
+    {
+        let mem = mem();
+        let crafty = Crafty::new(
+            Arc::clone(&mem),
+            CraftyConfig::small_for_tests().with_variant(CraftyVariant::NoRedo),
+        );
+        let cell = mem.reserve_persistent(1);
+        let mut thread = crafty.register_thread(0);
+        group.bench_function("update_via_validate", |b| {
+            b.iter(|| {
+                thread.execute(&mut |ops| {
+                    let v = ops.read(cell)?;
+                    ops.write(cell, v + 1)?;
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    // Read-only fast path: no logging, no persisting.
+    {
+        let mem = mem();
+        let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+        let cell = mem.reserve_persistent(1);
+        let mut thread = crafty.register_thread(0);
+        group.bench_function("read_only", |b| {
+            b.iter(|| {
+                thread.execute(&mut |ops| {
+                    ops.read(cell)?;
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    // SGL fallback: a tiny HTM forces capacity aborts, so every transaction
+    // takes the buffered single-global-lock path.
+    {
+        let mem = mem();
+        let crafty = Crafty::with_htm_config(
+            Arc::clone(&mem),
+            CraftyConfig::small_for_tests(),
+            HtmConfig::tiny(),
+        );
+        let base = mem.reserve_persistent(256);
+        let mut thread = crafty.register_thread(0);
+        group.bench_function("sgl_fallback_64_writes", |b| {
+            b.iter(|| {
+                thread.execute(&mut |ops| {
+                    for i in 0..64u64 {
+                        ops.write(base.add(i), i)?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the simulated substrates: persist-operation cost in
+//! the memory simulator and hardware-transaction overhead in the software
+//! HTM. These bound how much of the end-to-end numbers is substrate
+//! overhead rather than algorithm cost.
+
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crafty_common::{BreakdownRecorder, PAddr};
+use crafty_htm::{HtmConfig, HtmRuntime};
+use crafty_pmem::{LatencyModel, MemorySpace, PmemConfig};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+
+    {
+        let mem = MemorySpace::new(PmemConfig::small_for_tests().with_latency(LatencyModel::instant()));
+        let a = mem.reserve_persistent(1);
+        group.bench_function("pmem_write", |b| b.iter(|| mem.write(a, 1)));
+        group.bench_function("pmem_flush_drain_no_latency", |b| {
+            b.iter(|| {
+                mem.write(a, 2);
+                mem.persist(0, a);
+            })
+        });
+    }
+    {
+        let mem = MemorySpace::new(
+            PmemConfig::small_for_tests().with_latency(LatencyModel::nvm_300ns()),
+        );
+        let a = mem.reserve_persistent(1);
+        group.bench_function("pmem_flush_drain_300ns", |b| {
+            b.iter(|| {
+                mem.write(a, 2);
+                mem.persist(0, a);
+            })
+        });
+    }
+    {
+        let mem = Arc::new(MemorySpace::new(
+            PmemConfig::small_for_tests().with_latency(LatencyModel::instant()),
+        ));
+        let htm = HtmRuntime::new(
+            Arc::clone(&mem),
+            HtmConfig::skylake(),
+            Arc::new(BreakdownRecorder::new()),
+        );
+        let a = mem.reserve_persistent(8);
+        group.bench_function("htm_txn_10_writes", |b| {
+            b.iter(|| {
+                let mut t = htm.begin(0);
+                for i in 0..8u64 {
+                    t.write(PAddr::new(a.word() + i), i).unwrap();
+                }
+                t.commit().unwrap();
+            })
+        });
+        group.bench_function("htm_txn_read_only", |b| {
+            b.iter(|| {
+                let mut t = htm.begin(0);
+                for i in 0..8u64 {
+                    t.read(PAddr::new(a.word() + i)).unwrap();
+                }
+                t.commit().unwrap();
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

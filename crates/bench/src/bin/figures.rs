@@ -1,0 +1,217 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [targets...] [--paper] [--latency-100] [--threads a,b,c] [--txns N] [--csv DIR]
+//!
+//! targets: fig6 fig7 fig8 table1 breakdowns fig22 fig23 fig24 all
+//!          (default: fig6 fig7 table1)
+//! ```
+//!
+//! Every figure is printed as the table of normalized throughputs behind
+//! the paper's plot (one row per thread count, one column per engine,
+//! normalized to single-thread Non-durable). `--csv DIR` additionally
+//! writes one CSV per figure. `--paper` uses the full thread sweep
+//! (1–16) and a larger transaction budget; the default "quick" scale keeps
+//! the whole run in the minutes range on a laptop.
+
+use std::collections::BTreeSet;
+
+use crafty_bench::{run_breakdowns, run_figure, writes_per_txn, HarnessConfig};
+use crafty_pmem::LatencyModel;
+use crafty_stats::{render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row};
+use crafty_workloads::{
+    BankWorkload, BtreeVariant, BtreeWorkload, Contention, StampKernel, StampWorkload, Workload,
+};
+
+struct Options {
+    targets: BTreeSet<String>,
+    cfg: HarnessConfig,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut targets = BTreeSet::new();
+    let mut paper = false;
+    let mut latency100 = false;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut txns: Option<u64> = None;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--paper" => paper = true,
+            "--latency-100" => latency100 = true,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a comma-separated list");
+                threads = Some(
+                    v.split(',')
+                        .map(|s| s.trim().parse().expect("invalid thread count"))
+                        .collect(),
+                );
+            }
+            "--txns" => {
+                txns = Some(
+                    args.next()
+                        .expect("--txns needs a number")
+                        .parse()
+                        .expect("invalid transaction count"),
+                );
+            }
+            "--csv" => csv_dir = Some(args.next().expect("--csv needs a directory")),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            target => {
+                targets.insert(target.to_string());
+            }
+        }
+    }
+    if targets.is_empty() {
+        for t in ["fig6", "fig7", "table1"] {
+            targets.insert(t.to_string());
+        }
+    }
+    if targets.contains("all") {
+        for t in ["fig6", "fig7", "fig8", "table1", "breakdowns", "fig22", "fig23", "fig24"] {
+            targets.insert(t.to_string());
+        }
+    }
+    let mut cfg = if paper { HarnessConfig::paper() } else { HarnessConfig::quick() };
+    if latency100 {
+        cfg = cfg.with_latency(LatencyModel::nvm_100ns());
+    }
+    if let Some(t) = threads {
+        cfg = cfg.with_thread_counts(t);
+    }
+    if let Some(t) = txns {
+        cfg = cfg.with_txns_per_thread(t);
+    }
+    Options { targets, cfg, csv_dir }
+}
+
+fn emit(figure_id: &str, workload: &dyn Workload, cfg: &HarnessConfig, csv_dir: &Option<String>) {
+    let figure = run_figure(workload, cfg);
+    println!("\n== {figure_id}: {} ==", workload.name());
+    print!("{}", render_figure(&figure, "Non-durable"));
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+        let path = format!(
+            "{dir}/{}.csv",
+            figure_id.replace([' ', '(', ')'], "_").to_lowercase()
+        );
+        std::fs::write(&path, render_figure_csv(&figure, "Non-durable")).expect("write csv");
+        println!("[csv written to {path}]");
+    }
+}
+
+fn bank_workloads(max_threads: usize) -> Vec<(String, BankWorkload)> {
+    [Contention::High, Contention::Medium, Contention::None]
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (format!("fig6{}", (b'a' + i as u8) as char), BankWorkload::paper(c, max_threads)))
+        .collect()
+}
+
+fn main() {
+    let options = parse_args();
+    let cfg = &options.cfg;
+    let max_threads = cfg.thread_counts.iter().copied().max().unwrap_or(1);
+    let latency_note = format!("{} ns drain latency", cfg.latency.drain_ns);
+    println!("crafty figure harness — engines: {:?}", cfg.engines.len());
+    println!(
+        "thread counts {:?}, {} transactions/thread, {latency_note}",
+        cfg.thread_counts, cfg.txns_per_thread
+    );
+
+    let has = |t: &str| options.targets.contains(t);
+
+    if has("fig6") {
+        for (id, w) in bank_workloads(max_threads) {
+            emit(&id, &w, cfg, &options.csv_dir);
+        }
+    }
+    if has("fig7") {
+        emit(
+            "fig7a",
+            &BtreeWorkload::paper(BtreeVariant::InsertOnly),
+            cfg,
+            &options.csv_dir,
+        );
+        emit(
+            "fig7b",
+            &BtreeWorkload::paper(BtreeVariant::Mixed),
+            cfg,
+            &options.csv_dir,
+        );
+    }
+    if has("fig8") {
+        for (i, kernel) in StampKernel::ALL.iter().enumerate() {
+            let id = format!("fig8{}", (b'a' + i as u8) as char);
+            emit(&id, &StampWorkload::new(*kernel), cfg, &options.csv_dir);
+        }
+    }
+    if has("table1") {
+        println!("\n== Table 1: average writes per persistent transaction ==");
+        let threads = *cfg.thread_counts.first().unwrap_or(&1);
+        let mut rows: Vec<(String, f64, f64)> = Vec::new();
+        for (name, w) in bank_workloads(max_threads) {
+            let _ = name;
+            rows.push((w.name(), writes_per_txn(&w, threads, cfg), 10.0));
+        }
+        for variant in [BtreeVariant::InsertOnly, BtreeVariant::Mixed] {
+            let w = BtreeWorkload::paper(variant);
+            let expected = match variant {
+                BtreeVariant::InsertOnly => 14.0,
+                BtreeVariant::Mixed => 13.3,
+            };
+            rows.push((w.name(), writes_per_txn(&w, threads, cfg), expected));
+        }
+        for kernel in StampKernel::ALL {
+            let w = StampWorkload::new(kernel);
+            rows.push((w.name(), writes_per_txn(&w, threads, cfg), kernel.paper_writes_per_txn()));
+        }
+        println!("{:<28}{:>12}{:>12}", "benchmark", "measured", "paper");
+        for (name, measured, paper) in rows {
+            println!("{name:<28}{measured:>12.1}{paper:>12.1}");
+            let _ = render_writes_per_txn_row(&name, &[(threads, measured)]);
+        }
+    }
+    if has("breakdowns") {
+        let threads = max_threads;
+        println!("\n== Figures 9–21: transaction breakdowns at {threads} threads ==");
+        let mut workloads: Vec<Box<dyn Workload>> = Vec::new();
+        for (_, w) in bank_workloads(max_threads) {
+            workloads.push(Box::new(w));
+        }
+        workloads.push(Box::new(BtreeWorkload::paper(BtreeVariant::InsertOnly)));
+        workloads.push(Box::new(BtreeWorkload::paper(BtreeVariant::Mixed)));
+        for kernel in StampKernel::ALL {
+            workloads.push(Box::new(StampWorkload::new(kernel)));
+        }
+        for w in &workloads {
+            println!("\n-- {} --", w.name());
+            for (engine, snapshot) in run_breakdowns(w.as_ref(), threads, cfg) {
+                print!("{}", render_breakdown(&engine, &snapshot));
+            }
+        }
+    }
+    // Appendix figures: the same benchmarks at 100 ns drain latency.
+    let appendix = cfg.clone().with_latency(LatencyModel::nvm_100ns());
+    if has("fig22") {
+        for (id, w) in bank_workloads(max_threads) {
+            emit(&id.replace("fig6", "fig22"), &w, &appendix, &options.csv_dir);
+        }
+    }
+    if has("fig23") {
+        emit("fig23a", &BtreeWorkload::paper(BtreeVariant::InsertOnly), &appendix, &options.csv_dir);
+        emit("fig23b", &BtreeWorkload::paper(BtreeVariant::Mixed), &appendix, &options.csv_dir);
+    }
+    if has("fig24") {
+        for (i, kernel) in StampKernel::ALL.iter().enumerate() {
+            let id = format!("fig24{}", (b'a' + i as u8) as char);
+            emit(&id, &StampWorkload::new(*kernel), &appendix, &options.csv_dir);
+        }
+    }
+    println!("\ndone.");
+}

@@ -1,0 +1,192 @@
+//! The benchmark harness behind the `figures` binary and the Criterion
+//! benches: every table and figure of the paper's evaluation is regenerated
+//! from the functions in this crate.
+//!
+//! A figure run is fully described by a [`HarnessConfig`]: which engines,
+//! which thread counts, how many transactions per thread, and which NVM
+//! latency model (300 ns for the main figures, 100 ns for the appendix).
+//! Each (engine, thread-count) point gets a fresh simulated memory space
+//! and a fresh engine, exactly as each point in the paper is a separate
+//! process run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use crafty_common::BreakdownSnapshot;
+use crafty_pmem::{LatencyModel, MemorySpace, PmemConfig};
+use crafty_stats::{Figure, Measurement};
+use crafty_workloads::{build_engine, measure, EngineKind, Workload};
+
+/// Parameters of one figure regeneration.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Engines to run (legend order).
+    pub engines: Vec<EngineKind>,
+    /// Thread counts to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Persistent transactions per thread at each point.
+    pub txns_per_thread: u64,
+    /// Emulated NVM latency (300 ns main figures, 100 ns appendix).
+    pub latency: LatencyModel,
+    /// Simulated persistent region size in words.
+    pub persistent_words: u64,
+    /// Workload seed (kept fixed across engines so they see the same keys).
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// A configuration small enough for CI and the Criterion benches:
+    /// three thread counts, all six engines, a few thousand transactions.
+    pub fn quick() -> Self {
+        HarnessConfig {
+            engines: EngineKind::ALL.to_vec(),
+            thread_counts: vec![1, 2, 4],
+            txns_per_thread: 2_000,
+            latency: LatencyModel::nvm_300ns(),
+            persistent_words: 1 << 22,
+            seed: 42,
+        }
+    }
+
+    /// The paper-scale configuration: thread counts 1–16 and a larger
+    /// transaction budget. Expect minutes per figure.
+    pub fn paper() -> Self {
+        HarnessConfig {
+            engines: EngineKind::ALL.to_vec(),
+            thread_counts: crafty_stats::PAPER_THREAD_COUNTS.to_vec(),
+            txns_per_thread: 20_000,
+            latency: LatencyModel::nvm_300ns(),
+            persistent_words: 1 << 24,
+            seed: 42,
+        }
+    }
+
+    /// Switches the latency model (builder style), e.g. to the appendix's
+    /// 100 ns setting for Figures 22–24.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the transaction budget (builder style).
+    pub fn with_txns_per_thread(mut self, txns: u64) -> Self {
+        self.txns_per_thread = txns;
+        self
+    }
+
+    /// Overrides the thread counts (builder style).
+    pub fn with_thread_counts(mut self, threads: Vec<usize>) -> Self {
+        self.thread_counts = threads;
+        self
+    }
+
+    fn pmem_config(&self, max_threads: usize) -> PmemConfig {
+        PmemConfig {
+            persistent_words: self.persistent_words,
+            volatile_words: 1 << 20,
+            max_threads: max_threads + 2, // workers + checkpointer + slack
+            latency: self.latency,
+            crash: crafty_pmem::CrashModel::strict(),
+        }
+    }
+}
+
+/// Runs one (workload, engine, thread count) point and returns its
+/// measurement together with the engine's breakdown counters.
+pub fn run_point(
+    workload: &dyn Workload,
+    kind: EngineKind,
+    threads: usize,
+    cfg: &HarnessConfig,
+) -> (Measurement, BreakdownSnapshot) {
+    let mem = Arc::new(MemorySpace::new(cfg.pmem_config(threads)));
+    let engine = build_engine(kind, &mem, threads);
+    let mix = workload.prepare(&mem);
+    let m = measure(
+        engine.as_ref(),
+        mix.as_ref(),
+        threads,
+        cfg.txns_per_thread,
+        cfg.seed,
+    );
+    let breakdown = engine.breakdown();
+    (m, breakdown)
+}
+
+/// Regenerates one figure: every engine at every thread count on the given
+/// workload. Points are normalized later by the reporting layer.
+pub fn run_figure(workload: &dyn Workload, cfg: &HarnessConfig) -> Figure {
+    let mut figure = Figure::new(workload.name());
+    for &kind in &cfg.engines {
+        for &threads in &cfg.thread_counts {
+            let (m, _) = run_point(workload, kind, threads, cfg);
+            figure.push(m);
+        }
+    }
+    figure
+}
+
+/// Collects the per-engine breakdowns (Figures 9–21) for one workload at a
+/// single thread count.
+pub fn run_breakdowns(
+    workload: &dyn Workload,
+    threads: usize,
+    cfg: &HarnessConfig,
+) -> Vec<(String, BreakdownSnapshot)> {
+    cfg.engines
+        .iter()
+        .map(|&kind| {
+            let (_, breakdown) = run_point(workload, kind, threads, cfg);
+            (kind.label().to_string(), breakdown)
+        })
+        .collect()
+}
+
+/// Average persistent writes per transaction for one workload (one cell of
+/// Table 1), measured on the Crafty engine.
+pub fn writes_per_txn(workload: &dyn Workload, threads: usize, cfg: &HarnessConfig) -> f64 {
+    let (_, breakdown) = run_point(workload, EngineKind::Crafty, threads, cfg);
+    breakdown.writes_per_txn()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crafty_workloads::{BankWorkload, Contention};
+
+    fn tiny() -> HarnessConfig {
+        HarnessConfig {
+            engines: vec![EngineKind::NonDurable, EngineKind::Crafty],
+            thread_counts: vec![1, 2],
+            txns_per_thread: 50,
+            latency: LatencyModel::instant(),
+            persistent_words: 1 << 18,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn figure_collects_one_point_per_engine_and_thread_count() {
+        let cfg = tiny();
+        let workload = BankWorkload::paper(Contention::Medium, 2);
+        let figure = run_figure(&workload, &cfg);
+        assert_eq!(figure.points.len(), 4);
+        assert_eq!(figure.engines().len(), 2);
+        let series = figure.normalized_series("Crafty", "Non-durable");
+        assert_eq!(series.len(), 2);
+        assert!(series.iter().all(|&(_, v)| v > 0.0));
+    }
+
+    #[test]
+    fn breakdowns_and_table1_cells_are_produced() {
+        let cfg = tiny();
+        let workload = BankWorkload::paper(Contention::Medium, 2);
+        let breakdowns = run_breakdowns(&workload, 2, &cfg);
+        assert_eq!(breakdowns.len(), 2);
+        assert!(breakdowns.iter().all(|(_, b)| b.total_persistent() == 100));
+        let w = writes_per_txn(&workload, 1, &cfg);
+        assert!((w - 10.0).abs() < 0.5, "bank writes/txn ≈ 10, got {w}");
+    }
+}

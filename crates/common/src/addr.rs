@@ -1,0 +1,178 @@
+//! Word-granular addresses into the simulated memory space.
+//!
+//! The simulated memory ([`crafty-pmem`]'s `MemorySpace`) is an array of
+//! 64-bit words. All persistent accesses in the paper's implementation are
+//! 8-byte aligned stores, so a word index loses no generality and keeps the
+//! undo-log entry format (`<addr, oldValue>` pairs of 8-byte words) simple.
+//!
+//! Cache lines are 64 bytes, i.e. [`WORDS_PER_LINE`] = 8 words. Persistence
+//! and HTM conflict detection both operate at line granularity, matching
+//! x86 CLWB and RTM respectively.
+
+use std::fmt;
+
+/// Number of 64-bit words per simulated cache line (64-byte lines).
+pub const WORDS_PER_LINE: u64 = 8;
+
+/// A word-granular address in the simulated memory space.
+///
+/// `PAddr(i)` names the `i`-th 64-bit word. Addresses below the persistent
+/// boundary of the memory space are persistent; addresses above it are
+/// volatile (DRAM) and are lost on a crash.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(u64);
+
+impl PAddr {
+    /// The null address. Word 0 of the memory space is reserved and never
+    /// handed out by the allocator, so `NULL` can be used as a sentinel.
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Creates an address from a word index.
+    #[inline]
+    pub const fn new(word_index: u64) -> Self {
+        PAddr(word_index)
+    }
+
+    /// Returns the word index.
+    #[inline]
+    pub const fn word(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte offset of this word (word index × 8).
+    #[inline]
+    pub const fn byte(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Returns the cache line containing this word.
+    #[inline]
+    pub const fn line(self) -> LineId {
+        LineId(self.0 / WORDS_PER_LINE)
+    }
+
+    /// Returns the address `offset` words past this one.
+    #[inline]
+    pub const fn add(self, offset: u64) -> Self {
+        PAddr(self.0 + offset)
+    }
+
+    /// Returns true if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<PAddr> for u64 {
+    fn from(a: PAddr) -> u64 {
+        a.0
+    }
+}
+
+impl From<u64> for PAddr {
+    fn from(w: u64) -> PAddr {
+        PAddr(w)
+    }
+}
+
+/// Identifier of a simulated 64-byte cache line.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LineId(u64);
+
+impl LineId {
+    /// Creates a line id from its index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        LineId(index)
+    }
+
+    /// Returns the line index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first word of this line.
+    #[inline]
+    pub const fn first_word(self) -> PAddr {
+        PAddr(self.0 * WORDS_PER_LINE)
+    }
+
+    /// Returns an iterator over the words of this line.
+    pub fn words(self) -> impl Iterator<Item = PAddr> {
+        let base = self.0 * WORDS_PER_LINE;
+        (0..WORDS_PER_LINE).map(move |i| PAddr(base + i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_and_byte_round_trip() {
+        let a = PAddr::new(17);
+        assert_eq!(a.word(), 17);
+        assert_eq!(a.byte(), 136);
+        assert_eq!(u64::from(a), 17);
+        assert_eq!(PAddr::from(17u64), a);
+    }
+
+    #[test]
+    fn line_of_word() {
+        assert_eq!(PAddr::new(0).line(), LineId::new(0));
+        assert_eq!(PAddr::new(7).line(), LineId::new(0));
+        assert_eq!(PAddr::new(8).line(), LineId::new(1));
+        assert_eq!(PAddr::new(63).line(), LineId::new(7));
+    }
+
+    #[test]
+    fn line_words_cover_whole_line() {
+        let words: Vec<PAddr> = LineId::new(3).words().collect();
+        assert_eq!(words.len(), WORDS_PER_LINE as usize);
+        assert_eq!(words[0], PAddr::new(24));
+        assert_eq!(words[7], PAddr::new(31));
+        for w in words {
+            assert_eq!(w.line(), LineId::new(3));
+        }
+    }
+
+    #[test]
+    fn null_is_word_zero() {
+        assert!(PAddr::NULL.is_null());
+        assert!(!PAddr::new(1).is_null());
+        assert_eq!(PAddr::default(), PAddr::NULL);
+    }
+
+    #[test]
+    fn add_offsets_in_words() {
+        let a = PAddr::new(10).add(5);
+        assert_eq!(a.word(), 15);
+    }
+
+    #[test]
+    fn ordering_follows_word_index() {
+        assert!(PAddr::new(3) < PAddr::new(4));
+        assert!(LineId::new(1) < LineId::new(2));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert!(!format!("{:?}", PAddr::new(5)).is_empty());
+        assert!(!format!("{}", PAddr::new(5)).is_empty());
+        assert!(!format!("{:?}", LineId::new(5)).is_empty());
+    }
+}

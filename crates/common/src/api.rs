@@ -1,0 +1,251 @@
+//! The engine-generic persistent-transaction interface.
+//!
+//! Crafty, its ablation variants, and every baseline engine (Non-durable,
+//! NV-HTM, DudeTM, software undo/redo logging) implement [`PersistentTm`].
+//! Workloads are written once against [`TxnOps`] and run unchanged on every
+//! engine, exactly as the paper runs the same benchmarks over all
+//! configurations.
+//!
+//! Transaction bodies must be **idempotent**: engines are free to execute a
+//! body multiple times (Crafty's Log and Validate phases re-execute it, HTM
+//! retries re-execute it), so bodies must not have side effects outside the
+//! [`TxnOps`] interface other than overwriting function-local state
+//! (Section 6, "Mixed-mode accesses").
+//!
+//! # Example
+//!
+//! ```
+//! use crafty_common::{PAddr, TxAbort, TxnOps};
+//!
+//! // A transaction body that transfers one unit between two accounts.
+//! fn transfer(ops: &mut dyn TxnOps, from: PAddr, to: PAddr) -> Result<(), TxAbort> {
+//!     let a = ops.read(from)?;
+//!     let b = ops.read(to)?;
+//!     ops.write(from, a.wrapping_sub(1))?;
+//!     ops.write(to, b.wrapping_add(1))?;
+//!     Ok(())
+//! }
+//! ```
+
+use crate::addr::PAddr;
+use crate::breakdown::{BreakdownSnapshot, CompletionPath};
+use crate::error::TxAbort;
+
+/// Operations available to a transaction body.
+///
+/// All memory named by [`PAddr`] is accessed through this trait while inside
+/// a transaction; engines interpose logging, validation, or shadowing as
+/// needed. Reads and writes are 64-bit and word-aligned, matching the
+/// paper's implementation in which "all writes are expressed as 8-byte,
+/// aligned stores".
+pub trait TxnOps {
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxAbort`] if the enclosing (simulated) hardware transaction
+    /// aborted or the engine requires the body to restart; the body must
+    /// propagate the error immediately.
+    fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort>;
+
+    /// Writes `value` to the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxAbort`] under the same conditions as [`TxnOps::read`].
+    fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort>;
+
+    /// Allocates `words` consecutive words of persistent memory and returns
+    /// the address of the first. Engines that re-execute bodies guarantee
+    /// that the same call site observes the same address on re-execution
+    /// (Section 6, "Memory management").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxAbort`] under the same conditions as [`TxnOps::read`],
+    /// or if the persistent heap is exhausted.
+    fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort>;
+
+    /// Frees `words` consecutive words starting at `addr`. The release is
+    /// deferred until the persistent transaction commits so that aborted or
+    /// re-executed bodies do not leak or double-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxAbort`] under the same conditions as [`TxnOps::read`].
+    fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort>;
+}
+
+/// A transaction body: a re-executable closure over [`TxnOps`].
+pub type TxnBody<'a> = dyn FnMut(&mut dyn TxnOps) -> Result<(), TxAbort> + 'a;
+
+/// What happened while executing one persistent transaction to completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TxnReport {
+    /// The path by which the transaction finally committed.
+    pub path: CompletionPath,
+    /// Number of hardware transactions attempted while executing it
+    /// (including aborted attempts across all phases).
+    pub hw_attempts: u32,
+}
+
+impl TxnReport {
+    /// Convenience constructor.
+    pub const fn new(path: CompletionPath, hw_attempts: u32) -> Self {
+        TxnReport { path, hw_attempts }
+    }
+}
+
+/// A per-thread handle onto an engine.
+///
+/// Engines keep per-thread state (undo/redo logs, retry counters); worker
+/// threads obtain a `TmThread` via [`PersistentTm::register_thread`] and run
+/// every persistent transaction through it.
+pub trait TmThread {
+    /// Executes one persistent transaction to completion, retrying and
+    /// falling back internally as the engine requires. The body may be
+    /// invoked any number of times.
+    fn execute(&mut self, body: &mut TxnBody<'_>) -> TxnReport;
+}
+
+/// A persistent-transaction engine.
+///
+/// Implementations must be shareable across threads; per-thread mutable
+/// state lives behind [`PersistentTm::register_thread`].
+pub trait PersistentTm: Send + Sync {
+    /// Human-readable engine name as used in the paper's legends
+    /// (e.g. `"Crafty"`, `"NV-HTM"`, `"Non-durable"`).
+    fn name(&self) -> &str;
+
+    /// Registers worker thread `tid` (0-based, dense) and returns its
+    /// engine handle. Each tid must be registered at most once per run.
+    fn register_thread(&self, tid: usize) -> Box<dyn TmThread + '_>;
+
+    /// Returns a snapshot of the engine's breakdown counters.
+    fn breakdown(&self) -> BreakdownSnapshot;
+
+    /// Whether the engine provides failure atomicity (durability). The
+    /// Non-durable baseline returns `false`.
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    /// Called once after all worker threads have finished a measurement
+    /// run; engines with background threads (NV-HTM, DudeTM) drain their
+    /// pipelines here so that all committed transactions are persisted.
+    fn quiesce(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::BreakdownRecorder;
+    use std::collections::HashMap;
+
+    /// A trivial in-memory engine used to exercise the trait object
+    /// interface itself.
+    struct MapTm {
+        recorder: BreakdownRecorder,
+    }
+
+    struct MapThread<'a> {
+        store: HashMap<u64, u64>,
+        next: u64,
+        recorder: &'a BreakdownRecorder,
+    }
+
+    struct MapOps<'a> {
+        store: &'a mut HashMap<u64, u64>,
+        next: &'a mut u64,
+    }
+
+    impl TxnOps for MapOps<'_> {
+        fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
+            Ok(*self.store.get(&addr.word()).unwrap_or(&0))
+        }
+        fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort> {
+            self.store.insert(addr.word(), value);
+            Ok(())
+        }
+        fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
+            let a = *self.next;
+            *self.next += words;
+            Ok(PAddr::new(a))
+        }
+        fn dealloc(&mut self, _addr: PAddr, _words: u64) -> Result<(), TxAbort> {
+            Ok(())
+        }
+    }
+
+    impl TmThread for MapThread<'_> {
+        fn execute(&mut self, body: &mut TxnBody<'_>) -> TxnReport {
+            let mut ops = MapOps {
+                store: &mut self.store,
+                next: &mut self.next,
+            };
+            body(&mut ops).expect("map engine never aborts");
+            self.recorder.record_completion(CompletionPath::NonCrafty);
+            TxnReport::new(CompletionPath::NonCrafty, 1)
+        }
+    }
+
+    impl PersistentTm for MapTm {
+        fn name(&self) -> &str {
+            "map"
+        }
+        fn register_thread(&self, _tid: usize) -> Box<dyn TmThread + '_> {
+            Box::new(MapThread {
+                store: HashMap::new(),
+                next: 1,
+                recorder: &self.recorder,
+            })
+        }
+        fn breakdown(&self) -> BreakdownSnapshot {
+            self.recorder.snapshot()
+        }
+        fn is_durable(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn bodies_run_through_trait_objects() {
+        let tm = MapTm {
+            recorder: BreakdownRecorder::new(),
+        };
+        let mut thread = tm.register_thread(0);
+        let target = PAddr::new(100);
+        let report = thread.execute(&mut |ops| {
+            let v = ops.read(target)?;
+            ops.write(target, v + 7)?;
+            Ok(())
+        });
+        assert_eq!(report.path, CompletionPath::NonCrafty);
+        let mut read_back = 0;
+        thread.execute(&mut |ops| {
+            read_back = ops.read(target)?;
+            Ok(())
+        });
+        assert_eq!(read_back, 7);
+        assert_eq!(tm.breakdown().total_persistent(), 2);
+        assert!(!tm.is_durable());
+        tm.quiesce();
+    }
+
+    #[test]
+    fn alloc_returns_distinct_addresses() {
+        let tm = MapTm {
+            recorder: BreakdownRecorder::new(),
+        };
+        let mut thread = tm.register_thread(0);
+        let mut first = PAddr::NULL;
+        let mut second = PAddr::NULL;
+        thread.execute(&mut |ops| {
+            first = ops.alloc(4)?;
+            second = ops.alloc(4)?;
+            Ok(())
+        });
+        assert_ne!(first, second);
+        assert!(second.word() >= first.word() + 4);
+    }
+}

@@ -1,0 +1,330 @@
+//! Execution breakdown counters.
+//!
+//! The paper's appendix (Figures 9–21) reports, for every benchmark and
+//! engine, (a) how each *persistent* transaction was completed and (b) the
+//! outcome of every *hardware* transaction. These enums and the
+//! [`BreakdownRecorder`] reproduce those categories. Engines record into a
+//! shared recorder; the figure harness snapshots it after a run.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a persistent transaction ultimately committed.
+///
+/// Mirrors the stacked-bar categories of the paper's persistent-transaction
+/// breakdowns: `Non-Crafty` (baseline engines), `Read Only`, `Redo`,
+/// `Validate`, and `SGL`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CompletionPath {
+    /// Committed by a non-Crafty engine's ordinary path (Non-durable,
+    /// NV-HTM, DudeTM, software logging).
+    NonCrafty,
+    /// A read-only transaction: Crafty skips the Redo and Validate phases.
+    ReadOnly,
+    /// Committed by Crafty's Redo phase.
+    Redo,
+    /// Committed by Crafty's Validate phase.
+    Validate,
+    /// Committed under the single-global-lock fallback.
+    Sgl,
+}
+
+impl CompletionPath {
+    /// All paths, in the order the paper's figures stack them.
+    pub const ALL: [CompletionPath; 5] = [
+        CompletionPath::NonCrafty,
+        CompletionPath::ReadOnly,
+        CompletionPath::Redo,
+        CompletionPath::Validate,
+        CompletionPath::Sgl,
+    ];
+
+    /// A short, stable label used in tables and CSV output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            CompletionPath::NonCrafty => "non-crafty",
+            CompletionPath::ReadOnly => "read-only",
+            CompletionPath::Redo => "redo",
+            CompletionPath::Validate => "validate",
+            CompletionPath::Sgl => "sgl",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            CompletionPath::NonCrafty => 0,
+            CompletionPath::ReadOnly => 1,
+            CompletionPath::Redo => 2,
+            CompletionPath::Validate => 3,
+            CompletionPath::Sgl => 4,
+        }
+    }
+}
+
+impl fmt::Display for CompletionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of one simulated hardware transaction attempt.
+///
+/// Mirrors the paper's hardware-transaction breakdowns: commit, conflict
+/// abort, capacity abort, explicit abort, and "zero" abort (page fault,
+/// system call, interrupt — anything RTM reports with no cause bits set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HwTxnOutcome {
+    /// The hardware transaction committed.
+    Commit,
+    /// Aborted because another transaction accessed a conflicting line.
+    Conflict,
+    /// Aborted because the transaction's footprint exceeded HTM capacity.
+    Capacity,
+    /// Aborted explicitly by the program (failed Redo/Validate check).
+    Explicit,
+    /// Aborted for an unclassified reason (emulating interrupts etc.).
+    Zero,
+}
+
+impl HwTxnOutcome {
+    /// All outcomes, in the order the paper's figures stack them.
+    pub const ALL: [HwTxnOutcome; 5] = [
+        HwTxnOutcome::Commit,
+        HwTxnOutcome::Conflict,
+        HwTxnOutcome::Capacity,
+        HwTxnOutcome::Explicit,
+        HwTxnOutcome::Zero,
+    ];
+
+    /// A short, stable label used in tables and CSV output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            HwTxnOutcome::Commit => "commit",
+            HwTxnOutcome::Conflict => "conflict",
+            HwTxnOutcome::Capacity => "capacity",
+            HwTxnOutcome::Explicit => "explicit",
+            HwTxnOutcome::Zero => "zero",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            HwTxnOutcome::Commit => 0,
+            HwTxnOutcome::Conflict => 1,
+            HwTxnOutcome::Capacity => 2,
+            HwTxnOutcome::Explicit => 3,
+            HwTxnOutcome::Zero => 4,
+        }
+    }
+}
+
+impl fmt::Display for HwTxnOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Lock-free counters shared between an engine and the measurement harness.
+///
+/// All counters are monotonically increasing; [`BreakdownRecorder::snapshot`]
+/// takes a consistent-enough point-in-time copy for reporting (exactness is
+/// not required because snapshots are taken while threads are quiescent).
+#[derive(Debug, Default)]
+pub struct BreakdownRecorder {
+    persistent: [AtomicU64; 5],
+    hardware: [AtomicU64; 5],
+    persistent_writes: AtomicU64,
+    persist_drains: AtomicU64,
+    flushed_lines: AtomicU64,
+}
+
+impl BreakdownRecorder {
+    /// Creates a recorder with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the completion of one persistent transaction.
+    #[inline]
+    pub fn record_completion(&self, path: CompletionPath) {
+        self.persistent[path.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of one hardware transaction attempt.
+    #[inline]
+    pub fn record_hw(&self, outcome: HwTxnOutcome) {
+        self.hardware[outcome.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` program writes to persistent memory (Table 1 input).
+    #[inline]
+    pub fn record_persistent_writes(&self, n: u64) {
+        self.persistent_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one drain (SFENCE-after-CLWB) operation.
+    #[inline]
+    pub fn record_drain(&self) {
+        self.persist_drains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cache-line flushes (CLWB operations).
+    #[inline]
+    pub fn record_flushed_lines(&self, n: u64) {
+        self.flushed_lines.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> BreakdownSnapshot {
+        BreakdownSnapshot {
+            persistent: core::array::from_fn(|i| self.persistent[i].load(Ordering::Relaxed)),
+            hardware: core::array::from_fn(|i| self.hardware[i].load(Ordering::Relaxed)),
+            persistent_writes: self.persistent_writes.load(Ordering::Relaxed),
+            persist_drains: self.persist_drains.load(Ordering::Relaxed),
+            flushed_lines: self.flushed_lines.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`BreakdownRecorder`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BreakdownSnapshot {
+    persistent: [u64; 5],
+    hardware: [u64; 5],
+    /// Total number of program writes to persistent memory.
+    pub persistent_writes: u64,
+    /// Total number of drain (SFENCE) operations.
+    pub persist_drains: u64,
+    /// Total number of cache-line flush (CLWB) operations.
+    pub flushed_lines: u64,
+}
+
+impl BreakdownSnapshot {
+    /// Number of persistent transactions completed via `path`.
+    pub fn completions(&self, path: CompletionPath) -> u64 {
+        self.persistent[path.index()]
+    }
+
+    /// Number of hardware transactions that ended with `outcome`.
+    pub fn hw(&self, outcome: HwTxnOutcome) -> u64 {
+        self.hardware[outcome.index()]
+    }
+
+    /// Total persistent transactions completed, across all paths.
+    pub fn total_persistent(&self) -> u64 {
+        self.persistent.iter().sum()
+    }
+
+    /// Total hardware transactions attempted, across all outcomes.
+    pub fn total_hardware(&self) -> u64 {
+        self.hardware.iter().sum()
+    }
+
+    /// Total hardware aborts (everything except commits).
+    pub fn total_hw_aborts(&self) -> u64 {
+        self.total_hardware() - self.hw(HwTxnOutcome::Commit)
+    }
+
+    /// Average program writes per persistent transaction (Table 1).
+    pub fn writes_per_txn(&self) -> f64 {
+        let txns = self.total_persistent();
+        if txns == 0 {
+            0.0
+        } else {
+            self.persistent_writes as f64 / txns as f64
+        }
+    }
+
+    /// Returns the difference `self - earlier`, counter by counter.
+    pub fn since(&self, earlier: &BreakdownSnapshot) -> BreakdownSnapshot {
+        BreakdownSnapshot {
+            persistent: core::array::from_fn(|i| self.persistent[i] - earlier.persistent[i]),
+            hardware: core::array::from_fn(|i| self.hardware[i] - earlier.hardware[i]),
+            persistent_writes: self.persistent_writes - earlier.persistent_writes,
+            persist_drains: self.persist_drains - earlier.persist_drains,
+            flushed_lines: self.flushed_lines - earlier.flushed_lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_counters_accumulate() {
+        let r = BreakdownRecorder::new();
+        r.record_completion(CompletionPath::Redo);
+        r.record_completion(CompletionPath::Redo);
+        r.record_completion(CompletionPath::Validate);
+        r.record_completion(CompletionPath::Sgl);
+        let s = r.snapshot();
+        assert_eq!(s.completions(CompletionPath::Redo), 2);
+        assert_eq!(s.completions(CompletionPath::Validate), 1);
+        assert_eq!(s.completions(CompletionPath::Sgl), 1);
+        assert_eq!(s.completions(CompletionPath::ReadOnly), 0);
+        assert_eq!(s.total_persistent(), 4);
+    }
+
+    #[test]
+    fn hw_counters_accumulate() {
+        let r = BreakdownRecorder::new();
+        r.record_hw(HwTxnOutcome::Commit);
+        r.record_hw(HwTxnOutcome::Conflict);
+        r.record_hw(HwTxnOutcome::Conflict);
+        r.record_hw(HwTxnOutcome::Capacity);
+        r.record_hw(HwTxnOutcome::Explicit);
+        r.record_hw(HwTxnOutcome::Zero);
+        let s = r.snapshot();
+        assert_eq!(s.hw(HwTxnOutcome::Commit), 1);
+        assert_eq!(s.hw(HwTxnOutcome::Conflict), 2);
+        assert_eq!(s.total_hardware(), 6);
+        assert_eq!(s.total_hw_aborts(), 5);
+    }
+
+    #[test]
+    fn writes_per_txn_divides_by_transactions() {
+        let r = BreakdownRecorder::new();
+        r.record_persistent_writes(10);
+        r.record_persistent_writes(10);
+        r.record_completion(CompletionPath::Redo);
+        r.record_completion(CompletionPath::Validate);
+        let s = r.snapshot();
+        assert!((s.writes_per_txn() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_per_txn_with_no_transactions_is_zero() {
+        let s = BreakdownRecorder::new().snapshot();
+        assert_eq!(s.writes_per_txn(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_counters() {
+        let r = BreakdownRecorder::new();
+        r.record_hw(HwTxnOutcome::Commit);
+        r.record_drain();
+        r.record_flushed_lines(3);
+        let first = r.snapshot();
+        r.record_hw(HwTxnOutcome::Commit);
+        r.record_hw(HwTxnOutcome::Conflict);
+        r.record_drain();
+        r.record_flushed_lines(2);
+        let delta = r.snapshot().since(&first);
+        assert_eq!(delta.hw(HwTxnOutcome::Commit), 1);
+        assert_eq!(delta.hw(HwTxnOutcome::Conflict), 1);
+        assert_eq!(delta.persist_drains, 1);
+        assert_eq!(delta.flushed_lines, 2);
+    }
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let mut labels: Vec<&str> = CompletionPath::ALL.iter().map(|p| p.label()).collect();
+        labels.extend(HwTxnOutcome::ALL.iter().map(|o| o.label()));
+        assert!(labels.iter().all(|l| !l.is_empty()));
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+}

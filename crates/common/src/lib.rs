@@ -1,0 +1,46 @@
+//! Shared foundation types for the Crafty reproduction.
+//!
+//! This crate holds the vocabulary used by every other crate in the
+//! workspace:
+//!
+//! * [`PAddr`] / [`LineId`] — word-granular addresses into the simulated
+//!   memory space and the cache lines that contain them.
+//! * [`Clock`] / [`Timestamp`] — the RDTSC-like monotonic timestamp source
+//!   the paper uses for `LOGGED`/`COMMITTED` entries and `gLastRedoTS`.
+//! * [`api`] — the object-safe engine interface ([`PersistentTm`],
+//!   [`TmThread`], [`TxnOps`]) implemented by Crafty and all baselines so
+//!   that workloads and the figure harness are engine-generic.
+//! * [`breakdown`] — atomic counters that record how each persistent
+//!   transaction completed and how each hardware transaction ended,
+//!   mirroring the categories of the paper's appendix figures.
+//!
+//! # Example
+//!
+//! ```
+//! use crafty_common::{PAddr, Clock};
+//!
+//! let clock = Clock::new();
+//! let a = clock.now();
+//! let b = clock.now();
+//! assert!(a < b);
+//!
+//! let addr = PAddr::new(12);
+//! assert_eq!(addr.line().first_word(), PAddr::new(8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod api;
+pub mod breakdown;
+pub mod clock;
+pub mod error;
+pub mod rng;
+
+pub use addr::{LineId, PAddr, WORDS_PER_LINE};
+pub use api::{PersistentTm, TmThread, TxnBody, TxnOps, TxnReport};
+pub use breakdown::{BreakdownRecorder, BreakdownSnapshot, CompletionPath, HwTxnOutcome};
+pub use clock::{Clock, Timestamp};
+pub use error::{SetupError, TxAbort};
+pub use rng::SplitMix64;

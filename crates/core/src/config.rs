@@ -1,0 +1,174 @@
+//! Configuration of the Crafty engine.
+
+/// Which of the paper's Crafty configurations to run.
+///
+/// Besides full Crafty, the evaluation (Section 7.1) uses two ablation
+/// variants that are still fully functioning and provide the same
+/// guarantees: `Crafty-NoRedo` commits every updating transaction through
+/// the Validate phase, and `Crafty-NoValidate` restarts the Log phase
+/// whenever the Redo phase's timestamp check fails.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CraftyVariant {
+    /// Full Crafty: Log → Redo → (Validate if Redo fails) → SGL fallback.
+    #[default]
+    Full,
+    /// Skip the Redo phase; always use Validate after the Log phase.
+    NoRedo,
+    /// Skip the Validate phase; a failed Redo restarts the Log phase.
+    NoValidate,
+}
+
+impl CraftyVariant {
+    /// The engine name used in the paper's figure legends.
+    pub const fn engine_name(self) -> &'static str {
+        match self {
+            CraftyVariant::Full => "Crafty",
+            CraftyVariant::NoRedo => "Crafty-NoRedo",
+            CraftyVariant::NoValidate => "Crafty-NoValidate",
+        }
+    }
+}
+
+/// Whether Crafty itself provides thread atomicity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ThreadingMode {
+    /// Thread-safe mode (the paper's focus): persistent transactions get
+    /// all ACID properties from Crafty itself.
+    #[default]
+    ThreadSafe,
+    /// Thread-unsafe mode: some other mechanism (locks) already provides
+    /// atomicity, so Crafty only provides failure atomicity / durability.
+    /// The Redo phase runs unconditionally and Validate is never needed
+    /// (Section 4.4, Figure 4).
+    ThreadUnsafe,
+}
+
+/// Tuning parameters for a [`crate::Crafty`] engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CraftyConfig {
+    /// Which Crafty configuration to run.
+    pub variant: CraftyVariant,
+    /// Whether Crafty provides thread atomicity or only durability.
+    pub mode: ThreadingMode,
+    /// How many times a persistent transaction restarts its phases before
+    /// falling back to the single global lock.
+    pub max_phase_restarts: u32,
+    /// How many times an individual hardware transaction is retried within
+    /// one phase attempt before the attempt counts as failed.
+    pub htm_retries_per_phase: u32,
+    /// Capacity, in entries, of each thread's circular persistent undo log.
+    /// Each entry occupies two 64-bit words. Must hold at least two
+    /// maximal transactions (Section 5.2).
+    pub undo_log_entries: u64,
+    /// `MAX_LAG`: the maximum logical-time distance recovery may have to
+    /// roll back (Section 5.2), in clock ticks.
+    pub max_lag: u64,
+    /// Number of worker threads the engine will serve.
+    pub max_threads: usize,
+    /// Size, in words, of the persistent heap served by transactional
+    /// allocation ([`crafty_common::TxnOps::alloc`]).
+    pub heap_words: u64,
+}
+
+impl CraftyConfig {
+    /// Defaults sized for the unit and property tests (small logs, small
+    /// heap, tight lag bound so the lag machinery is exercised).
+    pub fn small_for_tests() -> Self {
+        CraftyConfig {
+            variant: CraftyVariant::Full,
+            mode: ThreadingMode::ThreadSafe,
+            max_phase_restarts: 8,
+            htm_retries_per_phase: 4,
+            undo_log_entries: 256,
+            max_lag: 1 << 20,
+            max_threads: 8,
+            heap_words: 1 << 14,
+        }
+    }
+
+    /// Defaults sized for the benchmark harness.
+    pub fn benchmark(max_threads: usize) -> Self {
+        CraftyConfig {
+            variant: CraftyVariant::Full,
+            mode: ThreadingMode::ThreadSafe,
+            max_phase_restarts: 8,
+            htm_retries_per_phase: 4,
+            undo_log_entries: 1 << 14,
+            max_lag: 1 << 30,
+            max_threads,
+            heap_words: 1 << 22,
+        }
+    }
+
+    /// Sets the variant (builder style).
+    pub fn with_variant(mut self, variant: CraftyVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the threading mode (builder style).
+    pub fn with_mode(mut self, mode: ThreadingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the per-thread undo-log capacity in entries (builder style).
+    pub fn with_undo_log_entries(mut self, entries: u64) -> Self {
+        self.undo_log_entries = entries;
+        self
+    }
+
+    /// Sets the persistent heap size in words (builder style).
+    pub fn with_heap_words(mut self, words: u64) -> Self {
+        self.heap_words = words;
+        self
+    }
+
+    /// Sets the number of worker threads (builder style).
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
+}
+
+impl Default for CraftyConfig {
+    fn default() -> Self {
+        CraftyConfig::benchmark(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_match_paper_legends() {
+        assert_eq!(CraftyVariant::Full.engine_name(), "Crafty");
+        assert_eq!(CraftyVariant::NoRedo.engine_name(), "Crafty-NoRedo");
+        assert_eq!(CraftyVariant::NoValidate.engine_name(), "Crafty-NoValidate");
+        assert_eq!(CraftyVariant::default(), CraftyVariant::Full);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = CraftyConfig::small_for_tests()
+            .with_variant(CraftyVariant::NoRedo)
+            .with_mode(ThreadingMode::ThreadUnsafe)
+            .with_undo_log_entries(64)
+            .with_heap_words(1024)
+            .with_max_threads(2);
+        assert_eq!(cfg.variant, CraftyVariant::NoRedo);
+        assert_eq!(cfg.mode, ThreadingMode::ThreadUnsafe);
+        assert_eq!(cfg.undo_log_entries, 64);
+        assert_eq!(cfg.heap_words, 1024);
+        assert_eq!(cfg.max_threads, 2);
+    }
+
+    #[test]
+    fn default_is_thread_safe_full() {
+        let cfg = CraftyConfig::default();
+        assert_eq!(cfg.variant, CraftyVariant::Full);
+        assert_eq!(cfg.mode, ThreadingMode::ThreadSafe);
+        assert!(cfg.max_phase_restarts > 0);
+    }
+}

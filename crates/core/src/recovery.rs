@@ -1,0 +1,471 @@
+//! The recovery observer (Section 5).
+//!
+//! After a crash, [`recover`] restores the persistent image to a state
+//! corresponding to a prefix of the committed-transaction order:
+//!
+//! 1. Read the persistent log directory to find every thread's circular
+//!    undo log.
+//! 2. Parse each log into *fully persisted sequences* — runs of persisted
+//!    `<addr, oldValue>` entries concluded by a persisted LOGGED/COMMITTED
+//!    marker and preceded by a persisted marker (or the start of a
+//!    never-wrapped log). Wraparound parity bits distinguish the current
+//!    lap from stale entries, and per-word parity detects torn entries
+//!    (Section 5.2).
+//! 3. Roll back the *latest* sequence of every thread (its writes may have
+//!    only partially persisted because Crafty flushes without draining),
+//!    plus — to reach a globally consistent cut — every sequence whose
+//!    timestamp is at or after the earliest timestamp being rolled back.
+//!    Rollback applies old values in reverse timestamp order, entries in
+//!    reverse order within a sequence (Section 5.1).
+//! 4. Zero the log regions so the restarted program begins with clean logs.
+//!
+//! The paper's artifact implements the logging needed for recovery but not
+//! recovery itself ("we have not implemented the actual recovery logic,
+//! leaving it and its evaluation to future work", Section 6); this module
+//! implements it so the crash-injection tests can close the loop.
+
+use std::error::Error;
+use std::fmt;
+
+use crafty_common::{PAddr, Timestamp};
+use crafty_pmem::PersistentImage;
+
+use crate::undo_log::{decode, Entry, LogDirectory, LogGeometry, SlotState};
+
+/// A fully persisted sequence reconstructed from a thread's log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Sequence {
+    /// The sequence timestamp (LOGGED time, overwritten by COMMITTED time).
+    pub ts: Timestamp,
+    /// Undo entries in append (program) order.
+    pub entries: Vec<(PAddr, u64)>,
+}
+
+/// Statistics describing what recovery did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryReport {
+    /// Number of per-thread logs scanned.
+    pub threads_scanned: usize,
+    /// Fully persisted sequences found across all logs.
+    pub sequences_found: usize,
+    /// Sequences rolled back (per-thread latest plus the timestamp cut).
+    pub sequences_rolled_back: usize,
+    /// Individual `<addr, oldValue>` entries applied during rollback.
+    pub entries_rolled_back: usize,
+    /// The timestamp cut: every sequence at or after it was rolled back.
+    pub cutoff_ts: Option<Timestamp>,
+}
+
+/// Why recovery could not run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecoveryError {
+    /// No log directory was found at the given address — either the crash
+    /// predates engine construction or the address is wrong.
+    MissingDirectory {
+        /// The address that was probed.
+        at: PAddr,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::MissingDirectory { at } => {
+                write!(f, "no persisted log directory found at {at}")
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {}
+
+/// Parses one thread's circular log from a crashed image into its fully
+/// persisted sequences, oldest first.
+pub fn parse_sequences(image: &PersistentImage, geometry: &LogGeometry) -> Vec<Sequence> {
+    let capacity = geometry.capacity;
+    if capacity == 0 {
+        return Vec::new();
+    }
+    let states: Vec<SlotState> = (0..capacity).map(|s| geometry.read_slot(image, s)).collect();
+
+    // Current-lap parity: the parity of the first fully persisted slot.
+    let Some(current_parity) = states.iter().find_map(|s| match s {
+        SlotState::Valid { parity, .. } => Some(*parity),
+        _ => None,
+    }) else {
+        return Vec::new();
+    };
+
+    // The append head: the first slot that is absent or carries the other
+    // lap's parity. Slots at and after it (wrapping) were appended before
+    // the slots preceding it.
+    let head = (0..capacity)
+        .find(|&i| match states[i as usize] {
+            SlotState::Absent => true,
+            SlotState::Torn => false,
+            SlotState::Valid { parity, .. } => parity != current_parity,
+        })
+        .unwrap_or(capacity);
+
+    let order: Vec<u64> = (head..capacity).chain(0..head).collect();
+
+    let mut sequences = Vec::new();
+    let mut pending: Vec<(PAddr, u64)> = Vec::new();
+    let mut group_broken = false;
+    // Whether the entries accumulated so far are preceded by a persisted
+    // marker (or by virgin log space). The oldest visible group after a
+    // wraparound lost its predecessor, so it starts out unanchored.
+    let mut anchored = false;
+    for &slot in &order {
+        match states[slot as usize] {
+            SlotState::Absent => {
+                pending.clear();
+                group_broken = false;
+                anchored = true;
+            }
+            SlotState::Torn => {
+                group_broken = true;
+            }
+            SlotState::Valid { entry, .. } => match entry {
+                Entry::Data { addr, old_value } => pending.push((addr, old_value)),
+                Entry::Marker { ts, .. } => {
+                    if anchored && !group_broken {
+                        sequences.push(Sequence {
+                            ts,
+                            entries: std::mem::take(&mut pending),
+                        });
+                    } else {
+                        pending.clear();
+                    }
+                    group_broken = false;
+                    anchored = true;
+                }
+            },
+        }
+    }
+    sequences
+}
+
+/// Runs the recovery observer over a crashed image. `directory_addr` is the
+/// address the engine's [`crate::Crafty::directory_addr`] reported (the
+/// first persistent allocation the engine made).
+///
+/// # Errors
+///
+/// Returns [`RecoveryError::MissingDirectory`] if no directory is persisted
+/// at `directory_addr`.
+pub fn recover(
+    image: &mut PersistentImage,
+    directory_addr: PAddr,
+) -> Result<RecoveryReport, RecoveryError> {
+    let directory = LogDirectory::load(image, directory_addr).ok_or(
+        RecoveryError::MissingDirectory {
+            at: directory_addr,
+        },
+    )?;
+
+    let per_thread: Vec<Vec<Sequence>> = directory
+        .logs
+        .iter()
+        .map(|g| parse_sequences(image, g))
+        .collect();
+    let sequences_found = per_thread.iter().map(Vec::len).sum();
+
+    // The timestamp cut: the earliest timestamp among each thread's latest
+    // sequence. Everything at or after it is rolled back.
+    let cutoff = per_thread
+        .iter()
+        .filter_map(|seqs| seqs.last().map(|s| s.ts))
+        .min();
+
+    let mut report = RecoveryReport {
+        threads_scanned: directory.logs.len(),
+        sequences_found,
+        sequences_rolled_back: 0,
+        entries_rolled_back: 0,
+        cutoff_ts: cutoff,
+    };
+
+    if let Some(cutoff) = cutoff {
+        let mut to_roll_back: Vec<&Sequence> = per_thread
+            .iter()
+            .flatten()
+            .filter(|s| s.ts >= cutoff)
+            .collect();
+        // Reverse timestamp order: newest first (Section 5.1).
+        to_roll_back.sort_by(|a, b| b.ts.cmp(&a.ts));
+        for seq in to_roll_back {
+            for &(addr, old_value) in seq.entries.iter().rev() {
+                image.write(addr, old_value);
+                report.entries_rolled_back += 1;
+            }
+            report.sequences_rolled_back += 1;
+        }
+    }
+
+    // Start the next run with clean logs so stale entries cannot be
+    // confused with new ones after the clock restarts.
+    for g in &directory.logs {
+        for w in 0..g.words() {
+            image.write(g.start.add(w), 0);
+        }
+    }
+
+    Ok(report)
+}
+
+/// Convenience wrapper: checks whether the image still decodes every log
+/// slot as absent (i.e. [`recover`] has zeroed the logs).
+pub fn logs_are_clean(image: &PersistentImage, directory_addr: PAddr) -> bool {
+    let Some(directory) = LogDirectory::load(image, directory_addr) else {
+        return false;
+    };
+    directory.logs.iter().all(|g| {
+        (0..g.capacity).all(|s| matches!(g.read_slot(image, s), SlotState::Absent))
+    })
+}
+
+/// Decodes a raw slot (two words) — re-exported for diagnostic tools.
+pub fn decode_slot(meta: u64, value: u64) -> SlotState {
+    decode(meta, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::undo_log::{LogGeometry, MarkerKind, UndoLog};
+    use crafty_common::BreakdownRecorder;
+    use crafty_htm::{HtmConfig, HtmRuntime};
+    use crafty_pmem::{MemorySpace, PmemConfig};
+    use std::sync::Arc;
+
+    struct Fixture {
+        mem: Arc<MemorySpace>,
+        htm: HtmRuntime,
+        logs: Vec<UndoLog>,
+        dir_addr: PAddr,
+    }
+
+    fn fixture(threads: usize, capacity: u64) -> Fixture {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let htm = HtmRuntime::new(
+            Arc::clone(&mem),
+            HtmConfig::skylake(),
+            Arc::new(BreakdownRecorder::new()),
+        );
+        let dir_addr = mem.reserve_persistent(LogDirectory::words_needed(threads));
+        let mut logs = Vec::new();
+        for _ in 0..threads {
+            let start = mem.reserve_persistent(capacity * 2);
+            let head = mem.reserve_volatile(1);
+            logs.push(UndoLog::new(LogGeometry { start, capacity }, head));
+        }
+        LogDirectory {
+            logs: logs.iter().map(|l| l.geometry()).collect(),
+        }
+        .store(&mem, 0, dir_addr);
+        Fixture {
+            mem,
+            htm,
+            logs,
+            dir_addr,
+        }
+    }
+
+    /// Appends a fully persisted sequence non-transactionally and persists
+    /// it, emulating a completed Log (+Redo) for the given writes.
+    fn persist_sequence(f: &Fixture, tid: usize, entries: &[(PAddr, u64)], ts: u64) {
+        let info = f.logs[tid].append_sequence_nontx(
+            &f.htm,
+            entries,
+            MarkerKind::Committed,
+            Timestamp::from_raw(ts),
+        );
+        f.logs[tid].flush_entries(&f.mem, 0, info.first_abs, info.marker_abs);
+        f.mem.drain(0);
+    }
+
+    #[test]
+    fn empty_logs_yield_no_sequences_and_no_rollback() {
+        let f = fixture(2, 16);
+        let mut image = f.mem.crash();
+        let report = recover(&mut image, f.dir_addr).expect("recover");
+        assert_eq!(report.threads_scanned, 2);
+        assert_eq!(report.sequences_found, 0);
+        assert_eq!(report.sequences_rolled_back, 0);
+        assert_eq!(report.cutoff_ts, None);
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        let f = fixture(1, 16);
+        let mut image = f.mem.crash();
+        let err = recover(&mut image, PAddr::new(4096)).unwrap_err();
+        assert!(matches!(err, RecoveryError::MissingDirectory { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn parse_finds_sequences_in_append_order() {
+        let f = fixture(1, 16);
+        let a = PAddr::new(2048);
+        persist_sequence(&f, 0, &[(a, 1), (a.add(1), 2)], 5);
+        persist_sequence(&f, 0, &[(a, 3)], 9);
+        let image = f.mem.crash();
+        let seqs = parse_sequences(&image, &f.logs[0].geometry());
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].ts.raw(), 5);
+        assert_eq!(seqs[0].entries, vec![(a, 1), (a.add(1), 2)]);
+        assert_eq!(seqs[1].ts.raw(), 9);
+    }
+
+    #[test]
+    fn latest_sequence_of_each_thread_is_rolled_back() {
+        let f = fixture(1, 16);
+        let x = PAddr::new(2048);
+        // Transaction 1: x: 0 -> 10 (old value 0 logged), fully persisted.
+        persist_sequence(&f, 0, &[(x, 0)], 3);
+        f.mem.write(x, 10);
+        f.mem.persist(0, x);
+        // Transaction 2: x: 10 -> 20 (old value 10 logged); its data write
+        // only partially persisted (never flushed).
+        persist_sequence(&f, 0, &[(x, 10)], 7);
+        f.mem.write(x, 20);
+        // no flush of x — emulates the flush-without-drain window
+        let mut image = f.mem.crash();
+        assert_eq!(image.read(x), 10);
+        let report = recover(&mut image, f.dir_addr).expect("recover");
+        // The latest sequence (ts 7) is rolled back: x returns to 10, the
+        // state after transaction 1 — a consistent prefix.
+        assert_eq!(image.read(x), 10);
+        assert_eq!(report.sequences_rolled_back, 1);
+        assert_eq!(report.cutoff_ts, Some(Timestamp::from_raw(7)));
+        assert!(logs_are_clean(&image, f.dir_addr));
+    }
+
+    #[test]
+    fn timestamp_cut_rolls_back_other_threads_later_sequences() {
+        let f = fixture(2, 16);
+        let x = PAddr::new(2048);
+        let y = PAddr::new(2056);
+        // Thread 0 commits at ts 4 (x: 0 -> 1, persisted).
+        persist_sequence(&f, 0, &[(x, 0)], 4);
+        f.mem.write(x, 1);
+        f.mem.persist(0, x);
+        // Thread 1 commits at ts 6 (y: 0 -> 2, persisted).
+        persist_sequence(&f, 1, &[(y, 0)], 6);
+        f.mem.write(y, 2);
+        f.mem.persist(0, y);
+        let mut image = f.mem.crash();
+        let report = recover(&mut image, f.dir_addr).expect("recover");
+        // Cut = min(4, 6) = 4: both sequences are rolled back.
+        assert_eq!(report.cutoff_ts, Some(Timestamp::from_raw(4)));
+        assert_eq!(report.sequences_rolled_back, 2);
+        assert_eq!(image.read(x), 0);
+        assert_eq!(image.read(y), 0);
+    }
+
+    #[test]
+    fn earlier_sequences_below_the_cut_survive() {
+        let f = fixture(2, 16);
+        let x = PAddr::new(2048);
+        let y = PAddr::new(2056);
+        // Thread 0: two committed transactions on x.
+        persist_sequence(&f, 0, &[(x, 0)], 2);
+        f.mem.write(x, 1);
+        f.mem.persist(0, x);
+        persist_sequence(&f, 0, &[(x, 1)], 8);
+        f.mem.write(x, 2);
+        f.mem.persist(0, x);
+        // Thread 1: one committed transaction on y at ts 5.
+        persist_sequence(&f, 1, &[(y, 0)], 5);
+        f.mem.write(y, 7);
+        f.mem.persist(0, y);
+        let mut image = f.mem.crash();
+        let report = recover(&mut image, f.dir_addr).expect("recover");
+        // Cut = min(8, 5) = 5: thread 0's ts-8 and thread 1's ts-5 roll
+        // back; thread 0's ts-2 survives.
+        assert_eq!(report.cutoff_ts, Some(Timestamp::from_raw(5)));
+        assert_eq!(report.sequences_rolled_back, 2);
+        assert_eq!(image.read(x), 1, "transaction at ts 2 must survive");
+        assert_eq!(image.read(y), 0);
+    }
+
+    #[test]
+    fn torn_marker_invalidates_only_its_own_sequence() {
+        let f = fixture(1, 16);
+        let x = PAddr::new(2048);
+        persist_sequence(&f, 0, &[(x, 0)], 3);
+        f.mem.write(x, 1);
+        f.mem.persist(0, x);
+        // Handcraft a second sequence whose marker is torn: write the data
+        // entry and only the meta word of the marker.
+        let g = f.logs[0].geometry();
+        let data_slot = g.slot_addr(2);
+        let marker_slot = g.slot_addr(3);
+        // Data entry for x with old value 1, parity 0, encoded by the crate.
+        let info = f.logs[0].append_sequence_nontx(
+            &f.htm,
+            &[(x, 1)],
+            MarkerKind::Logged,
+            Timestamp::from_raw(9),
+        );
+        assert_eq!(info.marker_abs, 3);
+        f.logs[0].flush_entries(&f.mem, 0, info.first_abs, info.marker_abs);
+        f.mem.drain(0);
+        let mut image = f.mem.crash();
+        // Tear the marker: flip its value word's parity bit so the two
+        // words disagree.
+        let torn_value = image.read(marker_slot.add(1)) ^ 1;
+        image.write(marker_slot.add(1), torn_value);
+        assert!(matches!(
+            decode_slot(image.read(marker_slot), image.read(marker_slot.add(1))),
+            SlotState::Torn
+        ));
+        assert!(matches!(
+            decode_slot(image.read(data_slot), image.read(data_slot.add(1))),
+            SlotState::Valid { .. }
+        ));
+        let report = recover(&mut image, f.dir_addr).expect("recover");
+        // Only the first (intact) sequence exists; it is the latest, so it
+        // is rolled back. The torn sequence's data entry must NOT have been
+        // applied on its own.
+        assert_eq!(report.sequences_found, 1);
+        assert_eq!(report.sequences_rolled_back, 1);
+        assert_eq!(image.read(x), 0);
+    }
+
+    #[test]
+    fn wrapped_log_discards_the_unanchored_oldest_group() {
+        let f = fixture(1, 8); // tiny log: 8 entries
+        let x = PAddr::new(2048);
+        // Each sequence takes 3 slots (2 data + marker); three sequences
+        // wrap the 8-entry log.
+        persist_sequence(&f, 0, &[(x, 0), (x.add(1), 0)], 2);
+        persist_sequence(&f, 0, &[(x, 1), (x.add(1), 1)], 4);
+        persist_sequence(&f, 0, &[(x, 2), (x.add(1), 2)], 6);
+        let image = f.mem.crash();
+        let seqs = parse_sequences(&image, &f.logs[0].geometry());
+        // The first sequence was partially overwritten by the third; only
+        // fully intact, anchored sequences may be reported.
+        assert!(seqs.iter().all(|s| s.entries.len() == 2));
+        assert!(seqs.iter().any(|s| s.ts.raw() == 6));
+        assert!(
+            !seqs.iter().any(|s| s.ts.raw() == 2),
+            "the overwritten oldest sequence must not reappear"
+        );
+    }
+
+    #[test]
+    fn recovery_zeroes_logs_for_the_next_run() {
+        let f = fixture(1, 16);
+        let x = PAddr::new(2048);
+        persist_sequence(&f, 0, &[(x, 0)], 2);
+        let mut image = f.mem.crash();
+        recover(&mut image, f.dir_addr).expect("recover");
+        assert!(logs_are_clean(&image, f.dir_addr));
+        // A second recovery over the cleaned image is a no-op.
+        let report = recover(&mut image, f.dir_addr).expect("recover");
+        assert_eq!(report.sequences_found, 0);
+    }
+}

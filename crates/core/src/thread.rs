@@ -1,0 +1,787 @@
+//! Per-thread execution of persistent transactions: the Log, Redo, and
+//! Validate phases, the SGL fallback, and the thread-unsafe mode.
+//!
+//! The control flow follows Figures 3 and 4 of the paper:
+//!
+//! * **Thread-safe mode** — run the Log phase (nondestructive undo logging)
+//!   in a hardware transaction, flush the undo entries, then try to commit
+//!   the program's writes with the Redo phase; if its conservative
+//!   timestamp check fails, re-execute the body under the Validate phase;
+//!   after repeated failures fall back to the single global lock (SGL).
+//! * **Thread-unsafe mode** — the program already provides atomicity, so
+//!   the Redo phase runs unconditionally and Validate is never needed.
+//!
+//! One deliberate implementation difference from the paper is documented on
+//! [`CraftyThread`]: inside SGL sections this implementation buffers the
+//! body's writes instead of re-running chunked hardware transactions. The
+//! guarantee (undo log persisted before any program write reaches
+//! persistent memory) and the cost profile (a single drain per transaction)
+//! are the same; only the mechanism differs, because closure-based bodies
+//! cannot be resumed from a mid-transaction point the way the paper's
+//! compiler-instrumented transactions can.
+
+use std::collections::HashMap;
+
+use crafty_common::{
+    CompletionPath, PAddr, TmThread, TxAbort, TxnBody, TxnOps, TxnReport,
+};
+use crafty_htm::HwTxn;
+use crafty_pmem::{MemorySpace, PmemAllocator};
+
+use crate::alloc_log::AllocLog;
+use crate::config::{CraftyVariant, ThreadingMode};
+use crate::engine::{Crafty, ABORT_REDO_TS_CHECK, ABORT_SGL_HELD, ABORT_VALIDATE_MISMATCH};
+use crate::undo_log::MarkerKind;
+
+/// One program write captured by the Log phase.
+#[derive(Clone, Copy, Debug)]
+struct UndoRecord {
+    addr: PAddr,
+    old_value: u64,
+    persistent: bool,
+}
+
+/// Everything the Redo/Validate phases need about a logged transaction.
+struct LoggedSeq {
+    /// All writes in program order (persistent and volatile).
+    undo: Vec<UndoRecord>,
+    /// Redo log built while rolling back (reverse program order); the Redo
+    /// phase applies it back-to-front.
+    redo: Vec<(PAddr, u64)>,
+    marker_abs: u64,
+    /// The Log phase's hardware-transaction commit version: the point in
+    /// the global commit order at which the undo log entries (and the
+    /// values they captured) became current. The Redo phase's `gLastRedoTS`
+    /// check compares against this (see `redo_phase`).
+    log_commit_version: u64,
+    persistent_writes: u64,
+}
+
+enum LogOutcome {
+    ReadOnly,
+    Aborted,
+    Logged(LoggedSeq),
+}
+
+enum CommitOutcome {
+    Committed,
+    Failed,
+}
+
+/// A worker thread's handle onto a [`Crafty`] engine.
+///
+/// Obtained from [`crafty_common::PersistentTm::register_thread`]; executes
+/// persistent transactions via [`TmThread::execute`].
+pub struct CraftyThread<'c> {
+    engine: &'c Crafty,
+    tid: usize,
+    alloc_log: AllocLog,
+}
+
+impl std::fmt::Debug for CraftyThread<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CraftyThread").field("tid", &self.tid).finish()
+    }
+}
+
+impl<'c> CraftyThread<'c> {
+    pub(crate) fn new(engine: &'c Crafty, tid: usize) -> Self {
+        CraftyThread {
+            engine,
+            tid,
+            alloc_log: AllocLog::new(),
+        }
+    }
+
+    /// The worker thread id this handle belongs to.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    // ------------------------------------------------------------------
+    // Thread-safe mode (Figure 3)
+    // ------------------------------------------------------------------
+
+    fn execute_thread_safe(&mut self, body: &mut TxnBody<'_>) -> TxnReport {
+        let engine = self.engine;
+        let mut hw_attempts = 0u32;
+        let mut restarts = 0u32;
+        loop {
+            if restarts > engine.cfg.max_phase_restarts {
+                return self.execute_sgl(body, &mut hw_attempts);
+            }
+            self.wait_for_sgl_free();
+            let seq = match self.log_phase(body, &mut hw_attempts) {
+                LogOutcome::ReadOnly => {
+                    self.alloc_log.clear();
+                    engine.recorder.record_completion(CompletionPath::ReadOnly);
+                    return TxnReport::new(CompletionPath::ReadOnly, hw_attempts);
+                }
+                LogOutcome::Aborted => {
+                    restarts += 1;
+                    continue;
+                }
+                LogOutcome::Logged(seq) => seq,
+            };
+
+            if engine.cfg.variant != CraftyVariant::NoRedo {
+                if let CommitOutcome::Committed = self.redo_phase(&seq, &mut hw_attempts) {
+                    return self.finish(CompletionPath::Redo, &seq, hw_attempts);
+                }
+                if engine.cfg.variant == CraftyVariant::NoValidate {
+                    restarts += 1;
+                    continue;
+                }
+            }
+            match self.validate_phase(body, &seq, &mut hw_attempts) {
+                CommitOutcome::Committed => {
+                    return self.finish(CompletionPath::Validate, &seq, hw_attempts);
+                }
+                CommitOutcome::Failed => {
+                    restarts += 1;
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, path: CompletionPath, seq: &LoggedSeq, hw_attempts: u32) -> TxnReport {
+        let engine = self.engine;
+        self.alloc_log.apply_frees(&engine.allocator);
+        engine.recorder.record_persistent_writes(seq.persistent_writes);
+        engine.recorder.record_completion(path);
+        TxnReport::new(path, hw_attempts)
+    }
+
+    fn wait_for_sgl_free(&self) {
+        let engine = self.engine;
+        while engine.htm.nontx_read(engine.sgl_addr) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// The Log phase (Algorithm 1): execute the body in a hardware
+    /// transaction, recording each write's old value; roll every write back
+    /// (building the redo log) before committing; append the undo entries
+    /// plus a LOGGED marker to the persistent undo log; after the hardware
+    /// transaction commits, flush the entries (no drain — the next hardware
+    /// transaction's fence semantics complete the persist).
+    fn log_phase(&mut self, body: &mut TxnBody<'_>, hw_attempts: &mut u32) -> LogOutcome {
+        let engine = self.engine;
+        let undo_log = engine.threads[self.tid].undo_log;
+        for _ in 0..=engine.cfg.htm_retries_per_phase {
+            *hw_attempts += 1;
+            // Allocations recorded by a previous failed attempt would leak;
+            // hand them back before re-executing the body.
+            self.alloc_log.release_allocations(&engine.allocator);
+            let mut txn = engine.htm.begin(self.tid);
+            match txn.read(engine.sgl_addr) {
+                Ok(0) => {}
+                Ok(_) => {
+                    txn.abort_explicit(ABORT_SGL_HELD);
+                    drop(txn);
+                    self.wait_for_sgl_free();
+                    continue;
+                }
+                Err(_) => continue,
+            }
+
+            let undo = {
+                let mut ctx = LogCtx {
+                    txn: &mut txn,
+                    mem: &engine.mem,
+                    allocator: &engine.allocator,
+                    alloc_log: &mut self.alloc_log,
+                    undo: Vec::new(),
+                };
+                if body(&mut ctx).is_err() {
+                    continue;
+                }
+                ctx.undo
+            };
+
+            if undo.is_empty()
+                && self.alloc_log.allocations() == 0
+                && self.alloc_log.deferred_frees() == 0
+            {
+                // Read-only transactions skip logging, persisting, and the
+                // Redo/Validate phases entirely (Section 4.1).
+                match txn.commit() {
+                    Ok(_) => return LogOutcome::ReadOnly,
+                    Err(_) => continue,
+                }
+            }
+
+            // Roll back the writes in reverse order, building the redo log
+            // from the values visible just before each rollback step.
+            let mut redo = Vec::with_capacity(undo.len());
+            let mut rolled_back = true;
+            for rec in undo.iter().rev() {
+                let current = match txn.read(rec.addr) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        rolled_back = false;
+                        break;
+                    }
+                };
+                redo.push((rec.addr, current));
+                if txn.write(rec.addr, rec.old_value).is_err() {
+                    rolled_back = false;
+                    break;
+                }
+            }
+            if !rolled_back {
+                continue;
+            }
+
+            let persistent_entries: Vec<(PAddr, u64)> = undo
+                .iter()
+                .filter(|r| r.persistent)
+                .map(|r| (r.addr, r.old_value))
+                .collect();
+            let log_ts = engine.timestamp();
+            let info = match undo_log.append_sequence(&mut txn, &persistent_entries, log_ts) {
+                Ok(info) => info,
+                Err(_) => continue,
+            };
+            let log_commit_version = match txn.commit() {
+                Ok(wv) => wv,
+                Err(_) => continue,
+            };
+
+            undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
+            engine
+                .recorder
+                .record_flushed_lines(persistent_entries.len() as u64 / 4 + 1);
+            engine.note_sequence(self.tid, log_ts);
+
+            // Section 5.2 housekeeping: this append crossed into the other
+            // half of the circular log, so the thread is about to start
+            // overwriting previous-lap entries. Every other thread must log
+            // a sequence at least as recent as this one before that happens,
+            // so that the recovery cutoff can never fall back onto entries
+            // that get discarded. The MAX_LAG bound is re-established at the
+            // same point.
+            let crossed = undo_log.crosses_half(info.first_abs, persistent_entries.len() as u64 + 1);
+            let lag_exceeded = engine.clock.current().raw()
+                >= engine
+                    .ts_lower_bound
+                    .load(std::sync::atomic::Ordering::Acquire)
+                    .saturating_add(engine.cfg.max_lag);
+            if crossed || lag_exceeded {
+                engine.maintain_ts_lower_bound(self.tid, log_ts.raw());
+            }
+
+            return LogOutcome::Logged(LoggedSeq {
+                persistent_writes: persistent_entries.len() as u64,
+                undo,
+                redo,
+                marker_abs: info.marker_abs,
+                log_commit_version,
+            });
+        }
+        LogOutcome::Aborted
+    }
+
+    /// The Redo phase (Algorithm 2, thread-safe variant): check that no
+    /// other thread committed writes since this transaction's Log phase,
+    /// then perform the logged writes, advance `gLastRedoTS`, and turn the
+    /// LOGGED marker into COMMITTED — all inside one hardware transaction.
+    ///
+    /// The paper's check compares RDTSC values: `gLastRedoTS` holds the
+    /// timestamp of the last committed writer and must still be below this
+    /// transaction's LOGGED timestamp. That is sound on real RTM, where
+    /// conflicting transactions cannot overlap. Under the simulated
+    /// (commit-time-validated) HTM a transaction can publish *after*
+    /// another transaction's Log phase committed while carrying an earlier
+    /// pre-drawn timestamp, so the same comparison is performed on
+    /// hardware-transaction *commit versions* instead, which are assigned
+    /// at the commit point and therefore ordered consistently with
+    /// visibility.
+    fn redo_phase(&mut self, seq: &LoggedSeq, hw_attempts: &mut u32) -> CommitOutcome {
+        let engine = self.engine;
+        let undo_log = engine.threads[self.tid].undo_log;
+        for _ in 0..=engine.cfg.htm_retries_per_phase {
+            *hw_attempts += 1;
+            let mut txn = engine.htm.begin(self.tid);
+            match txn.read(engine.sgl_addr) {
+                Ok(0) => {}
+                Ok(_) => {
+                    txn.abort_explicit(ABORT_SGL_HELD);
+                    return CommitOutcome::Failed;
+                }
+                Err(_) => continue,
+            }
+            let g_last = match txn.read(engine.g_last_redo_ts_addr) {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            if g_last >= seq.log_commit_version {
+                // Conservative conflict check failed: some thread committed
+                // writes after our Log phase. Necessary but not sufficient
+                // for a real conflict — the Validate phase decides.
+                txn.abort_explicit(ABORT_REDO_TS_CHECK);
+                return CommitOutcome::Failed;
+            }
+            let foreign_append = match self.touch_log_head(&mut txn, seq) {
+                Ok(v) => v,
+                Err(()) => continue,
+            };
+            let commit_ts = engine.timestamp();
+            let mut ok = true;
+            for &(addr, value) in seq.redo.iter().rev() {
+                if txn.write(addr, value).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if txn.publish_commit_version(engine.g_last_redo_ts_addr).is_err() {
+                continue;
+            }
+            if undo_log.commit_marker_txn(&mut txn, seq.marker_abs, commit_ts).is_err() {
+                continue;
+            }
+            if self.flush_writes_on_commit(&mut txn, seq).is_err() {
+                continue;
+            }
+            if txn.commit().is_err() {
+                continue;
+            }
+            self.after_commit(foreign_append);
+            engine.note_sequence(self.tid, commit_ts);
+            return CommitOutcome::Committed;
+        }
+        CommitOutcome::Failed
+    }
+
+    /// The Validate phase (Algorithm 3): re-execute the body, checking each
+    /// persistent write against the undo log entry persisted by the Log
+    /// phase; any mismatch means another thread committed conflicting
+    /// writes in between, so the whole transaction restarts from the Log
+    /// phase.
+    fn validate_phase(
+        &mut self,
+        body: &mut TxnBody<'_>,
+        seq: &LoggedSeq,
+        hw_attempts: &mut u32,
+    ) -> CommitOutcome {
+        let engine = self.engine;
+        let undo_log = engine.threads[self.tid].undo_log;
+        let expected: Vec<(PAddr, u64)> = seq
+            .undo
+            .iter()
+            .filter(|r| r.persistent)
+            .map(|r| (r.addr, r.old_value))
+            .collect();
+        for _ in 0..=engine.cfg.htm_retries_per_phase {
+            *hw_attempts += 1;
+            let mut txn = engine.htm.begin(self.tid);
+            match txn.read(engine.sgl_addr) {
+                Ok(0) => {}
+                Ok(_) => {
+                    txn.abort_explicit(ABORT_SGL_HELD);
+                    return CommitOutcome::Failed;
+                }
+                Err(_) => continue,
+            }
+            self.alloc_log.start_replay();
+            let (body_result, consumed, mismatch) = {
+                let mut ctx = ValidateCtx {
+                    txn: &mut txn,
+                    mem: &engine.mem,
+                    expected: &expected,
+                    next: 0,
+                    mismatch: false,
+                    alloc_log: &mut self.alloc_log,
+                };
+                let r = body(&mut ctx);
+                (r, ctx.next, ctx.mismatch)
+            };
+            if mismatch {
+                return CommitOutcome::Failed;
+            }
+            if body_result.is_err() {
+                continue;
+            }
+            if consumed != expected.len() {
+                // Fewer writes than log entries: the control flow diverged,
+                // so the persisted undo log no longer matches (Algorithm 3
+                // line 8 checks the next entry is the LOGGED marker).
+                txn.abort_explicit(ABORT_VALIDATE_MISMATCH);
+                return CommitOutcome::Failed;
+            }
+            let foreign_append = match self.touch_log_head(&mut txn, seq) {
+                Ok(v) => v,
+                Err(()) => continue,
+            };
+            let commit_ts = engine.timestamp();
+            if txn.publish_commit_version(engine.g_last_redo_ts_addr).is_err() {
+                continue;
+            }
+            if undo_log.commit_marker_txn(&mut txn, seq.marker_abs, commit_ts).is_err() {
+                continue;
+            }
+            if self.flush_writes_on_commit(&mut txn, seq).is_err() {
+                continue;
+            }
+            if txn.commit().is_err() {
+                continue;
+            }
+            self.after_commit(foreign_append);
+            engine.note_sequence(self.tid, commit_ts);
+            return CommitOutcome::Committed;
+        }
+        CommitOutcome::Failed
+    }
+
+    /// Reads the thread's own log head inside the committing transaction
+    /// and writes it back unchanged. This (a) detects whether another
+    /// thread appended a refresh sequence to this log since the Log phase
+    /// (Section 5.2 forcing), which means this sequence will no longer be
+    /// the log's latest and its writes must be drained eagerly, and (b)
+    /// orders such refresh appends with this commit so the forcing thread's
+    /// subsequent drain covers the flushes enqueued here.
+    fn touch_log_head(
+        &self,
+        txn: &mut crafty_htm::HwTxn<'_>,
+        seq: &LoggedSeq,
+    ) -> Result<bool, ()> {
+        let engine = self.engine;
+        let head_addr = engine.threads[self.tid].undo_log.head_addr();
+        let head = txn.read(head_addr).map_err(|_| ())?;
+        txn.write(head_addr, head).map_err(|_| ())?;
+        Ok(head != seq.marker_abs + 1)
+    }
+
+    /// Requests CLWBs (no drain) for every persistent address the
+    /// transaction wrote plus its marker entry, enqueued atomically with
+    /// the commit. The next hardware transaction this thread starts
+    /// completes the persist, and recovery always rolls back the thread's
+    /// latest sequence in case these write-backs had not finished
+    /// (Section 4.2).
+    fn flush_writes_on_commit(
+        &self,
+        txn: &mut crafty_htm::HwTxn<'_>,
+        seq: &LoggedSeq,
+    ) -> Result<(), ()> {
+        let engine = self.engine;
+        for rec in &seq.undo {
+            if rec.persistent {
+                txn.flush_on_commit(rec.addr).map_err(|_| ())?;
+            }
+        }
+        let marker_addr = engine.threads[self.tid]
+            .undo_log
+            .geometry()
+            .slot_addr(seq.marker_abs);
+        txn.flush_on_commit(marker_addr).map_err(|_| ())?;
+        Ok(())
+    }
+
+    /// Post-commit handling: if another thread appended to this thread's
+    /// log while the transaction was in flight, this sequence is no longer
+    /// the latest one (the one recovery rolls back), so its writes must be
+    /// made durable immediately.
+    fn after_commit(&self, foreign_append: bool) {
+        if foreign_append {
+            self.engine.mem.drain(self.tid);
+            self.engine.recorder.record_drain();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SGL fallback and thread-unsafe mode (Figure 4)
+    // ------------------------------------------------------------------
+
+    fn execute_sgl(&mut self, body: &mut TxnBody<'_>, hw_attempts: &mut u32) -> TxnReport {
+        let engine = self.engine;
+        let guard = engine.sgl_mutex.lock();
+        engine.htm.nontx_write(engine.sgl_addr, 1);
+        let report = self.run_buffered_durable(body, CompletionPath::Sgl, hw_attempts, true);
+        engine.htm.nontx_write(engine.sgl_addr, 0);
+        drop(guard);
+        report
+    }
+
+    fn execute_thread_unsafe(&mut self, body: &mut TxnBody<'_>) -> TxnReport {
+        let engine = self.engine;
+        let mut hw_attempts = 0u32;
+        match self.log_phase(body, &mut hw_attempts) {
+            LogOutcome::ReadOnly => {
+                self.alloc_log.clear();
+                engine.recorder.record_completion(CompletionPath::ReadOnly);
+                TxnReport::new(CompletionPath::ReadOnly, hw_attempts)
+            }
+            LogOutcome::Logged(seq) => {
+                // Thread-unsafe Redo: no other thread can move gLastRedoTS,
+                // so the phase always succeeds and needs no hardware
+                // transaction (Section 4.4). Ensure the undo entries are
+                // durable before performing the in-place writes.
+                engine.mem.drain(self.tid);
+                engine.recorder.record_drain();
+                let undo_log = engine.threads[self.tid].undo_log;
+                for &(addr, value) in seq.redo.iter().rev() {
+                    engine.htm.nontx_write(addr, value);
+                }
+                for rec in &seq.undo {
+                    if rec.persistent {
+                        engine.mem.clwb(self.tid, rec.addr);
+                    }
+                }
+                let commit_ts = engine.timestamp();
+                undo_log.commit_marker_nontx(&engine.htm, seq.marker_abs, commit_ts);
+                undo_log.flush_marker(&engine.mem, self.tid, seq.marker_abs);
+                // Outside hardware transactions there is no later fence to
+                // piggyback on, so complete the write-backs here.
+                engine.mem.drain(self.tid);
+                engine.recorder.record_drain();
+                engine.note_sequence(self.tid, commit_ts);
+                self.finish(CompletionPath::Redo, &seq, hw_attempts)
+            }
+            LogOutcome::Aborted => {
+                // HTM keeps failing (capacity, spurious aborts): fall back
+                // to the non-speculative durable path.
+                self.run_buffered_durable(body, CompletionPath::Sgl, &mut hw_attempts, false)
+            }
+        }
+    }
+
+    /// Durable execution without hardware transactions: buffer the body's
+    /// writes, persist the undo log (old values) with a single drain, then
+    /// perform and flush the writes. Used inside SGL sections and as the
+    /// final fallback of thread-unsafe mode, where atomicity is already
+    /// guaranteed by the lock / the program.
+    fn run_buffered_durable(
+        &mut self,
+        body: &mut TxnBody<'_>,
+        path: CompletionPath,
+        hw_attempts: &mut u32,
+        bump_global_ts: bool,
+    ) -> TxnReport {
+        let engine = self.engine;
+        let undo_log = engine.threads[self.tid].undo_log;
+        for _ in 0..16 {
+            self.alloc_log.release_allocations(&engine.allocator);
+            let (order, buffer) = {
+                let mut ctx = BufferedCtx {
+                    htm: &engine.htm,
+                    mem: &engine.mem,
+                    allocator: &engine.allocator,
+                    alloc_log: &mut self.alloc_log,
+                    buffer: HashMap::new(),
+                    order: Vec::new(),
+                };
+                if body(&mut ctx).is_err() {
+                    continue;
+                }
+                (ctx.order, ctx.buffer)
+            };
+            if order.is_empty()
+                && self.alloc_log.allocations() == 0
+                && self.alloc_log.deferred_frees() == 0
+            {
+                engine.recorder.record_completion(CompletionPath::ReadOnly);
+                return TxnReport::new(CompletionPath::ReadOnly, *hw_attempts);
+            }
+
+            let persistent_addrs: Vec<PAddr> = order
+                .iter()
+                .copied()
+                .filter(|a| engine.mem.is_persistent(*a))
+                .collect();
+            let entries: Vec<(PAddr, u64)> = persistent_addrs
+                .iter()
+                .map(|a| (*a, engine.htm.nontx_read(*a)))
+                .collect();
+            let log_ts = engine.timestamp();
+            let info =
+                undo_log.append_sequence_nontx(&engine.htm, &entries, MarkerKind::Logged, log_ts);
+            undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
+            engine.mem.drain(self.tid);
+            engine.recorder.record_drain();
+            if undo_log.crosses_half(info.first_abs, entries.len() as u64 + 1) {
+                engine.maintain_ts_lower_bound(self.tid, log_ts.raw());
+            }
+
+            for addr in &order {
+                engine.htm.nontx_write(*addr, buffer[&addr.word()]);
+            }
+            for addr in &persistent_addrs {
+                engine.mem.clwb(self.tid, *addr);
+            }
+            let commit_ts = engine.timestamp();
+            if bump_global_ts {
+                // Publish a fresh commit-order version so that concurrent
+                // threads' Redo checks observe that writes were committed
+                // while the lock was held.
+                let version = engine.htm.nontx_commit_version();
+                engine.htm.nontx_write(engine.g_last_redo_ts_addr, version);
+            }
+            undo_log.commit_marker_nontx(&engine.htm, info.marker_abs, commit_ts);
+            undo_log.flush_marker(&engine.mem, self.tid, info.marker_abs);
+            // Outside hardware transactions there is no later fence to
+            // piggyback on, so complete the write-backs before returning.
+            engine.mem.drain(self.tid);
+            engine.recorder.record_drain();
+            engine.note_sequence(self.tid, commit_ts);
+
+            self.alloc_log.apply_frees(&engine.allocator);
+            engine.recorder.record_persistent_writes(entries.len() as u64);
+            engine.recorder.record_completion(path);
+            return TxnReport::new(path, *hw_attempts);
+        }
+        panic!("transaction body kept aborting outside hardware transactions; bodies must eventually succeed when run in isolation");
+    }
+}
+
+impl TmThread for CraftyThread<'_> {
+    fn execute(&mut self, body: &mut TxnBody<'_>) -> TxnReport {
+        match self.engine.cfg.mode {
+            ThreadingMode::ThreadSafe => self.execute_thread_safe(body),
+            ThreadingMode::ThreadUnsafe => self.execute_thread_unsafe(body),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// TxnOps contexts for the three execution flavours
+// ----------------------------------------------------------------------
+
+/// Log-phase context: performs writes in place (inside the hardware
+/// transaction) while recording old values for the undo log.
+struct LogCtx<'a, 'rt> {
+    txn: &'a mut HwTxn<'rt>,
+    mem: &'a MemorySpace,
+    allocator: &'a PmemAllocator,
+    alloc_log: &'a mut AllocLog,
+    undo: Vec<UndoRecord>,
+}
+
+impl TxnOps for LogCtx<'_, '_> {
+    fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
+        self.txn.read(addr).map_err(|_| TxAbort::hardware())
+    }
+
+    fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort> {
+        let old_value = self.txn.read(addr).map_err(|_| TxAbort::hardware())?;
+        self.undo.push(UndoRecord {
+            addr,
+            old_value,
+            persistent: self.mem.is_persistent(addr),
+        });
+        self.txn.write(addr, value).map_err(|_| TxAbort::hardware())
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
+        let addr = self
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted; increase CraftyConfig::heap_words");
+        self.alloc_log.record_alloc(addr, words);
+        Ok(addr)
+    }
+
+    fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
+        self.alloc_log.record_free(addr, words);
+        Ok(())
+    }
+}
+
+/// Validate-phase context: re-executes the body, checking each persistent
+/// write against the corresponding persisted undo entry (address and old
+/// value) before performing it.
+struct ValidateCtx<'a, 'rt> {
+    txn: &'a mut HwTxn<'rt>,
+    mem: &'a MemorySpace,
+    expected: &'a [(PAddr, u64)],
+    next: usize,
+    mismatch: bool,
+    alloc_log: &'a mut AllocLog,
+}
+
+impl ValidateCtx<'_, '_> {
+    fn fail_validation(&mut self) -> TxAbort {
+        self.mismatch = true;
+        self.txn.abort_explicit(ABORT_VALIDATE_MISMATCH);
+        TxAbort::inconsistent()
+    }
+}
+
+impl TxnOps for ValidateCtx<'_, '_> {
+    fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
+        self.txn.read(addr).map_err(|_| TxAbort::hardware())
+    }
+
+    fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort> {
+        if self.mem.is_persistent(addr) {
+            let Some(&(expected_addr, expected_value)) = self.expected.get(self.next) else {
+                return Err(self.fail_validation());
+            };
+            let current = self.txn.read(addr).map_err(|_| TxAbort::hardware())?;
+            if addr != expected_addr || current != expected_value {
+                return Err(self.fail_validation());
+            }
+            self.next += 1;
+        }
+        self.txn.write(addr, value).map_err(|_| TxAbort::hardware())
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
+        match self.alloc_log.replay_alloc(words) {
+            Some(addr) => Ok(addr),
+            None => Err(self.fail_validation()),
+        }
+    }
+
+    fn dealloc(&mut self, _addr: PAddr, _words: u64) -> Result<(), TxAbort> {
+        // The frees were already recorded during the Log phase; performing
+        // them is deferred to commit either way (Section 6).
+        Ok(())
+    }
+}
+
+/// Buffered durable context (SGL sections and the thread-unsafe fallback):
+/// reads come from the buffer or memory, writes stay in the buffer until
+/// the undo log has been persisted.
+struct BufferedCtx<'a> {
+    htm: &'a crafty_htm::HtmRuntime,
+    mem: &'a MemorySpace,
+    allocator: &'a PmemAllocator,
+    alloc_log: &'a mut AllocLog,
+    buffer: HashMap<u64, u64>,
+    order: Vec<PAddr>,
+}
+
+impl TxnOps for BufferedCtx<'_> {
+    fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
+        if let Some(&v) = self.buffer.get(&addr.word()) {
+            return Ok(v);
+        }
+        Ok(self.htm.nontx_read(addr))
+    }
+
+    fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort> {
+        if self.buffer.insert(addr.word(), value).is_none() {
+            self.order.push(addr);
+        }
+        let _ = self.mem; // the buffer is volatile; nothing touches memory here
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
+        let addr = self
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted; increase CraftyConfig::heap_words");
+        self.alloc_log.record_alloc(addr, words);
+        Ok(addr)
+    }
+
+    fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
+        self.alloc_log.record_free(addr, words);
+        Ok(())
+    }
+}

@@ -1,0 +1,677 @@
+//! Per-thread circular persistent undo logs.
+//!
+//! Each thread owns a circular log in persistent memory. During the Log
+//! phase the executing hardware transaction appends one `<addr, oldValue>`
+//! entry per persistent write plus a trailing `LOGGED` marker; after the
+//! hardware transaction commits, the entries are flushed (CLWB without
+//! drain — the next hardware transaction's fence semantics complete the
+//! persist). The Redo or Validate phase later overwrites the marker with
+//! `COMMITTED` and the commit timestamp (the paper's merged
+//! LOGGED/COMMITTED optimization, Section 6).
+//!
+//! # Entry encoding (Section 5.2 + Section 6)
+//!
+//! Every entry is two 64-bit words. Persistence is only guaranteed at word
+//! granularity, so recovery must detect entries whose two words did not
+//! both persist. Following the paper, bits are stolen from the first word:
+//!
+//! ```text
+//! meta word:  [63] marker?   [62] wraparound parity   [61] payload bit 0
+//!             [60] present   [47..0] address word index, or marker kind
+//! value word: [63..1] payload bits 63..1              [0] wraparound parity
+//! ```
+//!
+//! The payload is the old value (data entries) or the timestamp (markers);
+//! its lowest bit lives in the meta word so that the value word's lowest
+//! bit can carry the wraparound parity. An entry is *fully persisted* iff
+//! its present bit is set and both parity bits match the parity expected
+//! for its position in the log (the lap counter's low bit).
+
+use crafty_common::{PAddr, Timestamp, WORDS_PER_LINE};
+use crafty_htm::{AbortCode, HtmRuntime, HwTxn};
+use crafty_pmem::{MemorySpace, PersistentImage};
+
+/// Bit 63 of the meta word: the entry is a LOGGED/COMMITTED marker.
+const MARKER_BIT: u64 = 1 << 63;
+/// Bit 62 of the meta word: wraparound parity.
+const META_PARITY_BIT: u64 = 1 << 62;
+/// Bit 61 of the meta word: bit 0 of the payload.
+const STOLEN_PAYLOAD_BIT: u64 = 1 << 61;
+/// Bit 60 of the meta word: the slot has been written at least once.
+const PRESENT_BIT: u64 = 1 << 60;
+/// Low 48 bits of the meta word: address word index or marker kind.
+const ADDR_MASK: u64 = (1 << 48) - 1;
+/// Bit 0 of the value word: wraparound parity.
+const VALUE_PARITY_BIT: u64 = 1;
+
+/// Whether a marker entry was written by the Log phase or overwritten at
+/// commit time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MarkerKind {
+    /// The sequence's undo entries are complete and persisted; its writes
+    /// may or may not have been performed.
+    Logged,
+    /// The sequence's writes were committed by a Redo or Validate phase
+    /// (or an SGL section) at the recorded timestamp.
+    Committed,
+}
+
+impl MarkerKind {
+    fn code(self) -> u64 {
+        match self {
+            MarkerKind::Logged => 1,
+            MarkerKind::Committed => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(MarkerKind::Logged),
+            2 => Some(MarkerKind::Committed),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded, fully persisted log entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Entry {
+    /// `<addr, oldValue>`: `addr` held `old_value` before the logged
+    /// transaction's write.
+    Data {
+        /// The written-to persistent address.
+        addr: PAddr,
+        /// The value the address held before the write.
+        old_value: u64,
+    },
+    /// A LOGGED or COMMITTED marker concluding a sequence.
+    Marker {
+        /// Whether the sequence was merely logged or also committed.
+        kind: MarkerKind,
+        /// The sequence timestamp (Log time, overwritten with commit time).
+        ts: Timestamp,
+    },
+}
+
+/// The state of one log slot as seen by the recovery observer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlotState {
+    /// The slot has never been written (or only partially persisted its
+    /// present bit); it carries no information.
+    Absent,
+    /// The slot was written but its two words carry mismatched parity —
+    /// the entry did not fully persist.
+    Torn,
+    /// A fully persisted entry with the given lap parity.
+    Valid {
+        /// The wraparound parity both words carry.
+        parity: u64,
+        /// The decoded entry.
+        entry: Entry,
+    },
+}
+
+/// Encodes an entry into its two log words.
+fn encode(entry: Entry, parity: u64) -> (u64, u64) {
+    let parity = parity & 1;
+    let (marker_flag, addr_field, payload) = match entry {
+        Entry::Data { addr, old_value } => {
+            debug_assert!(addr.word() <= ADDR_MASK, "address exceeds 48-bit log field");
+            (0, addr.word(), old_value)
+        }
+        Entry::Marker { kind, ts } => (MARKER_BIT, kind.code(), ts.raw()),
+    };
+    let mut meta = marker_flag | PRESENT_BIT | (addr_field & ADDR_MASK);
+    if parity == 1 {
+        meta |= META_PARITY_BIT;
+    }
+    if payload & 1 == 1 {
+        meta |= STOLEN_PAYLOAD_BIT;
+    }
+    let mut value = payload & !VALUE_PARITY_BIT;
+    if parity == 1 {
+        value |= VALUE_PARITY_BIT;
+    }
+    (meta, value)
+}
+
+/// Decodes two log words into a [`SlotState`].
+pub fn decode(meta: u64, value: u64) -> SlotState {
+    if meta & PRESENT_BIT == 0 {
+        return SlotState::Absent;
+    }
+    let meta_parity = u64::from(meta & META_PARITY_BIT != 0);
+    let value_parity = value & VALUE_PARITY_BIT;
+    if meta_parity != value_parity {
+        return SlotState::Torn;
+    }
+    let payload = (value & !VALUE_PARITY_BIT) | u64::from(meta & STOLEN_PAYLOAD_BIT != 0);
+    let entry = if meta & MARKER_BIT != 0 {
+        match MarkerKind::from_code(meta & ADDR_MASK) {
+            Some(kind) => Entry::Marker {
+                kind,
+                ts: Timestamp::from_raw(payload),
+            },
+            None => return SlotState::Torn,
+        }
+    } else {
+        Entry::Data {
+            addr: PAddr::new(meta & ADDR_MASK),
+            old_value: payload,
+        }
+    };
+    SlotState::Valid {
+        parity: meta_parity,
+        entry,
+    }
+}
+
+/// Where in memory a thread's circular log lives. This is all the recovery
+/// observer needs (it reads it from the persistent log directory).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LogGeometry {
+    /// First word of the log region (2 × `capacity` words long).
+    pub start: PAddr,
+    /// Capacity in entries.
+    pub capacity: u64,
+}
+
+impl LogGeometry {
+    /// Number of persistent words the log occupies.
+    pub fn words(&self) -> u64 {
+        self.capacity * 2
+    }
+
+    /// The address of the meta word of the slot used by absolute entry
+    /// index `abs`.
+    pub fn slot_addr(&self, abs: u64) -> PAddr {
+        self.start.add((abs % self.capacity) * 2)
+    }
+
+    /// The wraparound parity of absolute entry index `abs`.
+    pub fn parity(&self, abs: u64) -> u64 {
+        (abs / self.capacity) & 1
+    }
+
+    /// Reads slot `slot` (0-based position within the region, *not* an
+    /// absolute index) from a crashed image.
+    pub fn read_slot(&self, image: &PersistentImage, slot: u64) -> SlotState {
+        let addr = self.start.add(slot * 2);
+        decode(image.read(addr), image.read(addr.add(1)))
+    }
+}
+
+/// Result of appending a sequence during the Log phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AppendInfo {
+    /// Absolute index of the first data entry (equals the marker index for
+    /// an empty sequence).
+    pub first_abs: u64,
+    /// Absolute index of the trailing marker entry.
+    pub marker_abs: u64,
+    /// Number of data entries (excluding the marker).
+    pub data_entries: u64,
+}
+
+/// A per-thread handle to its circular persistent undo log.
+///
+/// The log head (an absolute, monotonically increasing entry count) lives
+/// in *volatile simulated memory* and is read and written inside hardware
+/// transactions: an aborted Log phase therefore rolls the head back
+/// automatically, and another thread forcing a refresh entry into this log
+/// (Section 5.2) synchronizes with the owner through ordinary HTM conflict
+/// detection.
+#[derive(Clone, Copy, Debug)]
+pub struct UndoLog {
+    geometry: LogGeometry,
+    /// Volatile simulated word holding the absolute entry count.
+    head_addr: PAddr,
+}
+
+impl UndoLog {
+    /// Creates a handle over an already-reserved log region and head word.
+    pub fn new(geometry: LogGeometry, head_addr: PAddr) -> Self {
+        UndoLog { geometry, head_addr }
+    }
+
+    /// The log's placement and capacity.
+    pub fn geometry(&self) -> LogGeometry {
+        self.geometry
+    }
+
+    /// The volatile word holding the absolute entry count.
+    pub fn head_addr(&self) -> PAddr {
+        self.head_addr
+    }
+
+    /// Reads the current absolute head (non-transactionally).
+    pub fn head(&self, mem: &MemorySpace) -> u64 {
+        mem.read(self.head_addr)
+    }
+
+    /// Appends `entries` (in order) followed by a `LOGGED` marker carrying
+    /// `ts`, all inside the given hardware transaction. Nothing becomes
+    /// visible or persistent unless the transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any hardware-transaction abort.
+    pub fn append_sequence(
+        &self,
+        txn: &mut HwTxn<'_>,
+        entries: &[(PAddr, u64)],
+        ts: Timestamp,
+    ) -> Result<AppendInfo, AbortCode> {
+        let head = txn.read(self.head_addr)?;
+        let mut abs = head;
+        for &(addr, old_value) in entries {
+            self.write_entry_txn(txn, abs, Entry::Data { addr, old_value })?;
+            abs += 1;
+        }
+        let marker_abs = abs;
+        self.write_entry_txn(
+            txn,
+            marker_abs,
+            Entry::Marker {
+                kind: MarkerKind::Logged,
+                ts,
+            },
+        )?;
+        txn.write(self.head_addr, marker_abs + 1)?;
+        Ok(AppendInfo {
+            first_abs: head,
+            marker_abs,
+            data_entries: entries.len() as u64,
+        })
+    }
+
+    /// Overwrites the marker at `marker_abs` with a `COMMITTED` entry
+    /// carrying `ts`, inside the given hardware transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any hardware-transaction abort.
+    pub fn commit_marker_txn(
+        &self,
+        txn: &mut HwTxn<'_>,
+        marker_abs: u64,
+        ts: Timestamp,
+    ) -> Result<(), AbortCode> {
+        self.write_entry_txn(
+            txn,
+            marker_abs,
+            Entry::Marker {
+                kind: MarkerKind::Committed,
+                ts,
+            },
+        )
+    }
+
+    /// Non-transactional variants used by the SGL (thread-unsafe) path,
+    /// which runs while holding the global lock: writes go through the HTM
+    /// runtime's non-transactional store so that doomed concurrent
+    /// transactions still detect them.
+    pub fn append_sequence_nontx(
+        &self,
+        htm: &HtmRuntime,
+        entries: &[(PAddr, u64)],
+        kind: MarkerKind,
+        ts: Timestamp,
+    ) -> AppendInfo {
+        let head = htm.nontx_read(self.head_addr);
+        let mut abs = head;
+        for &(addr, old_value) in entries {
+            self.write_entry_nontx(htm, abs, Entry::Data { addr, old_value });
+            abs += 1;
+        }
+        let marker_abs = abs;
+        self.write_entry_nontx(htm, marker_abs, Entry::Marker { kind, ts });
+        htm.nontx_write(self.head_addr, marker_abs + 1);
+        AppendInfo {
+            first_abs: head,
+            marker_abs,
+            data_entries: entries.len() as u64,
+        }
+    }
+
+    /// Overwrites a marker non-transactionally (SGL path).
+    pub fn commit_marker_nontx(&self, htm: &HtmRuntime, marker_abs: u64, ts: Timestamp) {
+        self.write_entry_nontx(
+            htm,
+            marker_abs,
+            Entry::Marker {
+                kind: MarkerKind::Committed,
+                ts,
+            },
+        );
+    }
+
+    /// Issues CLWBs (no drain) for every line holding entries
+    /// `[first_abs, last_abs]`.
+    pub fn flush_entries(&self, mem: &MemorySpace, tid: usize, first_abs: u64, last_abs: u64) {
+        debug_assert!(last_abs >= first_abs);
+        debug_assert!(last_abs - first_abs < self.geometry.capacity);
+        let mut flushed_lines = std::collections::HashSet::new();
+        for abs in first_abs..=last_abs {
+            let addr = self.geometry.slot_addr(abs);
+            for a in [addr, addr.add(1)] {
+                if flushed_lines.insert(a.line()) {
+                    mem.clwb(tid, a);
+                }
+            }
+        }
+    }
+
+    /// Issues a CLWB for the marker entry at `marker_abs`.
+    pub fn flush_marker(&self, mem: &MemorySpace, tid: usize, marker_abs: u64) {
+        mem.clwb(tid, self.geometry.slot_addr(marker_abs));
+    }
+
+    /// True if appending `extra` more entries would cross into the half of
+    /// the circular log that the thread is about to start overwriting
+    /// (the trigger point for the Section 5.2 lag checks).
+    pub fn crosses_half(&self, head: u64, extra: u64) -> bool {
+        let half = self.geometry.capacity / 2;
+        if half == 0 {
+            return false;
+        }
+        (head / half) != ((head + extra) / half)
+    }
+
+    fn write_entry_txn(
+        &self,
+        txn: &mut HwTxn<'_>,
+        abs: u64,
+        entry: Entry,
+    ) -> Result<(), AbortCode> {
+        let (meta, value) = encode(entry, self.geometry.parity(abs));
+        let addr = self.geometry.slot_addr(abs);
+        txn.write(addr, meta)?;
+        txn.write(addr.add(1), value)?;
+        Ok(())
+    }
+
+    fn write_entry_nontx(&self, htm: &HtmRuntime, abs: u64, entry: Entry) {
+        let (meta, value) = encode(entry, self.geometry.parity(abs));
+        let addr = self.geometry.slot_addr(abs);
+        htm.nontx_write(addr, meta);
+        htm.nontx_write(addr.add(1), value);
+    }
+}
+
+/// The persistent log directory: the root object recovery starts from.
+///
+/// Layout (one word each): magic, thread count, per-thread log capacity,
+/// then one log start address per thread. Written and persisted once when
+/// the engine is constructed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogDirectory {
+    /// One geometry per worker thread, indexed by thread id.
+    pub logs: Vec<LogGeometry>,
+}
+
+const DIRECTORY_MAGIC: u64 = 0xC4AF_2020_0D0A_7E57;
+
+impl LogDirectory {
+    /// Number of words a directory for `threads` threads occupies.
+    pub fn words_needed(threads: usize) -> u64 {
+        3 + threads as u64
+    }
+
+    /// Writes and persists the directory at `at`.
+    pub fn store(&self, mem: &MemorySpace, tid: usize, at: PAddr) {
+        assert!(!self.logs.is_empty(), "directory must describe at least one log");
+        let capacity = self.logs[0].capacity;
+        assert!(
+            self.logs.iter().all(|g| g.capacity == capacity),
+            "all per-thread logs must share a capacity"
+        );
+        mem.write(at, DIRECTORY_MAGIC);
+        mem.write(at.add(1), self.logs.len() as u64);
+        mem.write(at.add(2), capacity);
+        for (i, g) in self.logs.iter().enumerate() {
+            mem.write(at.add(3 + i as u64), g.start.word());
+        }
+        let words = Self::words_needed(self.logs.len());
+        for w in 0..words.div_ceil(WORDS_PER_LINE) {
+            mem.clwb(tid, at.add(w * WORDS_PER_LINE));
+        }
+        mem.drain(tid);
+    }
+
+    /// Reads a directory back from a crashed image. Returns `None` if the
+    /// magic number does not match (no Crafty heap at `at`).
+    pub fn load(image: &PersistentImage, at: PAddr) -> Option<LogDirectory> {
+        if image.read(at) != DIRECTORY_MAGIC {
+            return None;
+        }
+        let threads = image.read(at.add(1)) as usize;
+        let capacity = image.read(at.add(2));
+        let logs = (0..threads)
+            .map(|i| LogGeometry {
+                start: PAddr::new(image.read(at.add(3 + i as u64))),
+                capacity,
+            })
+            .collect();
+        Some(LogDirectory { logs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crafty_common::BreakdownRecorder;
+    use crafty_htm::HtmConfig;
+    use crafty_pmem::PmemConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<MemorySpace>, HtmRuntime, UndoLog) {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let htm = HtmRuntime::new(
+            Arc::clone(&mem),
+            HtmConfig::skylake(),
+            Arc::new(BreakdownRecorder::new()),
+        );
+        let capacity = 16;
+        let start = mem.reserve_persistent(capacity * 2);
+        let head = mem.reserve_volatile(1);
+        let log = UndoLog::new(LogGeometry { start, capacity }, head);
+        (mem, htm, log)
+    }
+
+    #[test]
+    fn encode_decode_round_trips_data_entries() {
+        for parity in [0, 1] {
+            for value in [0u64, 1, u64::MAX, 0x8000_0000_0000_0001] {
+                let entry = Entry::Data {
+                    addr: PAddr::new(0x1234),
+                    old_value: value,
+                };
+                let (m, v) = encode(entry, parity);
+                match decode(m, v) {
+                    SlotState::Valid { parity: p, entry: e } => {
+                        assert_eq!(p, parity);
+                        assert_eq!(e, entry);
+                    }
+                    other => panic!("expected valid entry, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_markers() {
+        for kind in [MarkerKind::Logged, MarkerKind::Committed] {
+            let entry = Entry::Marker {
+                kind,
+                ts: Timestamp::from_raw(0xABCD_EF01_2345),
+            };
+            let (m, v) = encode(entry, 1);
+            assert!(matches!(
+                decode(m, v),
+                SlotState::Valid { parity: 1, entry: e } if e == entry
+            ));
+        }
+    }
+
+    #[test]
+    fn zero_words_decode_as_absent() {
+        assert_eq!(decode(0, 0), SlotState::Absent);
+    }
+
+    #[test]
+    fn mismatched_parity_decodes_as_torn() {
+        let (m, v) = encode(
+            Entry::Data {
+                addr: PAddr::new(5),
+                old_value: 7,
+            },
+            1,
+        );
+        // Simulate the value word not having persisted: it still carries
+        // the previous lap's parity (0).
+        let stale_value = v & !1;
+        assert_eq!(decode(m, stale_value), SlotState::Torn);
+    }
+
+    #[test]
+    fn append_inside_transaction_is_invisible_until_commit() {
+        let (mem, htm, log) = setup();
+        let mut txn = htm.begin(0);
+        let info = log
+            .append_sequence(&mut txn, &[(PAddr::new(64), 9)], Timestamp::from_raw(3))
+            .expect("append");
+        assert_eq!(info.data_entries, 1);
+        assert_eq!(log.head(&mem), 0, "head update must be buffered");
+        txn.commit().expect("commit");
+        assert_eq!(log.head(&mem), 2);
+    }
+
+    #[test]
+    fn committed_and_flushed_entries_survive_a_crash() {
+        let (mem, htm, log) = setup();
+        let data = [(PAddr::new(64), 11u64), (PAddr::new(72), 22u64)];
+        let mut txn = htm.begin(0);
+        let info = log
+            .append_sequence(&mut txn, &data, Timestamp::from_raw(5))
+            .expect("append");
+        txn.commit().expect("commit");
+        log.flush_entries(&mem, 0, info.first_abs, info.marker_abs);
+        mem.drain(0);
+        let image = mem.crash();
+        let g = log.geometry();
+        match g.read_slot(&image, 0) {
+            SlotState::Valid { entry: Entry::Data { addr, old_value }, .. } => {
+                assert_eq!(addr, PAddr::new(64));
+                assert_eq!(old_value, 11);
+            }
+            other => panic!("slot 0: {other:?}"),
+        }
+        match g.read_slot(&image, 2) {
+            SlotState::Valid { entry: Entry::Marker { kind, ts }, .. } => {
+                assert_eq!(kind, MarkerKind::Logged);
+                assert_eq!(ts.raw(), 5);
+            }
+            other => panic!("slot 2: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commit_marker_overwrites_logged_entry() {
+        let (mem, htm, log) = setup();
+        let mut txn = htm.begin(0);
+        let info = log
+            .append_sequence(&mut txn, &[(PAddr::new(64), 1)], Timestamp::from_raw(7))
+            .expect("append");
+        txn.commit().expect("commit");
+        let mut txn2 = htm.begin(0);
+        log.commit_marker_txn(&mut txn2, info.marker_abs, Timestamp::from_raw(9))
+            .expect("commit marker");
+        txn2.commit().expect("commit");
+        log.flush_entries(&mem, 0, info.first_abs, info.marker_abs);
+        mem.drain(0);
+        let image = mem.crash();
+        match log.geometry().read_slot(&image, info.marker_abs) {
+            SlotState::Valid { entry: Entry::Marker { kind, ts }, .. } => {
+                assert_eq!(kind, MarkerKind::Committed);
+                assert_eq!(ts.raw(), 9);
+            }
+            other => panic!("marker slot: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wraparound_flips_parity() {
+        let (mem, htm, log) = setup();
+        // Capacity is 16 entries; append 3 sequences of 5+1 entries each to
+        // wrap past the end.
+        let data: Vec<(PAddr, u64)> = (0..5).map(|i| (PAddr::new(64 + i), i)).collect();
+        for round in 0..3 {
+            let mut txn = htm.begin(0);
+            log.append_sequence(&mut txn, &data, Timestamp::from_raw(round + 1))
+                .expect("append");
+            txn.commit().expect("commit");
+        }
+        assert_eq!(log.head(&mem), 18);
+        // Absolute index 16 and 17 are the wrapped entries (parity 1).
+        assert_eq!(log.geometry().parity(15), 0);
+        assert_eq!(log.geometry().parity(16), 1);
+        let mut txn = htm.begin(0);
+        let v0 = txn.read(log.geometry().slot_addr(16)).expect("read");
+        txn.commit().ok();
+        match decode(v0, mem.read(log.geometry().slot_addr(16).add(1))) {
+            SlotState::Valid { parity, .. } => assert_eq!(parity, 1),
+            other => panic!("wrapped slot: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nontx_append_is_immediately_visible() {
+        let (mem, htm, log) = setup();
+        let info = log.append_sequence_nontx(
+            &htm,
+            &[(PAddr::new(64), 4)],
+            MarkerKind::Committed,
+            Timestamp::from_raw(2),
+        );
+        assert_eq!(log.head(&mem), 2);
+        log.commit_marker_nontx(&htm, info.marker_abs, Timestamp::from_raw(3));
+        log.flush_entries(&mem, 0, info.first_abs, info.marker_abs);
+        mem.drain(0);
+        match log.geometry().read_slot(&mem.crash(), 1) {
+            SlotState::Valid { entry: Entry::Marker { kind, ts }, .. } => {
+                assert_eq!(kind, MarkerKind::Committed);
+                assert_eq!(ts.raw(), 3);
+            }
+            other => panic!("marker: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crosses_half_detects_boundary() {
+        let (_, _, log) = setup(); // capacity 16, half 8
+        assert!(!log.crosses_half(0, 7));
+        assert!(log.crosses_half(0, 8));
+        assert!(log.crosses_half(7, 1));
+        assert!(!log.crosses_half(8, 7));
+        assert!(log.crosses_half(15, 1));
+    }
+
+    #[test]
+    fn directory_round_trips_through_a_crash() {
+        let (mem, _, log) = setup();
+        let dir_at = mem.reserve_persistent(LogDirectory::words_needed(2));
+        let other = LogGeometry {
+            start: mem.reserve_persistent(32),
+            capacity: 16,
+        };
+        let dir = LogDirectory {
+            logs: vec![log.geometry(), other],
+        };
+        dir.store(&mem, 0, dir_at);
+        let image = mem.crash();
+        let loaded = LogDirectory::load(&image, dir_at).expect("directory present");
+        assert_eq!(loaded, dir);
+        assert_eq!(LogDirectory::load(&image, PAddr::new(8_000)), None);
+    }
+}

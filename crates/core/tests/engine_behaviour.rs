@@ -1,0 +1,387 @@
+//! End-to-end behaviour of the Crafty engine: phase selection, atomicity,
+//! durability, ablation variants, and crash recovery.
+
+use std::sync::Arc;
+
+use crafty_common::{CompletionPath, PAddr, PersistentTm, TxAbort, TxnOps};
+use crafty_core::{recover, Crafty, CraftyConfig, CraftyVariant, ThreadingMode};
+use crafty_pmem::{CrashModel, MemorySpace, PmemConfig};
+
+fn small_mem() -> Arc<MemorySpace> {
+    Arc::new(MemorySpace::new(PmemConfig::small_for_tests()))
+}
+
+fn transfer(ops: &mut dyn TxnOps, from: PAddr, to: PAddr, amount: u64) -> Result<(), TxAbort> {
+    // Sequential read-modify-write so that `from == to` is a harmless no-op.
+    let a = ops.read(from)?;
+    ops.write(from, a.wrapping_sub(amount))?;
+    let b = ops.read(to)?;
+    ops.write(to, b.wrapping_add(amount))?;
+    Ok(())
+}
+
+#[test]
+fn single_thread_updates_commit_via_redo() {
+    let mem = small_mem();
+    let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+    let cell = mem.reserve_persistent(1);
+    let mut thread = crafty.register_thread(0);
+    for _ in 0..100 {
+        thread.execute(&mut |ops| {
+            let v = ops.read(cell)?;
+            ops.write(cell, v + 1)?;
+            Ok(())
+        });
+    }
+    assert_eq!(mem.read(cell), 100);
+    let b = crafty.breakdown();
+    assert_eq!(b.completions(CompletionPath::Redo), 100);
+    assert_eq!(b.completions(CompletionPath::Validate), 0);
+    assert_eq!(b.completions(CompletionPath::Sgl), 0);
+    assert!((b.writes_per_txn() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn read_only_transactions_skip_redo_and_validate() {
+    let mem = small_mem();
+    let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+    let cell = mem.reserve_persistent(1);
+    mem.write(cell, 42);
+    let mut thread = crafty.register_thread(0);
+    let mut seen = 0;
+    let report = thread.execute(&mut |ops| {
+        seen = ops.read(cell)?;
+        Ok(())
+    });
+    assert_eq!(seen, 42);
+    assert_eq!(report.path, CompletionPath::ReadOnly);
+    assert_eq!(crafty.breakdown().completions(CompletionPath::ReadOnly), 1);
+    assert_eq!(crafty.g_last_redo_ts(), 0, "read-only transactions never advance gLastRedoTS");
+}
+
+#[test]
+fn concurrent_transfers_preserve_the_total_balance() {
+    let mem = small_mem();
+    let crafty = Arc::new(Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests()));
+    let accounts = 16u64;
+    let base = mem.reserve_persistent(accounts);
+    for i in 0..accounts {
+        mem.write(base.add(i), 1000);
+    }
+    let threads = 4;
+    let txns_per_thread = 300;
+    crossbeam::scope(|s| {
+        for tid in 0..threads {
+            let crafty = Arc::clone(&crafty);
+            s.spawn(move |_| {
+                let mut handle = crafty.register_thread(tid);
+                let mut rng = crafty_common::SplitMix64::new(tid as u64 + 1);
+                for _ in 0..txns_per_thread {
+                    let from = base.add(rng.next_below(accounts));
+                    let to = base.add(rng.next_below(accounts));
+                    handle.execute(&mut |ops| transfer(ops, from, to, 1));
+                }
+            });
+        }
+    })
+    .expect("worker threads");
+    crafty.quiesce();
+    let total: u64 = (0..accounts).map(|i| mem.read(base.add(i))).sum();
+    assert_eq!(total, accounts * 1000, "transfers must conserve the total");
+    let b = crafty.breakdown();
+    assert_eq!(
+        b.total_persistent(),
+        (threads * txns_per_thread) as u64,
+        "every transaction must complete exactly once"
+    );
+}
+
+#[test]
+fn contention_exercises_the_validate_path() {
+    let mem = small_mem();
+    let crafty = Arc::new(Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests()));
+    // All threads hammer two disjoint cells: no true data conflicts, but
+    // gLastRedoTS advances constantly, so Redo's conservative check fails
+    // and Validate succeeds (the scenario of Figure 6(c) in the paper).
+    let cells = mem.reserve_persistent(8);
+    let threads = 4;
+    crossbeam::scope(|s| {
+        for tid in 0..threads {
+            let crafty = Arc::clone(&crafty);
+            s.spawn(move |_| {
+                let mut handle = crafty.register_thread(tid);
+                let cell = cells.add(tid as u64);
+                for _ in 0..200 {
+                    handle.execute(&mut |ops| {
+                        let v = ops.read(cell)?;
+                        ops.write(cell, v + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    })
+    .expect("worker threads");
+    for tid in 0..threads {
+        assert_eq!(mem.read(cells.add(tid as u64)), 200);
+    }
+    let b = crafty.breakdown();
+    assert!(
+        b.completions(CompletionPath::Validate) > 0,
+        "expected some transactions to commit through Validate; breakdown: redo={} validate={} sgl={}",
+        b.completions(CompletionPath::Redo),
+        b.completions(CompletionPath::Validate),
+        b.completions(CompletionPath::Sgl)
+    );
+}
+
+#[test]
+fn no_redo_variant_commits_through_validate() {
+    let mem = small_mem();
+    let cfg = CraftyConfig::small_for_tests().with_variant(CraftyVariant::NoRedo);
+    let crafty = Crafty::new(Arc::clone(&mem), cfg);
+    let cell = mem.reserve_persistent(1);
+    let mut thread = crafty.register_thread(0);
+    for _ in 0..50 {
+        thread.execute(&mut |ops| {
+            let v = ops.read(cell)?;
+            ops.write(cell, v + 1)?;
+            Ok(())
+        });
+    }
+    assert_eq!(mem.read(cell), 50);
+    let b = crafty.breakdown();
+    assert_eq!(b.completions(CompletionPath::Redo), 0);
+    assert_eq!(b.completions(CompletionPath::Validate), 50);
+}
+
+#[test]
+fn no_validate_variant_still_completes_under_contention() {
+    let mem = small_mem();
+    let cfg = CraftyConfig::small_for_tests().with_variant(CraftyVariant::NoValidate);
+    let crafty = Arc::new(Crafty::new(Arc::clone(&mem), cfg));
+    let counter = mem.reserve_persistent(1);
+    let threads = 3;
+    let per_thread = 150;
+    crossbeam::scope(|s| {
+        for tid in 0..threads {
+            let crafty = Arc::clone(&crafty);
+            s.spawn(move |_| {
+                let mut handle = crafty.register_thread(tid);
+                for _ in 0..per_thread {
+                    handle.execute(&mut |ops| {
+                        let v = ops.read(counter)?;
+                        ops.write(counter, v + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    })
+    .expect("worker threads");
+    assert_eq!(mem.read(counter), (threads * per_thread) as u64);
+    assert_eq!(crafty.breakdown().completions(CompletionPath::Validate), 0);
+}
+
+#[test]
+fn thread_unsafe_mode_provides_durability_under_external_locking() {
+    let mem = small_mem();
+    let cfg = CraftyConfig::small_for_tests().with_mode(ThreadingMode::ThreadUnsafe);
+    let crafty = Arc::new(Crafty::new(Arc::clone(&mem), cfg));
+    let counter = mem.reserve_persistent(1);
+    let lock = Arc::new(parking_lot::Mutex::new(()));
+    crossbeam::scope(|s| {
+        for tid in 0..3 {
+            let crafty = Arc::clone(&crafty);
+            let lock = Arc::clone(&lock);
+            s.spawn(move |_| {
+                let mut handle = crafty.register_thread(tid);
+                for _ in 0..100 {
+                    // The program's own lock provides thread atomicity.
+                    let _guard = lock.lock();
+                    handle.execute(&mut |ops| {
+                        let v = ops.read(counter)?;
+                        ops.write(counter, v + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    })
+    .expect("worker threads");
+    assert_eq!(mem.read(counter), 300);
+}
+
+#[test]
+fn transactional_allocation_builds_a_persistent_list() {
+    let mem = small_mem();
+    let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+    // head -> node(value, next) -> ...
+    let head = mem.reserve_persistent(1);
+    let mut thread = crafty.register_thread(0);
+    for value in 1..=20u64 {
+        thread.execute(&mut |ops| {
+            let node = ops.alloc(2)?;
+            ops.write(node, value)?;
+            let old_head = ops.read(head)?;
+            ops.write(node.add(1), old_head)?;
+            ops.write(head, node.word())?;
+            Ok(())
+        });
+    }
+    // Walk the list non-transactionally.
+    let mut seen = Vec::new();
+    let mut cursor = mem.read(head);
+    while cursor != 0 {
+        seen.push(mem.read(PAddr::new(cursor)));
+        cursor = mem.read(PAddr::new(cursor).add(1));
+    }
+    assert_eq!(seen, (1..=20u64).rev().collect::<Vec<_>>());
+    assert_eq!(crafty.allocator().live_allocations(), 20);
+    // Free them all in one transaction.
+    thread.execute(&mut |ops| {
+        let mut cursor = ops.read(head)?;
+        while cursor != 0 {
+            let node = PAddr::new(cursor);
+            cursor = ops.read(node.add(1))?;
+            ops.dealloc(node, 2)?;
+        }
+        ops.write(head, 0)?;
+        Ok(())
+    });
+    assert_eq!(crafty.allocator().live_allocations(), 0);
+}
+
+#[test]
+fn committed_and_quiesced_state_survives_a_strict_crash() {
+    let mem = small_mem();
+    let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+    let cell = mem.reserve_persistent(1);
+    let mut thread = crafty.register_thread(0);
+    for _ in 0..10 {
+        thread.execute(&mut |ops| {
+            let v = ops.read(cell)?;
+            ops.write(cell, v + 1)?;
+            Ok(())
+        });
+    }
+    crafty.quiesce();
+    let mut image = mem.crash();
+    let report = recover(&mut image, crafty.directory_addr()).expect("recovery");
+    assert_eq!(image.read(cell), 10, "quiesced state must survive in full");
+    assert_eq!(report.entries_rolled_back, 0, "empty latest sequences roll back nothing");
+}
+
+#[test]
+fn crash_without_quiesce_recovers_a_consistent_prefix() {
+    let mem = small_mem();
+    let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+    let a = mem.reserve_persistent(1);
+    let b = mem.reserve_persistent(1);
+    mem.write(a, 500);
+    mem.write(b, 500);
+    mem.persist(0, a);
+    mem.persist(0, b);
+    let mut thread = crafty.register_thread(0);
+    for _ in 0..50 {
+        thread.execute(&mut |ops| transfer(ops, a, b, 1));
+    }
+    // No quiesce: crash in the middle of steady state.
+    let mut image = mem.crash();
+    recover(&mut image, crafty.directory_addr()).expect("recovery");
+    let total = image.read(a) + image.read(b);
+    assert_eq!(total, 1000, "recovered state must preserve the invariant");
+    assert!(image.read(b) >= 500 && image.read(b) <= 550);
+}
+
+#[test]
+fn persist_now_makes_preceding_transactions_durable() {
+    let mem = small_mem();
+    let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+    let cell = mem.reserve_persistent(1);
+    let mut thread = crafty.register_thread(0);
+    for _ in 0..7 {
+        thread.execute(&mut |ops| {
+            let v = ops.read(cell)?;
+            ops.write(cell, v + 1)?;
+            Ok(())
+        });
+    }
+    crafty.persist_now(0);
+    let mut image = mem.crash();
+    recover(&mut image, crafty.directory_addr()).expect("recovery");
+    assert_eq!(image.read(cell), 7, "on-demand persistence must pin completed work");
+}
+
+#[test]
+fn adversarial_concurrent_crash_preserves_the_bank_invariant() {
+    // Evictions may persist arbitrary dirty lines, and at the crash every
+    // dirty word persists with probability one half. Recovery must still
+    // produce a balanced bank.
+    for seed in 0..5u64 {
+        let cfg = PmemConfig::small_for_tests().with_crash(CrashModel {
+            eviction_probability: 0.02,
+            dirty_word_persist_probability: 0.5,
+            seed,
+        });
+        let mem = Arc::new(MemorySpace::new(cfg));
+        let crafty = Arc::new(Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests()));
+        let accounts = 8u64;
+        let base = mem.reserve_persistent(accounts);
+        for i in 0..accounts {
+            mem.write(base.add(i), 100);
+            mem.persist(0, base.add(i));
+        }
+        let threads = 3;
+        crossbeam::scope(|s| {
+            for tid in 0..threads {
+                let crafty = Arc::clone(&crafty);
+                s.spawn(move |_| {
+                    let mut handle = crafty.register_thread(tid);
+                    let mut rng = crafty_common::SplitMix64::new(seed * 31 + tid as u64);
+                    for _ in 0..120 {
+                        let from = base.add(rng.next_below(accounts));
+                        let to = base.add(rng.next_below(accounts));
+                        handle.execute(&mut |ops| transfer(ops, from, to, 1));
+                    }
+                });
+            }
+        })
+        .expect("worker threads");
+        // Crash *without* quiescing.
+        let mut image = mem.crash();
+        recover(&mut image, crafty.directory_addr()).expect("recovery");
+        let total: u64 = (0..accounts).map(|i| image.read(base.add(i))).sum();
+        assert_eq!(
+            total,
+            accounts * 100,
+            "seed {seed}: recovered bank must be balanced"
+        );
+    }
+}
+
+#[test]
+fn sgl_fallback_is_used_when_htm_capacity_is_exceeded() {
+    use crafty_htm::HtmConfig;
+    let mem = small_mem();
+    let crafty = Crafty::with_htm_config(
+        Arc::clone(&mem),
+        CraftyConfig::small_for_tests(),
+        HtmConfig::tiny(),
+    );
+    let base = mem.reserve_persistent(1024);
+    let mut thread = crafty.register_thread(0);
+    // 200 writes far exceed the tiny HTM's 4-line write capacity, so the
+    // transaction can only complete through the SGL fallback.
+    let report = thread.execute(&mut |ops| {
+        for i in 0..200u64 {
+            ops.write(base.add(i), i)?;
+        }
+        Ok(())
+    });
+    assert_eq!(report.path, CompletionPath::Sgl);
+    for i in 0..200u64 {
+        assert_eq!(mem.read(base.add(i)), i);
+    }
+    assert_eq!(crafty.breakdown().completions(CompletionPath::Sgl), 1);
+}

@@ -1,0 +1,39 @@
+//! A software-simulated restricted transactional memory (RTM).
+//!
+//! Crafty targets commodity Intel TSX. Working TSX hardware cannot be
+//! assumed, so this crate provides a drop-in software simulation of the RTM
+//! interface with the properties Crafty relies on: buffered (contained)
+//! transactional writes, conflict detection, capacity and spurious aborts,
+//! explicit aborts with codes, and SFENCE semantics at transaction
+//! boundaries. See `DESIGN.md` ("Substitutions") for the fidelity argument.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crafty_common::{BreakdownRecorder, PAddr};
+//! use crafty_pmem::{MemorySpace, PmemConfig};
+//! use crafty_htm::{HtmConfig, HtmRuntime};
+//!
+//! let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+//! let htm = HtmRuntime::new(mem.clone(), HtmConfig::skylake(), Arc::new(BreakdownRecorder::new()));
+//!
+//! let slot = mem.reserve_persistent(1);
+//! let mut txn = htm.begin(0);
+//! let v = txn.read(slot)?;
+//! txn.write(slot, v + 1)?;
+//! txn.commit()?;
+//! assert_eq!(mem.read(slot), 1);
+//! # Ok::<(), crafty_htm::AbortCode>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod retry;
+pub mod runtime;
+
+pub use config::HtmConfig;
+pub use retry::{run_with_retries, RetryPolicy, RetryResult};
+pub use runtime::{AbortCode, HtmRuntime, HwTxn};

@@ -1,0 +1,169 @@
+//! Retry helpers for speculative execution with a software fallback.
+//!
+//! Commodity HTM gives no progress guarantee, so every use of it needs a
+//! retry-then-fall-back policy (Section 4.4). Engines implement their own
+//! policies where the structure is complex (Crafty's phase machine); this
+//! module provides the simple "retry N times, then report" loop used by the
+//! Non-durable baseline and by tests.
+
+use crafty_common::TxAbort;
+
+use crate::runtime::{AbortCode, HtmRuntime, HwTxn};
+
+/// How many times to retry a hardware transaction before giving up.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts (including the first) before falling back.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// The default used throughout the reproduction: 8 attempts, matching
+    /// the "retries an aborted transaction several times" behaviour in the
+    /// paper before taking the SGL.
+    pub const fn standard() -> Self {
+        RetryPolicy { max_attempts: 8 }
+    }
+
+    /// A policy with a custom attempt budget.
+    pub const fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
+/// The result of [`run_with_retries`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetryResult {
+    /// The body committed in a hardware transaction after `attempts` tries.
+    Committed {
+        /// Number of hardware transactions attempted (≥ 1).
+        attempts: u32,
+    },
+    /// All attempts aborted; the last abort code is reported and the caller
+    /// must fall back (e.g. to a global lock).
+    ExhaustedRetries {
+        /// Number of hardware transactions attempted.
+        attempts: u32,
+        /// The abort code of the final attempt.
+        last: AbortCode,
+    },
+}
+
+impl RetryResult {
+    /// True if the body committed speculatively.
+    pub fn committed(&self) -> bool {
+        matches!(self, RetryResult::Committed { .. })
+    }
+
+    /// Number of hardware transactions attempted.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RetryResult::Committed { attempts } | RetryResult::ExhaustedRetries { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// Runs `body` inside a hardware transaction, retrying up to the policy's
+/// budget. The body receives the live transaction and should return
+/// `Ok(())` to request a commit or `Err(TxAbort)` to abort explicitly.
+pub fn run_with_retries(
+    htm: &HtmRuntime,
+    tid: usize,
+    policy: RetryPolicy,
+    body: &mut dyn FnMut(&mut HwTxn<'_>) -> Result<(), TxAbort>,
+) -> RetryResult {
+    let mut last = AbortCode::Zero;
+    for attempt in 1..=policy.max_attempts.max(1) {
+        let mut txn = htm.begin(tid);
+        match body(&mut txn) {
+            Ok(()) => match txn.commit() {
+                Ok(_) => return RetryResult::Committed { attempts: attempt },
+                Err(code) => last = code,
+            },
+            Err(_) => {
+                last = txn.abort_explicit(u32::MAX);
+            }
+        }
+    }
+    RetryResult::ExhaustedRetries {
+        attempts: policy.max_attempts.max(1),
+        last,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crafty_common::{BreakdownRecorder, PAddr};
+    use crafty_pmem::{MemorySpace, PmemConfig};
+    use std::sync::Arc;
+
+    fn runtime() -> HtmRuntime {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        HtmRuntime::new(
+            mem,
+            crate::HtmConfig::skylake(),
+            Arc::new(BreakdownRecorder::new()),
+        )
+    }
+
+    #[test]
+    fn body_commits_on_first_attempt() {
+        let rt = runtime();
+        let a = PAddr::new(64);
+        let result = run_with_retries(&rt, 0, RetryPolicy::standard(), &mut |t| {
+            let v = t.read(a).map_err(|_| TxAbort::hardware())?;
+            t.write(a, v + 1).map_err(|_| TxAbort::hardware())?;
+            Ok(())
+        });
+        assert_eq!(result, RetryResult::Committed { attempts: 1 });
+        assert_eq!(rt.mem().read(a), 1);
+    }
+
+    #[test]
+    fn persistent_user_abort_exhausts_retries() {
+        let rt = runtime();
+        let result = run_with_retries(&rt, 0, RetryPolicy::attempts(3), &mut |_t| {
+            Err(TxAbort::user())
+        });
+        assert_eq!(result.attempts(), 3);
+        assert!(!result.committed());
+        match result {
+            RetryResult::ExhaustedRetries { last, .. } => {
+                assert!(matches!(last, AbortCode::Explicit(_)));
+            }
+            RetryResult::Committed { .. } => panic!("must not commit"),
+        }
+    }
+
+    #[test]
+    fn transient_aborts_are_retried() {
+        let rt = runtime();
+        let a = PAddr::new(64);
+        let mut failures_left = 2;
+        let result = run_with_retries(&rt, 0, RetryPolicy::standard(), &mut |t| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                return Err(TxAbort::user());
+            }
+            t.write(a, 9).map_err(|_| TxAbort::hardware())?;
+            Ok(())
+        });
+        assert_eq!(result, RetryResult::Committed { attempts: 3 });
+        assert_eq!(rt.mem().read(a), 9);
+    }
+
+    #[test]
+    fn policy_defaults() {
+        assert_eq!(RetryPolicy::default(), RetryPolicy::standard());
+        assert_eq!(RetryPolicy::attempts(5).max_attempts, 5);
+    }
+}

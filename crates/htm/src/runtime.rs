@@ -1,0 +1,705 @@
+//! The simulated HTM runtime and hardware transactions.
+//!
+//! # What is being simulated
+//!
+//! Crafty relies on four properties of commodity RTM (Section 2.3, 3, 4):
+//!
+//! 1. **Write containment** — a hardware transaction's stores are invisible
+//!    to other threads *and to the persistence domain* until the transaction
+//!    commits. This is the property nondestructive undo logging exploits:
+//!    the Log phase can write and roll back freely, knowing nothing leaked.
+//! 2. **Conflict detection** — concurrently conflicting transactions abort.
+//! 3. **No progress guarantee** — any transaction may abort for capacity or
+//!    spurious reasons, so a software fallback is required.
+//! 4. **Fence semantics** — `xbegin`/`xend` behave like `SFENCE` for the
+//!    issuing thread's outstanding CLWBs.
+//!
+//! [`HtmRuntime`] provides all four with a TL2-style software
+//! implementation: per-cache-line versioned locks, a global version clock,
+//! lazy write buffering in the [`HwTxn`], commit-time lock acquisition and
+//! read-set validation, plus configurable capacity limits and probabilistic
+//! "zero" aborts. It is *not* a high-performance STM — it is a faithful
+//! stand-in for the hardware interface on machines without working TSX.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crafty_common::{BreakdownRecorder, HwTxnOutcome, LineId, PAddr, SplitMix64};
+use crafty_pmem::MemorySpace;
+use parking_lot::Mutex;
+
+use crate::config::HtmConfig;
+
+/// Why a hardware transaction aborted.
+///
+/// Matches the abort classification in the paper's appendix: conflict,
+/// capacity, explicit (`xabort` with a code), and "zero" aborts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortCode {
+    /// Another transaction or a non-transactional store touched a line in
+    /// this transaction's footprint.
+    Conflict,
+    /// The transaction's read or write footprint exceeded HTM capacity.
+    Capacity,
+    /// The program explicitly aborted the transaction with a code
+    /// (Crafty's failed Redo/Validate checks use this).
+    Explicit(u32),
+    /// A spurious abort (interrupt, page fault, ...).
+    Zero,
+}
+
+impl AbortCode {
+    /// The breakdown category this abort falls into.
+    pub fn outcome(self) -> HwTxnOutcome {
+        match self {
+            AbortCode::Conflict => HwTxnOutcome::Conflict,
+            AbortCode::Capacity => HwTxnOutcome::Capacity,
+            AbortCode::Explicit(_) => HwTxnOutcome::Explicit,
+            AbortCode::Zero => HwTxnOutcome::Zero,
+        }
+    }
+}
+
+const LOCK_BIT: u64 = 1 << 63;
+
+/// The shared state of the simulated HTM: one versioned lock per cache line
+/// plus a global version clock.
+pub struct HtmRuntime {
+    mem: Arc<MemorySpace>,
+    cfg: HtmConfig,
+    line_versions: Box<[AtomicU64]>,
+    version_clock: AtomicU64,
+    recorder: Arc<BreakdownRecorder>,
+    zero_rng: Mutex<SplitMix64>,
+}
+
+impl std::fmt::Debug for HtmRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HtmRuntime")
+            .field("lines", &self.line_versions.len())
+            .field("config", &self.cfg)
+            .finish()
+    }
+}
+
+impl HtmRuntime {
+    /// Creates an HTM runtime over `mem`, recording hardware-transaction
+    /// outcomes into `recorder`.
+    pub fn new(mem: Arc<MemorySpace>, cfg: HtmConfig, recorder: Arc<BreakdownRecorder>) -> Self {
+        let lines = mem.config().total_words().div_ceil(crafty_common::WORDS_PER_LINE) as usize;
+        HtmRuntime {
+            mem,
+            cfg,
+            line_versions: (0..lines).map(|_| AtomicU64::new(0)).collect(),
+            version_clock: AtomicU64::new(0),
+            recorder,
+            zero_rng: Mutex::new(SplitMix64::new(cfg.seed ^ 0x51_0D0A)),
+        }
+    }
+
+    /// The memory space transactions operate on.
+    pub fn mem(&self) -> &Arc<MemorySpace> {
+        &self.mem
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &HtmConfig {
+        &self.cfg
+    }
+
+    /// The recorder hardware-transaction outcomes are reported to.
+    pub fn recorder(&self) -> &Arc<BreakdownRecorder> {
+        &self.recorder
+    }
+
+    /// Begins a hardware transaction for thread `tid`.
+    ///
+    /// Like `xbegin`, this has SFENCE semantics for the issuing thread: any
+    /// CLWBs it issued earlier are drained (completing their persistence)
+    /// before the transaction starts.
+    pub fn begin(&self, tid: usize) -> HwTxn<'_> {
+        if self.mem.pending_flushes(tid) > 0 {
+            self.mem.drain(tid);
+            self.recorder.record_drain();
+        }
+        let doomed_after = {
+            let p = self.cfg.zero_abort_probability;
+            if p > 0.0 {
+                let mut rng = self.zero_rng.lock();
+                if rng.chance(p) {
+                    Some(rng.next_below(24) as u32 + 1)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        HwTxn {
+            rt: self,
+            tid,
+            rv: self.version_clock.load(Ordering::Acquire),
+            read_set: HashSet::new(),
+            write_buf: HashMap::new(),
+            write_order: Vec::new(),
+            version_sinks: Vec::new(),
+            flush_requests: Vec::new(),
+            failed: None,
+            finished: false,
+            doomed_after,
+        }
+    }
+
+    /// Draws a fresh commit-order version outside any transaction. The
+    /// returned value is greater than the commit version of every
+    /// transaction that has already committed and smaller than that of any
+    /// transaction that commits later, so it can be published (with
+    /// [`HtmRuntime::nontx_write`]) wherever code running under a global
+    /// lock needs a value ordered consistently with transactional commits.
+    pub fn nontx_commit_version(&self) -> u64 {
+        self.version_clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Performs a non-transactional store that is still visible to the
+    /// conflict-detection machinery (running transactions that have the
+    /// line in their footprint will abort, as they would under RTM's strong
+    /// atomicity). Crafty's SGL acquisition/release and its thread-unsafe
+    /// mode use this for writes performed outside hardware transactions.
+    pub fn nontx_write(&self, addr: PAddr, value: u64) {
+        let line = addr.line();
+        let slot = &self.line_versions[line.index() as usize];
+        // Lock the line, publish, then bump its version.
+        loop {
+            let v = slot.load(Ordering::Acquire);
+            if v & LOCK_BIT != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            if slot
+                .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.mem.write(addr, value);
+        let wv = self.version_clock.fetch_add(1, Ordering::AcqRel) + 1;
+        slot.store(wv, Ordering::Release);
+    }
+
+    /// Reads a word non-transactionally. The read is atomic with respect to
+    /// committing transactions (it never observes a commit's partially
+    /// published write set), mirroring the strong atomicity of real RTM:
+    /// if the containing line is locked by an in-flight commit, the read
+    /// waits for the commit to finish.
+    pub fn nontx_read(&self, addr: PAddr) -> u64 {
+        let slot = &self.line_versions[addr.line().index() as usize];
+        loop {
+            let v1 = slot.load(Ordering::Acquire);
+            if v1 & LOCK_BIT != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let value = self.mem.read(addr);
+            if slot.load(Ordering::Acquire) == v1 {
+                return value;
+            }
+        }
+    }
+
+    fn version_of(&self, line: LineId) -> u64 {
+        self.line_versions[line.index() as usize].load(Ordering::Acquire)
+    }
+}
+
+/// An in-flight simulated hardware transaction.
+///
+/// Obtain one from [`HtmRuntime::begin`]; use [`HwTxn::read`] and
+/// [`HwTxn::write`] for every shared-memory access inside the transaction;
+/// finish with [`HwTxn::commit`] or [`HwTxn::abort_explicit`]. Once a read,
+/// write, or commit reports an [`AbortCode`], the transaction is dead: its
+/// buffered writes are discarded and it must be dropped.
+pub struct HwTxn<'rt> {
+    rt: &'rt HtmRuntime,
+    tid: usize,
+    rv: u64,
+    read_set: HashSet<LineId>,
+    write_buf: HashMap<u64, u64>,
+    write_order: Vec<PAddr>,
+    version_sinks: Vec<PAddr>,
+    flush_requests: Vec<PAddr>,
+    failed: Option<AbortCode>,
+    finished: bool,
+    doomed_after: Option<u32>,
+}
+
+impl std::fmt::Debug for HwTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HwTxn")
+            .field("tid", &self.tid)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_buf.len())
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl<'rt> HwTxn<'rt> {
+    fn fail(&mut self, code: AbortCode) -> AbortCode {
+        if self.failed.is_none() {
+            self.failed = Some(code);
+            self.finished = true;
+            self.rt.recorder.record_hw(code.outcome());
+        }
+        code
+    }
+
+    fn tick_doom(&mut self) -> Option<AbortCode> {
+        if let Some(left) = self.doomed_after.as_mut() {
+            if *left == 0 {
+                return Some(AbortCode::Zero);
+            }
+            *left -= 1;
+        }
+        None
+    }
+
+    /// Number of distinct words written so far.
+    pub fn write_set_len(&self) -> usize {
+        self.write_buf.len()
+    }
+
+    /// The thread id this transaction belongs to.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Transactionally reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort code if the transaction must abort (conflict,
+    /// capacity, or spurious abort). The transaction is dead afterwards.
+    pub fn read(&mut self, addr: PAddr) -> Result<u64, AbortCode> {
+        if let Some(code) = self.failed {
+            return Err(code);
+        }
+        if let Some(code) = self.tick_doom() {
+            return Err(self.fail(code));
+        }
+        if let Some(&v) = self.write_buf.get(&addr.word()) {
+            return Ok(v);
+        }
+        let line = addr.line();
+        let v1 = self.rt.version_of(line);
+        if v1 & LOCK_BIT != 0 || (v1 & !LOCK_BIT) > self.rv {
+            return Err(self.fail(AbortCode::Conflict));
+        }
+        let value = self.rt.mem.read(addr);
+        let v2 = self.rt.version_of(line);
+        if v2 != v1 {
+            return Err(self.fail(AbortCode::Conflict));
+        }
+        self.read_set.insert(line);
+        if self.read_set.len() > self.rt.cfg.read_capacity_lines {
+            return Err(self.fail(AbortCode::Capacity));
+        }
+        Ok(value)
+    }
+
+    /// Transactionally writes `value` to the word at `addr`. The store is
+    /// buffered and becomes visible (and evictable to persistent memory)
+    /// only if the transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort code if the transaction must abort.
+    pub fn write(&mut self, addr: PAddr, value: u64) -> Result<(), AbortCode> {
+        if let Some(code) = self.failed {
+            return Err(code);
+        }
+        if let Some(code) = self.tick_doom() {
+            return Err(self.fail(code));
+        }
+        if self.write_buf.insert(addr.word(), value).is_none() {
+            self.write_order.push(addr);
+        }
+        let mut lines = HashSet::new();
+        if self.write_order.len() > self.rt.cfg.write_capacity_lines {
+            // Cheap pre-filter: only count distinct lines when the word
+            // count alone exceeds the line budget.
+            for a in &self.write_order {
+                lines.insert(a.line());
+            }
+            if lines.len() > self.rt.cfg.write_capacity_lines {
+                return Err(self.fail(AbortCode::Capacity));
+            }
+        }
+        Ok(())
+    }
+
+    /// Explicitly aborts the transaction (the simulated `xabort`), carrying
+    /// `code` back to the fallback handler. All buffered writes are
+    /// discarded.
+    pub fn abort_explicit(&mut self, code: u32) -> AbortCode {
+        self.fail(AbortCode::Explicit(code))
+    }
+
+    /// Arranges for this transaction's *commit version* — the value the
+    /// global version clock is advanced to when the transaction commits —
+    /// to be stored at `addr` as part of the commit. The commit version is
+    /// assigned inside the commit's critical section, so values published
+    /// this way are ordered consistently with the order in which
+    /// transactions' writes become visible (something a timestamp read
+    /// earlier inside the transaction cannot guarantee under a software
+    /// TM). Crafty uses this for `gLastRedoTS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort code if the transaction has already aborted.
+    pub fn publish_commit_version(&mut self, addr: PAddr) -> Result<(), AbortCode> {
+        if let Some(code) = self.failed {
+            return Err(code);
+        }
+        self.version_sinks.push(addr);
+        Ok(())
+    }
+
+    /// Requests a CLWB of the line containing `addr`, to be issued as part
+    /// of a successful commit (after the buffered writes are published,
+    /// while the commit is still atomic with respect to other
+    /// transactions). The flush is *not* drained — exactly the
+    /// flush-without-drain pattern Crafty's Redo/Validate phases use — but
+    /// because it is enqueued atomically with the commit, any other thread
+    /// that later drains this thread's flush queue is guaranteed to cover
+    /// it if it observed the commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort code if the transaction has already aborted.
+    pub fn flush_on_commit(&mut self, addr: PAddr) -> Result<(), AbortCode> {
+        if let Some(code) = self.failed {
+            return Err(code);
+        }
+        self.flush_requests.push(addr);
+        Ok(())
+    }
+
+    /// Attempts to commit. On success all buffered writes are published
+    /// atomically to the memory space, the thread's outstanding flushes
+    /// are drained (SFENCE semantics), and the transaction's commit
+    /// version is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort code if validation fails or the transaction had
+    /// already aborted.
+    pub fn commit(mut self) -> Result<u64, AbortCode> {
+        if let Some(code) = self.failed {
+            return Err(code);
+        }
+        if let Some(code) = self.tick_doom() {
+            return Err(self.fail(code));
+        }
+        // Collect and sort the distinct write lines to lock in a canonical
+        // order (avoids deadlock between concurrent committers).
+        let mut write_lines: Vec<LineId> = {
+            let mut s: HashSet<LineId> = HashSet::new();
+            for a in &self.write_order {
+                s.insert(a.line());
+            }
+            for a in &self.version_sinks {
+                s.insert(a.line());
+            }
+            s.into_iter().collect()
+        };
+        write_lines.sort();
+
+        let mut locked: Vec<LineId> = Vec::with_capacity(write_lines.len());
+        let release = |rt: &HtmRuntime, locked: &[LineId], version: Option<u64>| {
+            for &line in locked {
+                let slot = &rt.line_versions[line.index() as usize];
+                match version {
+                    Some(wv) => slot.store(wv, Ordering::Release),
+                    None => {
+                        let v = slot.load(Ordering::Acquire);
+                        slot.store(v & !LOCK_BIT, Ordering::Release);
+                    }
+                }
+            }
+        };
+
+        for &line in &write_lines {
+            let slot = &self.rt.line_versions[line.index() as usize];
+            let v = slot.load(Ordering::Acquire);
+            let lockable = v & LOCK_BIT == 0 && (v & !LOCK_BIT) <= self.rv;
+            let acquired = lockable
+                && slot
+                    .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+            if !acquired {
+                release(self.rt, &locked, None);
+                return Err(self.fail(AbortCode::Conflict));
+            }
+            locked.push(line);
+        }
+
+        // Validate the read set (lines we only read must not have advanced).
+        for &line in &self.read_set {
+            if locked.contains(&line) {
+                continue;
+            }
+            let v = self.rt.version_of(line);
+            if v & LOCK_BIT != 0 || (v & !LOCK_BIT) > self.rv {
+                release(self.rt, &locked, None);
+                return Err(self.fail(AbortCode::Conflict));
+            }
+        }
+
+        // Assign the commit version and publish buffered writes (and the
+        // commit version itself into any registered sinks).
+        let wv = self.rt.version_clock.fetch_add(1, Ordering::AcqRel) + 1;
+        for addr in &self.write_order {
+            let value = self.write_buf[&addr.word()];
+            self.rt.mem.write(*addr, value);
+        }
+        for addr in &self.version_sinks {
+            self.rt.mem.write(*addr, wv);
+        }
+        // Fence semantics for flushes issued before the transaction (they
+        // were normally already drained at begin), then enqueue the
+        // commit-time flush requests — still inside the critical section so
+        // that the enqueue is atomic with the publication of the writes.
+        if self.rt.mem.pending_flushes(self.tid) > 0 {
+            self.rt.mem.drain(self.tid);
+            self.rt.recorder.record_drain();
+        }
+        for addr in &self.flush_requests {
+            self.rt.mem.clwb(self.tid, *addr);
+        }
+        release(self.rt, &locked, Some(wv));
+
+        self.finished = true;
+        self.rt.recorder.record_hw(HwTxnOutcome::Commit);
+        Ok(wv)
+    }
+}
+
+impl Drop for HwTxn<'_> {
+    fn drop(&mut self) {
+        // A transaction abandoned without commit or explicit abort counts
+        // as an explicit abort: the program chose not to finish it.
+        if !self.finished {
+            self.failed = Some(AbortCode::Explicit(0));
+            self.rt.recorder.record_hw(HwTxnOutcome::Explicit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crafty_pmem::PmemConfig;
+
+    fn runtime(cfg: HtmConfig) -> HtmRuntime {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        HtmRuntime::new(mem, cfg, Arc::new(BreakdownRecorder::new()))
+    }
+
+    #[test]
+    fn committed_writes_become_visible() {
+        let rt = runtime(HtmConfig::skylake());
+        let a = PAddr::new(64);
+        let mut t = rt.begin(0);
+        assert_eq!(t.read(a).unwrap(), 0);
+        t.write(a, 5).unwrap();
+        assert_eq!(t.read(a).unwrap(), 5, "reads must observe own buffered writes");
+        assert_eq!(rt.mem().read(a), 0, "buffered writes must stay invisible");
+        t.commit().unwrap();
+        assert_eq!(rt.mem().read(a), 5);
+        let s = rt.recorder().snapshot();
+        assert_eq!(s.hw(HwTxnOutcome::Commit), 1);
+    }
+
+    #[test]
+    fn aborted_writes_are_discarded() {
+        let rt = runtime(HtmConfig::skylake());
+        let a = PAddr::new(64);
+        let mut t = rt.begin(0);
+        t.write(a, 5).unwrap();
+        let code = t.abort_explicit(3);
+        assert_eq!(code, AbortCode::Explicit(3));
+        drop(t);
+        assert_eq!(rt.mem().read(a), 0);
+        let s = rt.recorder().snapshot();
+        assert_eq!(s.hw(HwTxnOutcome::Explicit), 1);
+        assert_eq!(s.hw(HwTxnOutcome::Commit), 0);
+    }
+
+    #[test]
+    fn conflicting_writer_aborts_reader_at_commit() {
+        let rt = runtime(HtmConfig::skylake());
+        let a = PAddr::new(64);
+        let mut reader = rt.begin(0);
+        assert_eq!(reader.read(a).unwrap(), 0);
+        // Another thread commits a write to the same line in between.
+        let mut writer = rt.begin(1);
+        writer.write(a, 9).unwrap();
+        writer.commit().unwrap();
+        // The reader's commit must now fail validation.
+        let err = reader.commit().unwrap_err();
+        assert_eq!(err, AbortCode::Conflict);
+    }
+
+    #[test]
+    fn reader_aborts_eagerly_after_conflicting_commit() {
+        let rt = runtime(HtmConfig::skylake());
+        let a = PAddr::new(64);
+        let b = PAddr::new(256);
+        let mut t = rt.begin(0);
+        t.read(a).unwrap();
+        let mut other = rt.begin(1);
+        other.write(b, 1).unwrap();
+        other.commit().unwrap();
+        // Line of `b` now has a newer version than t's snapshot.
+        assert_eq!(t.read(b).unwrap_err(), AbortCode::Conflict);
+    }
+
+    #[test]
+    fn write_write_conflicts_abort_one_transaction() {
+        let rt = runtime(HtmConfig::skylake());
+        let a = PAddr::new(64);
+        let mut t1 = rt.begin(0);
+        let mut t2 = rt.begin(1);
+        t1.write(a, 1).unwrap();
+        t2.write(a, 2).unwrap();
+        t1.commit().unwrap();
+        assert_eq!(t2.commit().unwrap_err(), AbortCode::Conflict);
+        assert_eq!(rt.mem().read(a), 1);
+    }
+
+    #[test]
+    fn capacity_abort_when_write_set_exceeds_budget() {
+        let rt = runtime(HtmConfig::tiny());
+        let mut t = rt.begin(0);
+        let mut result = Ok(());
+        for i in 0..64 {
+            result = t.write(PAddr::new(64 + i * 8), i);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err(), AbortCode::Capacity);
+    }
+
+    #[test]
+    fn zero_aborts_are_injected_probabilistically() {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let rt = HtmRuntime::new(
+            mem,
+            HtmConfig::skylake().with_zero_aborts(1.0, 3),
+            Arc::new(BreakdownRecorder::new()),
+        );
+        let mut zero_seen = false;
+        for _ in 0..8 {
+            let mut t = rt.begin(0);
+            let mut failed = None;
+            for i in 0..64 {
+                if let Err(e) = t.write(PAddr::new(64 + i), 1) {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            let outcome = match failed {
+                Some(code) => Err(code),
+                None => t.commit(),
+            };
+            if outcome == Err(AbortCode::Zero) {
+                zero_seen = true;
+            }
+        }
+        assert!(zero_seen, "with probability 1.0 every transaction is doomed");
+    }
+
+    #[test]
+    fn nontx_write_aborts_concurrent_transactions_on_that_line() {
+        let rt = runtime(HtmConfig::skylake());
+        let a = PAddr::new(64);
+        let mut t = rt.begin(0);
+        t.read(a).unwrap();
+        rt.nontx_write(a, 77);
+        assert_eq!(rt.nontx_read(a), 77);
+        assert_eq!(t.commit().unwrap_err(), AbortCode::Conflict);
+    }
+
+    #[test]
+    fn commit_drains_pending_flushes() {
+        let rt = runtime(HtmConfig::skylake());
+        let a = PAddr::new(64);
+        // A previous transaction-ish store, flushed but not drained.
+        rt.mem().write(a, 5);
+        rt.mem().clwb(0, a);
+        assert_eq!(rt.mem().read_persisted(a), 0);
+        let mut t = rt.begin(0); // xbegin has SFENCE semantics
+        assert_eq!(rt.mem().read_persisted(a), 5);
+        t.write(PAddr::new(128), 1).unwrap();
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn abandoned_transaction_counts_as_explicit_abort() {
+        let rt = runtime(HtmConfig::skylake());
+        {
+            let mut t = rt.begin(0);
+            t.write(PAddr::new(64), 1).unwrap();
+            // dropped without commit
+        }
+        let s = rt.recorder().snapshot();
+        assert_eq!(s.hw(HwTxnOutcome::Explicit), 1);
+    }
+
+    #[test]
+    fn failed_transaction_rejects_further_use() {
+        let rt = runtime(HtmConfig::skylake());
+        let mut t = rt.begin(0);
+        t.abort_explicit(1);
+        assert!(t.read(PAddr::new(64)).is_err());
+        assert!(t.write(PAddr::new(64), 1).is_err());
+    }
+
+    #[test]
+    fn concurrent_increments_preserve_atomicity() {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let rt = Arc::new(HtmRuntime::new(
+            Arc::clone(&mem),
+            HtmConfig::skylake(),
+            Arc::new(BreakdownRecorder::new()),
+        ));
+        let counter = PAddr::new(64);
+        let threads = 4;
+        let increments_per_thread = 500;
+        crossbeam::scope(|s| {
+            for tid in 0..threads {
+                let rt = Arc::clone(&rt);
+                s.spawn(move |_| {
+                    for _ in 0..increments_per_thread {
+                        loop {
+                            let mut t = rt.begin(tid);
+                            let ok = (|| {
+                                let v = t.read(counter)?;
+                                t.write(counter, v + 1)?;
+                                Ok::<_, AbortCode>(())
+                            })();
+                            if ok.is_ok() && t.commit().is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("scoped threads");
+        assert_eq!(mem.read(counter), (threads * increments_per_thread) as u64);
+    }
+}

@@ -1,0 +1,206 @@
+//! Configuration of the simulated memory system.
+
+use std::time::Duration;
+
+/// How the write-back latency of the simulated NVM is charged.
+///
+/// The paper's methodology (Section 6) emulates non-volatile memory in DRAM
+/// by busy-waiting 300 ns at each drain operation, i.e. at each SFENCE that
+/// follows one or more CLWBs; the appendix repeats every experiment with
+/// 100 ns. [`LatencyModel::busy_wait_ns`] reproduces that; setting it to 0
+/// disables the wait (useful in unit tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyModel {
+    /// Nanoseconds of busy-waiting charged to each drain operation.
+    pub drain_ns: u64,
+}
+
+impl LatencyModel {
+    /// The paper's default NVM round-trip latency (300 ns per drain).
+    pub const fn nvm_300ns() -> Self {
+        LatencyModel { drain_ns: 300 }
+    }
+
+    /// The appendix's optimistic latency (100 ns per drain), modelling an
+    /// NVM controller whose buffer is inside the persistence domain.
+    pub const fn nvm_100ns() -> Self {
+        LatencyModel { drain_ns: 100 }
+    }
+
+    /// No emulated latency; drains are instantaneous. Used by unit tests
+    /// and by correctness-only runs (crash/recovery fuzzing).
+    pub const fn instant() -> Self {
+        LatencyModel { drain_ns: 0 }
+    }
+
+    /// Returns the drain latency as a [`Duration`].
+    pub const fn drain_duration(&self) -> Duration {
+        Duration::from_nanos(self.drain_ns)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::nvm_300ns()
+    }
+}
+
+/// How aggressively the simulated cache persists data the program did not
+/// ask to persist, and how a crash resolves in-flight state.
+///
+/// Real hardware may write a dirty line back to NVM at any time (cache
+/// eviction), and at a power failure an unflushed line may have persisted
+/// entirely, partially (at word granularity), or not at all. These are the
+/// behaviours undo logging has to defend against, so the simulator makes
+/// them explicit and seedable.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CrashModel {
+    /// Probability that any individual store immediately writes its line
+    /// back to the persistent image (spontaneous eviction).
+    pub eviction_probability: f64,
+    /// Probability, per *word* of a dirty line, that the word's latest
+    /// volatile value has reached the persistent image when a crash is
+    /// taken. Flushed-and-drained lines always persist in full.
+    pub dirty_word_persist_probability: f64,
+    /// Seed for the fault-injection random stream.
+    pub seed: u64,
+}
+
+impl CrashModel {
+    /// A deterministic model in which nothing persists unless explicitly
+    /// flushed and drained. Useful for tests that want exact control.
+    pub const fn strict() -> Self {
+        CrashModel {
+            eviction_probability: 0.0,
+            dirty_word_persist_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// An adversarial model for crash-consistency fuzzing: stores may leak
+    /// to NVM at any time, and dirty words persist with probability ½ at a
+    /// crash.
+    pub const fn adversarial(seed: u64) -> Self {
+        CrashModel {
+            eviction_probability: 0.01,
+            dirty_word_persist_probability: 0.5,
+            seed,
+        }
+    }
+}
+
+impl Default for CrashModel {
+    fn default() -> Self {
+        CrashModel::strict()
+    }
+}
+
+/// Configuration for a [`crate::MemorySpace`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PmemConfig {
+    /// Number of 64-bit words in the persistent region (survives crashes).
+    pub persistent_words: u64,
+    /// Number of 64-bit words in the volatile region (zeroed at a crash).
+    pub volatile_words: u64,
+    /// Maximum number of worker threads that will use the space. Flush
+    /// queues and per-thread counters are sized from this.
+    pub max_threads: usize,
+    /// Latency charged to drain operations.
+    pub latency: LatencyModel,
+    /// Eviction and crash-resolution behaviour.
+    pub crash: CrashModel,
+}
+
+impl PmemConfig {
+    /// A small space with no emulated latency, suitable for unit tests.
+    pub fn small_for_tests() -> Self {
+        PmemConfig {
+            persistent_words: 1 << 16,
+            volatile_words: 1 << 14,
+            max_threads: 8,
+            latency: LatencyModel::instant(),
+            crash: CrashModel::strict(),
+        }
+    }
+
+    /// The benchmark-sized configuration used by the figure harness
+    /// (256 MiB persistent, 32 MiB volatile, 300 ns drains).
+    pub fn benchmark() -> Self {
+        PmemConfig {
+            persistent_words: 1 << 25,
+            volatile_words: 1 << 22,
+            max_threads: 32,
+            latency: LatencyModel::nvm_300ns(),
+            crash: CrashModel::strict(),
+        }
+    }
+
+    /// Sets the latency model (builder style).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the crash model (builder style).
+    pub fn with_crash(mut self, crash: CrashModel) -> Self {
+        self.crash = crash;
+        self
+    }
+
+    /// Sets the maximum number of worker threads (builder style).
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
+
+    /// Total words in the space (persistent + volatile).
+    pub fn total_words(&self) -> u64 {
+        self.persistent_words + self.volatile_words
+    }
+}
+
+impl Default for PmemConfig {
+    fn default() -> Self {
+        PmemConfig::benchmark()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_presets() {
+        assert_eq!(LatencyModel::nvm_300ns().drain_ns, 300);
+        assert_eq!(LatencyModel::nvm_100ns().drain_ns, 100);
+        assert_eq!(LatencyModel::instant().drain_ns, 0);
+        assert_eq!(
+            LatencyModel::nvm_300ns().drain_duration(),
+            Duration::from_nanos(300)
+        );
+        assert_eq!(LatencyModel::default(), LatencyModel::nvm_300ns());
+    }
+
+    #[test]
+    fn crash_presets() {
+        let strict = CrashModel::strict();
+        assert_eq!(strict.eviction_probability, 0.0);
+        assert_eq!(strict.dirty_word_persist_probability, 0.0);
+        let adv = CrashModel::adversarial(7);
+        assert!(adv.eviction_probability > 0.0);
+        assert!(adv.dirty_word_persist_probability > 0.0);
+        assert_eq!(adv.seed, 7);
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = PmemConfig::small_for_tests()
+            .with_latency(LatencyModel::nvm_100ns())
+            .with_crash(CrashModel::adversarial(3))
+            .with_max_threads(4);
+        assert_eq!(cfg.latency.drain_ns, 100);
+        assert_eq!(cfg.crash.seed, 3);
+        assert_eq!(cfg.max_threads, 4);
+        assert_eq!(cfg.total_words(), (1 << 16) + (1 << 14));
+    }
+}

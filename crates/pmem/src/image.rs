@@ -1,0 +1,89 @@
+//! The state a recovery observer sees after a crash.
+
+use crafty_common::PAddr;
+
+/// A snapshot of the persistent region as found after a (simulated) crash.
+///
+/// The recovery observer (implemented in `crafty-core::recovery`) reads log
+/// entries from the image and rolls back incomplete transactions by writing
+/// old values back into it. Once recovery finishes, the image can be booted
+/// into a fresh [`crate::MemorySpace`] to continue execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PersistentImage {
+    words: Vec<u64>,
+}
+
+impl PersistentImage {
+    /// Wraps a raw word array as a persistent image.
+    pub fn from_words(words: Vec<u64>) -> Self {
+        PersistentImage { words }
+    }
+
+    /// Creates an all-zero image of `words` words (a factory-fresh device).
+    pub fn zeroed(words: u64) -> Self {
+        PersistentImage {
+            words: vec![0; words as usize],
+        }
+    }
+
+    /// Number of words in the image.
+    pub fn len_words(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn read(&self, addr: PAddr) -> u64 {
+        self.words[addr.word() as usize]
+    }
+
+    /// Writes `value` at `addr` (used by recovery rollback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn write(&mut self, addr: PAddr, value: u64) {
+        self.words[addr.word() as usize] = value;
+    }
+
+    /// Returns the underlying words.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_image_reads_zero() {
+        let img = PersistentImage::zeroed(128);
+        assert_eq!(img.len_words(), 128);
+        assert_eq!(img.read(PAddr::new(5)), 0);
+    }
+
+    #[test]
+    fn writes_are_visible() {
+        let mut img = PersistentImage::zeroed(16);
+        img.write(PAddr::new(3), 99);
+        assert_eq!(img.read(PAddr::new(3)), 99);
+        assert_eq!(img.as_words()[3], 99);
+    }
+
+    #[test]
+    fn from_words_round_trips() {
+        let img = PersistentImage::from_words(vec![1, 2, 3]);
+        assert_eq!(img.len_words(), 3);
+        assert_eq!(img.read(PAddr::new(2)), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        PersistentImage::zeroed(4).read(PAddr::new(4));
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated byte-addressable persistent memory.
+//!
+//! The Crafty paper evaluates on DRAM-emulated NVM: persistent memory is
+//! ordinary memory, and the round-trip persist latency is emulated by busy
+//! waiting 300 ns at each drain (SFENCE) operation. This crate reproduces
+//! that methodology and adds what the paper's artifact lacks — an actual
+//! crash model — so that recovery (Section 5) can be implemented and tested:
+//!
+//! * [`MemorySpace`] — a word-addressable space with a persistent and a
+//!   volatile region, a cache-like volatile view, CLWB/SFENCE persist
+//!   operations, spontaneous evictions, and latency emulation.
+//! * [`PersistentImage`] — what survives a [`MemorySpace::crash`]; the
+//!   input to the recovery observer.
+//! * [`PmemAllocator`] — a simple allocator over a persistent heap region.
+//!
+//! # Example
+//!
+//! ```
+//! use crafty_common::PAddr;
+//! use crafty_pmem::{MemorySpace, PmemConfig};
+//!
+//! let mem = MemorySpace::new(PmemConfig::small_for_tests());
+//! let slot = mem.reserve_persistent(1);
+//! mem.write(slot, 42);
+//! // Not yet durable: it has not been flushed.
+//! assert_eq!(mem.crash().read(slot), 0);
+//! mem.persist(0, slot);
+//! assert_eq!(mem.crash().read(slot), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod config;
+pub mod image;
+pub mod space;
+
+pub use alloc::PmemAllocator;
+pub use config::{CrashModel, LatencyModel, PmemConfig};
+pub use image::PersistentImage;
+pub use space::{MemorySpace, PmemStats};

@@ -1,0 +1,606 @@
+//! The simulated memory space: a volatile (cache/DRAM) view over a
+//! persistent image, with explicit flush/drain persist operations.
+//!
+//! # Model
+//!
+//! The space is an array of 64-bit words split into a *persistent region*
+//! `[0, persistent_words)` and a *volatile region* above it. Every load and
+//! store — transactional or not — operates on the **volatile view**, which
+//! plays the role of the processor caches plus DRAM. A separate
+//! **persistent image** holds what would survive a power failure.
+//!
+//! Data moves from the volatile view to the persistent image when:
+//!
+//! * a cache line is flushed ([`MemorySpace::clwb`]) and a subsequent drain
+//!   ([`MemorySpace::drain`]) completes — the CLWB + SFENCE persist
+//!   operation of Section 2.2; or
+//! * the simulated cache spontaneously evicts a dirty line (controlled by
+//!   [`CrashModel::eviction_probability`]) — the behaviour that makes
+//!   unlogged in-place updates unsafe.
+//!
+//! A [`MemorySpace::crash`] resolves all remaining dirty lines according to
+//! the crash model (each *word* of a dirty line persists with a configured
+//! probability, since the hardware guarantees only word-granularity
+//! persistence, Section 5.2) and returns the [`PersistentImage`] a recovery
+//! observer would see.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crafty_common::{LineId, PAddr, SplitMix64, WORDS_PER_LINE};
+use parking_lot::Mutex;
+
+use crate::config::{CrashModel, PmemConfig};
+use crate::image::PersistentImage;
+
+/// Counters describing the persist traffic a run generated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PmemStats {
+    /// Number of drain (SFENCE-after-CLWB) operations performed.
+    pub drains: u64,
+    /// Number of cache-line flushes (CLWB) requested.
+    pub flushes: u64,
+    /// Number of lines written back to the persistent image by drains.
+    pub lines_persisted: u64,
+    /// Number of lines written back by spontaneous eviction.
+    pub evictions: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    drains: AtomicU64,
+    flushes: AtomicU64,
+    lines_persisted: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The simulated memory system shared by all engines and workloads.
+///
+/// See the module documentation for the model. All methods are safe to call
+/// concurrently from any thread; per-thread flush queues are indexed by the
+/// caller-supplied thread id.
+pub struct MemorySpace {
+    cfg: PmemConfig,
+    volatile_view: Box<[AtomicU64]>,
+    persistent_image: Box<[AtomicU64]>,
+    line_dirty: Box<[AtomicBool]>,
+    flush_queues: Box<[Mutex<Vec<LineId>>]>,
+    reserve_persistent: Mutex<u64>,
+    reserve_volatile: Mutex<u64>,
+    evict_rng: Mutex<SplitMix64>,
+    stats: StatCells,
+}
+
+impl std::fmt::Debug for MemorySpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySpace")
+            .field("persistent_words", &self.cfg.persistent_words)
+            .field("volatile_words", &self.cfg.volatile_words)
+            .field("max_threads", &self.cfg.max_threads)
+            .finish()
+    }
+}
+
+impl MemorySpace {
+    /// Creates a zero-initialized memory space.
+    pub fn new(cfg: PmemConfig) -> Self {
+        let total = cfg.total_words() as usize;
+        let persistent = cfg.persistent_words as usize;
+        let lines = persistent.div_ceil(WORDS_PER_LINE as usize);
+        MemorySpace {
+            volatile_view: (0..total).map(|_| AtomicU64::new(0)).collect(),
+            persistent_image: (0..persistent).map(|_| AtomicU64::new(0)).collect(),
+            line_dirty: (0..lines).map(|_| AtomicBool::new(false)).collect(),
+            flush_queues: (0..cfg.max_threads).map(|_| Mutex::new(Vec::new())).collect(),
+            reserve_persistent: Mutex::new(WORDS_PER_LINE), // word 0 / line 0 reserved
+            reserve_volatile: Mutex::new(cfg.persistent_words),
+            evict_rng: Mutex::new(SplitMix64::new(cfg.crash.seed ^ 0xE51C_7A0D)),
+            stats: StatCells::default(),
+            cfg,
+        }
+    }
+
+    /// Creates a memory space whose persistent region is initialized from a
+    /// recovered [`PersistentImage`] — the post-restart state of the
+    /// machine. The volatile region is zeroed and reservation cursors are
+    /// reset; callers re-establish their layout exactly as a restarted
+    /// program would.
+    pub fn boot(image: &PersistentImage, cfg: PmemConfig) -> Self {
+        assert_eq!(
+            image.len_words(),
+            cfg.persistent_words,
+            "image size must match the configured persistent region"
+        );
+        let space = MemorySpace::new(cfg);
+        for w in 0..image.len_words() {
+            let v = image.read(PAddr::new(w));
+            space.volatile_view[w as usize].store(v, Ordering::Relaxed);
+            space.persistent_image[w as usize].store(v, Ordering::Relaxed);
+        }
+        space
+    }
+
+    /// Returns the configuration this space was built with.
+    pub fn config(&self) -> &PmemConfig {
+        &self.cfg
+    }
+
+    /// Number of words in the persistent region.
+    pub fn persistent_words(&self) -> u64 {
+        self.cfg.persistent_words
+    }
+
+    /// Returns true if `addr` lies in the persistent region.
+    pub fn is_persistent(&self, addr: PAddr) -> bool {
+        addr.word() < self.cfg.persistent_words
+    }
+
+    fn check_bounds(&self, addr: PAddr) {
+        assert!(
+            addr.word() < self.cfg.total_words(),
+            "address {addr} out of bounds (total {} words)",
+            self.cfg.total_words()
+        );
+    }
+
+    /// Reads the word at `addr` from the volatile view (what the CPU sees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[inline]
+    pub fn read(&self, addr: PAddr) -> u64 {
+        self.check_bounds(addr);
+        self.volatile_view[addr.word() as usize].load(Ordering::Acquire)
+    }
+
+    /// Writes `value` to the word at `addr` in the volatile view.
+    ///
+    /// If `addr` is persistent the containing line becomes dirty and may be
+    /// spontaneously evicted to the persistent image, per the crash model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[inline]
+    pub fn write(&self, addr: PAddr, value: u64) {
+        self.check_bounds(addr);
+        self.volatile_view[addr.word() as usize].store(value, Ordering::Release);
+        if self.is_persistent(addr) {
+            let line = addr.line();
+            self.line_dirty[line.index() as usize].store(true, Ordering::Release);
+            let p = self.cfg.crash.eviction_probability;
+            if p > 0.0 {
+                let evict = self.evict_rng.lock().chance(p);
+                if evict {
+                    self.persist_line(line);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Atomically compare-and-swap the word at `addr` in the volatile view.
+    /// Used for lock words (e.g. the single global lock) that live in the
+    /// simulated memory. Returns the previous value on success, or the
+    /// observed value on failure, matching [`AtomicU64::compare_exchange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn compare_exchange(&self, addr: PAddr, current: u64, new: u64) -> Result<u64, u64> {
+        self.check_bounds(addr);
+        let r = self.volatile_view[addr.word() as usize].compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        if r.is_ok() && self.is_persistent(addr) {
+            self.line_dirty[addr.line().index() as usize].store(true, Ordering::Release);
+        }
+        r
+    }
+
+    /// Atomic fetch-add on the word at `addr` in the volatile view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn fetch_add(&self, addr: PAddr, delta: u64) -> u64 {
+        self.check_bounds(addr);
+        let old = self.volatile_view[addr.word() as usize].fetch_add(delta, Ordering::AcqRel);
+        if self.is_persistent(addr) {
+            self.line_dirty[addr.line().index() as usize].store(true, Ordering::Release);
+        }
+        old
+    }
+
+    /// Requests a write-back (CLWB) of the line containing `addr`. The line
+    /// is persisted when the calling thread next drains. Flushing a volatile
+    /// address is a no-op, as on real hardware where it simply would not
+    /// reach a persistence domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds or `tid >= max_threads`.
+    pub fn clwb(&self, tid: usize, addr: PAddr) {
+        self.check_bounds(addr);
+        if !self.is_persistent(addr) {
+            return;
+        }
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let line = addr.line();
+        let mut queue = self.flush_queues[tid].lock();
+        if !queue.contains(&line) {
+            queue.push(line);
+        }
+    }
+
+    /// Completes all of thread `tid`'s outstanding flushes (SFENCE) and
+    /// charges the configured drain latency. Returns the number of lines
+    /// persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= max_threads`.
+    pub fn drain(&self, tid: usize) -> u64 {
+        let pending: Vec<LineId> = std::mem::take(&mut *self.flush_queues[tid].lock());
+        let count = pending.len() as u64;
+        for line in pending {
+            self.persist_line(line);
+        }
+        self.stats.drains.fetch_add(1, Ordering::Relaxed);
+        self.stats.lines_persisted.fetch_add(count, Ordering::Relaxed);
+        self.emulate_drain_latency();
+        count
+    }
+
+    /// Convenience: flush the line of `addr` and drain immediately (a full
+    /// persist operation for one location).
+    pub fn persist(&self, tid: usize, addr: PAddr) {
+        self.clwb(tid, addr);
+        self.drain(tid);
+    }
+
+    /// Number of lines queued by `tid` and not yet drained.
+    pub fn pending_flushes(&self, tid: usize) -> usize {
+        self.flush_queues[tid].lock().len()
+    }
+
+    fn emulate_drain_latency(&self) {
+        let ns = self.cfg.latency.drain_ns;
+        if ns == 0 {
+            return;
+        }
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Copies the current volatile contents of `line` into the persistent
+    /// image and clears its dirty bit. This is what a completed write-back
+    /// does; it is also invoked by spontaneous evictions.
+    fn persist_line(&self, line: LineId) {
+        for addr in line.words() {
+            if addr.word() >= self.cfg.persistent_words {
+                break;
+            }
+            let v = self.volatile_view[addr.word() as usize].load(Ordering::Acquire);
+            self.persistent_image[addr.word() as usize].store(v, Ordering::Release);
+        }
+        self.line_dirty[line.index() as usize].store(false, Ordering::Release);
+    }
+
+    /// Reads the *persistent image* (not the volatile view) at `addr`.
+    /// Useful in tests to check what would survive a crash right now,
+    /// without actually crashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a persistent address.
+    pub fn read_persisted(&self, addr: PAddr) -> u64 {
+        assert!(self.is_persistent(addr), "{addr} is not persistent");
+        self.persistent_image[addr.word() as usize].load(Ordering::Acquire)
+    }
+
+    /// Simulates a crash / power failure and returns the memory a recovery
+    /// observer would find after restart.
+    ///
+    /// Lines already written back are present exactly. Every still-dirty
+    /// line is resolved word by word: each word keeps its persisted value or
+    /// takes its latest volatile value with
+    /// [`CrashModel::dirty_word_persist_probability`]. The volatile region
+    /// is lost entirely.
+    pub fn crash(&self) -> PersistentImage {
+        self.crash_with(self.cfg.crash)
+    }
+
+    /// Like [`MemorySpace::crash`], with an explicit crash model (e.g. to
+    /// sweep the persist probability in property tests).
+    pub fn crash_with(&self, model: CrashModel) -> PersistentImage {
+        let mut rng = SplitMix64::new(model.seed ^ 0xC2A5_11FE);
+        let words = self.cfg.persistent_words;
+        let mut image = vec![0u64; words as usize];
+        for w in 0..words {
+            image[w as usize] = self.persistent_image[w as usize].load(Ordering::Acquire);
+        }
+        let p = model.dirty_word_persist_probability;
+        for (line_idx, dirty) in self.line_dirty.iter().enumerate() {
+            if !dirty.load(Ordering::Acquire) {
+                continue;
+            }
+            for addr in LineId::new(line_idx as u64).words() {
+                if addr.word() >= words {
+                    break;
+                }
+                if rng.chance(p) {
+                    image[addr.word() as usize] =
+                        self.volatile_view[addr.word() as usize].load(Ordering::Acquire);
+                }
+            }
+        }
+        PersistentImage::from_words(image)
+    }
+
+    /// Reserves `words` consecutive words of persistent memory for a static
+    /// structure (a log, a data array). Reservations are line-aligned so
+    /// that unrelated structures never share a cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the persistent region is exhausted.
+    pub fn reserve_persistent(&self, words: u64) -> PAddr {
+        let mut cursor = self.reserve_persistent.lock();
+        let start = *cursor;
+        let aligned = words.div_ceil(WORDS_PER_LINE) * WORDS_PER_LINE;
+        assert!(
+            start + aligned <= self.cfg.persistent_words,
+            "persistent region exhausted: need {aligned} words at {start}, have {}",
+            self.cfg.persistent_words
+        );
+        *cursor = start + aligned;
+        PAddr::new(start)
+    }
+
+    /// Reserves `words` consecutive words of volatile memory (line-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volatile region is exhausted.
+    pub fn reserve_volatile(&self, words: u64) -> PAddr {
+        let mut cursor = self.reserve_volatile.lock();
+        let start = *cursor;
+        let aligned = words.div_ceil(WORDS_PER_LINE) * WORDS_PER_LINE;
+        assert!(
+            start + aligned <= self.cfg.total_words(),
+            "volatile region exhausted: need {aligned} words at {start}, have {}",
+            self.cfg.total_words()
+        );
+        *cursor = start + aligned;
+        PAddr::new(start)
+    }
+
+    /// Returns the persist-traffic counters accumulated so far.
+    pub fn stats(&self) -> PmemStats {
+        PmemStats {
+            drains: self.stats.drains.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            lines_persisted: self.stats.lines_persisted.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyModel;
+
+    fn space() -> MemorySpace {
+        MemorySpace::new(PmemConfig::small_for_tests())
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let m = space();
+        let a = PAddr::new(64);
+        assert_eq!(m.read(a), 0);
+        m.write(a, 0xDEAD_BEEF);
+        assert_eq!(m.read(a), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn writes_do_not_persist_without_flush_and_drain() {
+        let m = space();
+        let a = PAddr::new(64);
+        m.write(a, 7);
+        assert_eq!(m.read_persisted(a), 0);
+        let img = m.crash();
+        assert_eq!(img.read(a), 0, "unflushed write must not persist under strict model");
+    }
+
+    #[test]
+    fn flush_alone_does_not_persist_but_drain_does() {
+        let m = space();
+        let a = PAddr::new(64);
+        m.write(a, 7);
+        m.clwb(0, a);
+        assert_eq!(m.read_persisted(a), 0);
+        assert_eq!(m.pending_flushes(0), 1);
+        let persisted = m.drain(0);
+        assert_eq!(persisted, 1);
+        assert_eq!(m.read_persisted(a), 7);
+        assert_eq!(m.pending_flushes(0), 0);
+        assert_eq!(m.crash().read(a), 7);
+    }
+
+    #[test]
+    fn drain_only_affects_calling_threads_queue() {
+        let m = space();
+        let a = PAddr::new(64);
+        let b = PAddr::new(128);
+        m.write(a, 1);
+        m.write(b, 2);
+        m.clwb(0, a);
+        m.clwb(1, b);
+        m.drain(0);
+        assert_eq!(m.read_persisted(a), 1);
+        assert_eq!(m.read_persisted(b), 0);
+        m.drain(1);
+        assert_eq!(m.read_persisted(b), 2);
+    }
+
+    #[test]
+    fn duplicate_flushes_of_same_line_are_deduplicated() {
+        let m = space();
+        let a = PAddr::new(64);
+        let b = PAddr::new(65); // same line
+        m.write(a, 1);
+        m.write(b, 2);
+        m.clwb(0, a);
+        m.clwb(0, b);
+        assert_eq!(m.pending_flushes(0), 1);
+        assert_eq!(m.drain(0), 1);
+        assert_eq!(m.read_persisted(a), 1);
+        assert_eq!(m.read_persisted(b), 2);
+    }
+
+    #[test]
+    fn volatile_addresses_are_never_persisted_and_lost_on_crash() {
+        let m = space();
+        let v = PAddr::new(m.persistent_words()); // first volatile word
+        assert!(!m.is_persistent(v));
+        m.write(v, 42);
+        m.clwb(0, v);
+        m.drain(0);
+        assert_eq!(m.read(v), 42);
+        let img = m.crash();
+        assert_eq!(img.len_words(), m.persistent_words());
+    }
+
+    #[test]
+    fn persist_helper_flushes_and_drains() {
+        let m = space();
+        let a = PAddr::new(72);
+        m.write(a, 9);
+        m.persist(0, a);
+        assert_eq!(m.read_persisted(a), 9);
+    }
+
+    #[test]
+    fn whole_line_persists_on_drain() {
+        let m = space();
+        // Words 64..72 share a line; flushing any one persists all eight.
+        for i in 0..8 {
+            m.write(PAddr::new(64 + i), 100 + i);
+        }
+        m.persist(0, PAddr::new(67));
+        for i in 0..8 {
+            assert_eq!(m.read_persisted(PAddr::new(64 + i)), 100 + i);
+        }
+    }
+
+    #[test]
+    fn adversarial_crash_persists_some_dirty_words() {
+        let cfg = PmemConfig::small_for_tests().with_crash(CrashModel {
+            eviction_probability: 0.0,
+            dirty_word_persist_probability: 0.5,
+            seed: 11,
+        });
+        let m = MemorySpace::new(cfg);
+        let n = 512u64;
+        for i in 0..n {
+            m.write(PAddr::new(64 + i), 1);
+        }
+        let img = m.crash();
+        let persisted: u64 = (0..n).map(|i| img.read(PAddr::new(64 + i))).sum();
+        assert!(persisted > 0, "some dirty words should persist");
+        assert!(persisted < n, "not all dirty words should persist");
+    }
+
+    #[test]
+    fn eviction_can_persist_unflushed_writes() {
+        let cfg = PmemConfig::small_for_tests().with_crash(CrashModel {
+            eviction_probability: 1.0,
+            dirty_word_persist_probability: 0.0,
+            seed: 5,
+        });
+        let m = MemorySpace::new(cfg);
+        let a = PAddr::new(64);
+        m.write(a, 3);
+        assert_eq!(m.read_persisted(a), 3, "eviction should have written the line back");
+        assert!(m.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn boot_restores_persistent_region_and_clears_volatile() {
+        let m = space();
+        let a = PAddr::new(64);
+        m.write(a, 77);
+        m.persist(0, a);
+        let v = PAddr::new(m.persistent_words() + 8);
+        m.write(v, 123);
+        let img = m.crash();
+        let rebooted = MemorySpace::boot(&img, *m.config());
+        assert_eq!(rebooted.read(a), 77);
+        assert_eq!(rebooted.read_persisted(a), 77);
+        assert_eq!(rebooted.read(v), 0);
+    }
+
+    #[test]
+    fn reservations_are_line_aligned_and_disjoint() {
+        let m = space();
+        let a = m.reserve_persistent(3);
+        let b = m.reserve_persistent(9);
+        let c = m.reserve_volatile(1);
+        assert_eq!(a.word() % WORDS_PER_LINE, 0);
+        assert_eq!(b.word() % WORDS_PER_LINE, 0);
+        assert!(b.word() >= a.word() + WORDS_PER_LINE);
+        assert!(c.word() >= m.persistent_words());
+        assert!(a.word() >= WORDS_PER_LINE, "line 0 is reserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let m = space();
+        m.read(PAddr::new(m.config().total_words()));
+    }
+
+    #[test]
+    fn compare_exchange_and_fetch_add_work() {
+        let m = space();
+        let a = PAddr::new(64);
+        assert_eq!(m.compare_exchange(a, 0, 5), Ok(0));
+        assert_eq!(m.compare_exchange(a, 0, 9), Err(5));
+        assert_eq!(m.fetch_add(a, 3), 5);
+        assert_eq!(m.read(a), 8);
+    }
+
+    #[test]
+    fn stats_count_persist_traffic() {
+        let m = space();
+        let a = PAddr::new(64);
+        m.write(a, 1);
+        m.clwb(0, a);
+        m.drain(0);
+        m.drain(0); // empty drain still counts as a drain
+        let s = m.stats();
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.drains, 2);
+        assert_eq!(s.lines_persisted, 1);
+    }
+
+    #[test]
+    fn drain_latency_is_charged() {
+        let cfg = PmemConfig::small_for_tests().with_latency(LatencyModel { drain_ns: 200_000 });
+        let m = MemorySpace::new(cfg);
+        m.write(PAddr::new(64), 1);
+        m.clwb(0, PAddr::new(64));
+        let start = Instant::now();
+        m.drain(0);
+        assert!(start.elapsed().as_nanos() >= 200_000);
+    }
+}

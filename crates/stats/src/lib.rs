@@ -1,0 +1,19 @@
+//! Measurement and reporting for the Crafty reproduction.
+//!
+//! This crate turns raw runs into the numbers the paper reports:
+//!
+//! * [`Measurement`] / [`Figure`] — throughput points and per-benchmark
+//!   series, normalized to single-thread Non-durable throughput exactly as
+//!   in Section 7.1.
+//! * [`report`] — text/CSV rendering of every figure, of the
+//!   persistent/hardware transaction breakdowns (Figures 9–21), and of
+//!   Table 1 (writes per transaction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod throughput;
+
+pub use report::{render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row};
+pub use throughput::{Figure, Measurement, PAPER_THREAD_COUNTS};

@@ -1,0 +1,156 @@
+//! Rendering figures and tables as text and CSV.
+//!
+//! The harness cannot draw the paper's plots, so every figure is rendered
+//! as the table of numbers behind it: one row per thread count, one column
+//! per engine, values normalized exactly as in the paper. Tables (Table 1,
+//! the breakdowns of Figures 9–21) are rendered the same way.
+
+use crafty_common::{BreakdownSnapshot, CompletionPath, HwTxnOutcome};
+
+use crate::throughput::Figure;
+
+/// Renders a figure as an aligned text table of normalized throughputs.
+pub fn render_figure(figure: &Figure, baseline_engine: &str) -> String {
+    let engines = figure.engines();
+    let threads = figure.thread_counts();
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", figure.title));
+    out.push_str(&format!("{:>8}", "threads"));
+    for e in &engines {
+        out.push_str(&format!("{e:>20}"));
+    }
+    out.push('\n');
+    for &t in &threads {
+        out.push_str(&format!("{t:>8}"));
+        for e in &engines {
+            let v = figure
+                .normalized_series(e, baseline_engine)
+                .into_iter()
+                .find(|(threads, _)| *threads == t)
+                .map(|(_, v)| v);
+            match v {
+                Some(v) => out.push_str(&format!("{v:>20.3}")),
+                None => out.push_str(&format!("{:>20}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a figure as CSV (`threads,engine,normalized_throughput,raw_tps`).
+pub fn render_figure_csv(figure: &Figure, baseline_engine: &str) -> String {
+    let mut out = String::from("benchmark,threads,engine,normalized_throughput,raw_tps\n");
+    let base = figure.baseline_throughput(baseline_engine).unwrap_or(1.0);
+    let base = if base > 0.0 { base } else { 1.0 };
+    for p in &figure.points {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.3}\n",
+            figure.title,
+            p.threads,
+            p.engine,
+            p.throughput() / base,
+            p.throughput()
+        ));
+    }
+    out
+}
+
+/// Renders the persistent-transaction and hardware-transaction breakdowns
+/// of one engine run (the stacked bars of Figures 9–21, as numbers).
+pub fn render_breakdown(engine: &str, snapshot: &BreakdownSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{engine}: persistent transactions\n"));
+    for path in CompletionPath::ALL {
+        out.push_str(&format!(
+            "  {:>12}: {}\n",
+            path.label(),
+            snapshot.completions(path)
+        ));
+    }
+    out.push_str(&format!("{engine}: hardware transactions\n"));
+    for outcome in HwTxnOutcome::ALL {
+        out.push_str(&format!(
+            "  {:>12}: {}\n",
+            outcome.label(),
+            snapshot.hw(outcome)
+        ));
+    }
+    out.push_str(&format!(
+        "  writes/txn: {:.2}   drains: {}   flushed lines: {}\n",
+        snapshot.writes_per_txn(),
+        snapshot.persist_drains,
+        snapshot.flushed_lines
+    ));
+    out
+}
+
+/// One row of Table 1: average writes per persistent transaction.
+pub fn render_writes_per_txn_row(benchmark: &str, per_thread_counts: &[(usize, f64)]) -> String {
+    let mut out = format!("{benchmark:<24}");
+    for (threads, writes) in per_thread_counts {
+        out.push_str(&format!("  {threads:>2}:{writes:>6.1}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::Measurement;
+    use std::time::Duration;
+
+    fn figure() -> Figure {
+        let mut fig = Figure::new("bank (high contention)");
+        for (engine, threads, txns) in [
+            ("Non-durable", 1, 1000u64),
+            ("Crafty", 1, 700),
+            ("Crafty", 2, 1200),
+            ("NV-HTM", 1, 500),
+        ] {
+            fig.push(Measurement {
+                engine: engine.to_string(),
+                threads,
+                transactions: txns,
+                elapsed: Duration::from_secs(1),
+            });
+        }
+        fig
+    }
+
+    #[test]
+    fn text_table_contains_all_engines_and_thread_counts() {
+        let s = render_figure(&figure(), "Non-durable");
+        assert!(s.contains("bank (high contention)"));
+        assert!(s.contains("Crafty"));
+        assert!(s.contains("NV-HTM"));
+        assert!(s.contains("0.700"));
+        assert!(s.contains("1.200"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point_plus_header() {
+        let fig = figure();
+        let csv = render_figure_csv(&fig, "Non-durable");
+        assert_eq!(csv.lines().count(), fig.points.len() + 1);
+        assert!(csv.starts_with("benchmark,threads,engine"));
+    }
+
+    #[test]
+    fn breakdown_lists_every_category() {
+        let s = render_breakdown("Crafty", &BreakdownSnapshot::default());
+        for label in ["read-only", "redo", "validate", "sgl", "commit", "conflict", "capacity"] {
+            assert!(s.contains(label), "missing {label} in breakdown");
+        }
+    }
+
+    #[test]
+    fn table1_row_contains_thread_counts_and_values() {
+        let row = render_writes_per_txn_row("bank (high)", &[(1, 10.0), (16, 10.0)]);
+        assert!(row.contains("bank (high)"));
+        assert!(row.contains("16:"));
+        assert!(row.contains("10.0"));
+    }
+}

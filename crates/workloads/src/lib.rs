@@ -1,0 +1,30 @@
+//! Benchmark workloads for the Crafty reproduction.
+//!
+//! Everything the paper's evaluation runs, written once against the
+//! engine-generic [`crafty_common::TxnOps`] interface:
+//!
+//! * [`bank`] — the bank microbenchmark at the paper's three contention
+//!   levels (Figure 6).
+//! * [`btree`] — the B+-tree microbenchmark, insert-only and mixed
+//!   (Figure 7).
+//! * [`stamp`] — STAMP-like kernels with transaction sizes and contention
+//!   matched to Table 1 (Figure 8).
+//! * [`driver`] — the engine-generic runner that measures wall-clock
+//!   throughput and feeds the figure harness.
+//! * [`engines`] — constructors for every engine configuration evaluated
+//!   in the paper, by name.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod btree;
+pub mod driver;
+pub mod engines;
+pub mod stamp;
+
+pub use bank::{BankWorkload, Contention};
+pub use btree::{BtreeVariant, BtreeWorkload};
+pub use driver::{measure, run_mix, TxnMix, Workload};
+pub use engines::{build_engine, EngineKind};
+pub use stamp::{StampKernel, StampWorkload};

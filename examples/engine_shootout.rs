@@ -1,0 +1,50 @@
+//! A miniature version of the paper's Figure 6: run the bank benchmark on
+//! every engine (Non-durable, DudeTM, NV-HTM, Crafty and its two ablation
+//! variants) and print the normalized-throughput table.
+//!
+//! ```text
+//! cargo run --release --example engine_shootout [threads...]
+//! ```
+
+use std::sync::Arc;
+
+use crafty_repro::prelude::*;
+use crafty_repro::stats::{render_figure, Figure};
+use crafty_repro::workloads::{BankWorkload, Contention};
+
+fn main() {
+    let thread_counts: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![1, 2, 4]
+        } else {
+            args
+        }
+    };
+    let txns_per_thread = 2_000u64;
+    let workload = BankWorkload::paper(Contention::Medium, *thread_counts.iter().max().unwrap());
+
+    let mut figure = Figure::new(workload.contention.label().to_string());
+    for kind in EngineKind::ALL {
+        for &threads in &thread_counts {
+            let mem = Arc::new(MemorySpace::new(PmemConfig::benchmark()));
+            let engine = build_engine(kind, &mem, threads);
+            let mix = crafty_repro::workloads::Workload::prepare(&workload, &mem);
+            let m = measure(engine.as_ref(), mix.as_ref(), threads, txns_per_thread, 7);
+            println!(
+                "{:<18} {:>2} threads: {:>10.0} txn/s",
+                kind.label(),
+                threads,
+                m.throughput()
+            );
+            figure.push(m);
+        }
+    }
+
+    println!();
+    println!("{}", render_figure(&figure, "Non-durable"));
+    println!("(values normalized to single-thread Non-durable, as in the paper)");
+}

@@ -1,0 +1,57 @@
+//! Umbrella crate for the Crafty reproduction.
+//!
+//! Re-exports the public API of every workspace crate so that examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`core`] ([`crafty_core`]) — the Crafty engine itself (nondestructive
+//!   undo logging, Log/Redo/Validate phases, recovery).
+//! * [`pmem`] / [`htm`] — the simulated persistent memory and the simulated
+//!   RTM the engines run on.
+//! * [`baselines`] — Non-durable, NV-HTM, DudeTM, and the software logging
+//!   engines.
+//! * [`workloads`] / [`stats`] — the paper's benchmarks and the measurement
+//!   and reporting layer.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture and the
+//! paper-to-module map.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crafty_repro::prelude::*;
+//!
+//! let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+//! let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+//! let cell = mem.reserve_persistent(1);
+//!
+//! let mut thread = crafty.register_thread(0);
+//! thread.execute(&mut |ops| {
+//!     let v = ops.read(cell)?;
+//!     ops.write(cell, v + 1)?;
+//!     Ok(())
+//! });
+//! assert_eq!(mem.read(cell), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use crafty_baselines as baselines;
+pub use crafty_common as common;
+pub use crafty_core as core;
+pub use crafty_htm as htm;
+pub use crafty_pmem as pmem;
+pub use crafty_stats as stats;
+pub use crafty_workloads as workloads;
+
+/// The most commonly used types, importable with a single `use`.
+pub mod prelude {
+    pub use crafty_baselines::{DudeTm, NonDurable, NvHtm};
+    pub use crafty_common::{
+        BreakdownSnapshot, CompletionPath, PAddr, PersistentTm, TmThread, TxAbort, TxnOps,
+    };
+    pub use crafty_core::{recover, Crafty, CraftyConfig, CraftyVariant, ThreadingMode};
+    pub use crafty_pmem::{CrashModel, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
+    pub use crafty_workloads::{build_engine, measure, EngineKind, Workload};
+}
