@@ -126,7 +126,8 @@ impl CheckpointQueue {
             if self.stop.load(Ordering::Acquire) {
                 return None;
             }
-            self.available.wait_for(&mut jobs, std::time::Duration::from_millis(1));
+            self.available
+                .wait_for(&mut jobs, std::time::Duration::from_millis(1));
         }
     }
 
@@ -174,6 +175,7 @@ pub struct DudeTm;
 
 impl NvHtm {
     /// Creates an NV-HTM engine over `mem`.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(mem: Arc<MemorySpace>, cfg: CowConfig) -> ShadowPagingTm {
         ShadowPagingTm::new(mem, cfg, CowFlavor::NvHtm, HtmConfig::skylake())
     }
@@ -181,6 +183,7 @@ impl NvHtm {
 
 impl DudeTm {
     /// Creates a DudeTM engine over `mem`.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(mem: Arc<MemorySpace>, cfg: CowConfig) -> ShadowPagingTm {
         ShadowPagingTm::new(mem, cfg, CowFlavor::DudeTm, HtmConfig::skylake())
     }
@@ -271,16 +274,12 @@ impl ShadowPagingTm {
             // Commit-time wait: another thread may still be about to
             // durably commit an earlier transaction.
             loop {
-                let earlier_in_flight = self
-                    .in_flight
-                    .iter()
-                    .enumerate()
-                    .any(|(other, slot)| {
-                        other != tid && {
-                            let v = slot.load(Ordering::Acquire);
-                            v != 0 && v < ts
-                        }
-                    });
+                let earlier_in_flight = self.in_flight.iter().enumerate().any(|(other, slot)| {
+                    other != tid && {
+                        let v = slot.load(Ordering::Acquire);
+                        v != 0 && v < ts
+                    }
+                });
                 if !earlier_in_flight {
                     break;
                 }
@@ -354,7 +353,10 @@ impl TxnOps for ShadowOps<'_, '_> {
         self.txn.write(addr, value).map_err(|_| TxAbort::hardware())
     }
     fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
-        Ok(self.allocator.alloc(words).expect("persistent heap exhausted"))
+        Ok(self
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted"))
     }
     fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
         self.allocator.free(addr, words);
@@ -381,7 +383,10 @@ impl TxnOps for LockedShadowOps<'_> {
         Ok(())
     }
     fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
-        Ok(self.allocator.alloc(words).expect("persistent heap exhausted"))
+        Ok(self
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted"))
     }
     fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
         self.allocator.free(addr, words);
@@ -582,7 +587,12 @@ mod tests {
             .expect("threads");
             engine.quiesce();
             let total: u64 = (0..accounts).map(|i| mem.read(base.add(i))).sum();
-            assert_eq!(total, accounts * 100, "{} must preserve the total", engine.name());
+            assert_eq!(
+                total,
+                accounts * 100,
+                "{} must preserve the total",
+                engine.name()
+            );
             assert_eq!(engine.breakdown().total_persistent(), 600);
         }
     }

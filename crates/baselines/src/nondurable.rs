@@ -78,7 +78,10 @@ impl TxnOps for HtmOps<'_, '_> {
         self.txn.write(addr, value).map_err(|_| TxAbort::hardware())
     }
     fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
-        Ok(self.allocator.alloc(words).expect("persistent heap exhausted"))
+        Ok(self
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted"))
     }
     fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
         self.allocator.free(addr, words);
@@ -100,7 +103,10 @@ impl TxnOps for LockedOps<'_> {
         Ok(())
     }
     fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
-        Ok(self.allocator.alloc(words).expect("persistent heap exhausted"))
+        Ok(self
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted"))
     }
     fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
         self.allocator.free(addr, words);
@@ -206,14 +212,17 @@ mod tests {
             Ok(())
         });
         assert_eq!(mem.read(cell), 99);
-        assert_eq!(mem.crash().read(cell), 0, "non-durable writes must not survive");
+        assert_eq!(
+            mem.crash().read(cell),
+            0,
+            "non-durable writes must not survive"
+        );
     }
 
     #[test]
     fn oversized_transactions_fall_back_to_the_lock() {
         let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
-        let engine =
-            NonDurable::with_htm_config(Arc::clone(&mem), 1 << 12, HtmConfig::tiny());
+        let engine = NonDurable::with_htm_config(Arc::clone(&mem), 1 << 12, HtmConfig::tiny());
         let base = mem.reserve_persistent(512);
         let mut t = engine.register_thread(0);
         let report = t.execute(&mut |ops| {

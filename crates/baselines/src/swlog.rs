@@ -46,12 +46,15 @@ pub struct SwLogTm {
 
 impl std::fmt::Debug for SwLogTm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SwLogTm").field("mechanism", &self.mechanism).finish()
+        f.debug_struct("SwLogTm")
+            .field("mechanism", &self.mechanism)
+            .finish()
     }
 }
 
 impl SwUndoLog {
     /// Creates a lock-based undo-logging engine over `mem`.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(mem: Arc<MemorySpace>, heap_words: u64) -> SwLogTm {
         SwLogTm::new(mem, heap_words, Mechanism::Undo)
     }
@@ -59,6 +62,7 @@ impl SwUndoLog {
 
 impl SwRedoLog {
     /// Creates a lock-based redo-logging engine over `mem`.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(mem: Arc<MemorySpace>, heap_words: u64) -> SwLogTm {
         SwLogTm::new(mem, heap_words, Mechanism::Redo)
     }
@@ -116,7 +120,11 @@ impl TxnOps for UndoOps<'_> {
         Ok(())
     }
     fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
-        Ok(self.engine.allocator.alloc(words).expect("persistent heap exhausted"))
+        Ok(self
+            .engine
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted"))
     }
     fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
         self.engine.allocator.free(addr, words);
@@ -145,7 +153,11 @@ impl TxnOps for RedoOps<'_> {
         Ok(())
     }
     fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
-        Ok(self.engine.allocator.alloc(words).expect("persistent heap exhausted"))
+        Ok(self
+            .engine
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted"))
     }
     fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
         self.engine.allocator.free(addr, words);
@@ -167,7 +179,9 @@ impl TmThread for SwThread<'_> {
                 };
                 body(&mut ops).expect("lock-based transactions cannot abort");
                 // COMMITTED record, persisted.
-                let slot = engine.log_region.add((ops.log_cursor * 2) % engine.log_words);
+                let slot = engine
+                    .log_region
+                    .add((ops.log_cursor * 2) % engine.log_words);
                 engine.mem.write(slot, u64::MAX);
                 engine.mem.persist(self.tid, slot);
                 engine.recorder.record_drain();
@@ -271,7 +285,10 @@ mod tests {
             if expect_more_drains {
                 assert!(drains >= 10, "undo logging drains per write, saw {drains}");
             } else {
-                assert!(drains <= 3, "redo logging drains per transaction, saw {drains}");
+                assert!(
+                    drains <= 3,
+                    "redo logging drains per transaction, saw {drains}"
+                );
             }
         }
     }

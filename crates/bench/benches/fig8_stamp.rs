@@ -15,7 +15,11 @@ fn bench_stamp(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(600));
     for kernel in StampKernel::ALL {
-        let txns = if kernel == StampKernel::Labyrinth { 30 } else { 300 };
+        let txns = if kernel == StampKernel::Labyrinth {
+            30
+        } else {
+            300
+        };
         let cfg = HarnessConfig::quick().with_txns_per_thread(txns);
         let workload = StampWorkload::new(kernel);
         for engine in [
@@ -27,7 +31,8 @@ fn bench_stamp(c: &mut Criterion) {
             EngineKind::CraftyNoRedo,
         ] {
             for threads in [1usize, 4] {
-                let id = BenchmarkId::new(format!("{}/{}", kernel.label(), engine.label()), threads);
+                let id =
+                    BenchmarkId::new(format!("{}/{}", kernel.label(), engine.label()), threads);
                 group.bench_with_input(id, &threads, |b, &threads| {
                     b.iter(|| run_point(&workload, engine, threads, &cfg));
                 });

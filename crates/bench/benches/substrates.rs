@@ -20,7 +20,8 @@ fn bench_substrates(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(600));
 
     {
-        let mem = MemorySpace::new(PmemConfig::small_for_tests().with_latency(LatencyModel::instant()));
+        let mem =
+            MemorySpace::new(PmemConfig::small_for_tests().with_latency(LatencyModel::instant()));
         let a = mem.reserve_persistent(1);
         group.bench_function("pmem_write", |b| b.iter(|| mem.write(a, 1)));
         group.bench_function("pmem_flush_drain_no_latency", |b| {
@@ -31,9 +32,8 @@ fn bench_substrates(c: &mut Criterion) {
         });
     }
     {
-        let mem = MemorySpace::new(
-            PmemConfig::small_for_tests().with_latency(LatencyModel::nvm_300ns()),
-        );
+        let mem =
+            MemorySpace::new(PmemConfig::small_for_tests().with_latency(LatencyModel::nvm_300ns()));
         let a = mem.reserve_persistent(1);
         group.bench_function("pmem_flush_drain_300ns", |b| {
             b.iter(|| {

@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! figures [targets...] [--paper] [--latency-100] [--threads a,b,c] [--txns N] [--csv DIR]
+//!         [--json-out PATH]
 //!
-//! targets: fig6 fig7 fig8 table1 breakdowns fig22 fig23 fig24 all
+//! targets: fig6 fig7 fig8 table1 breakdowns fig22 fig23 fig24 hotpath all
 //!          (default: fig6 fig7 table1)
 //! ```
+//!
+//! The `hotpath` target runs the tracked bank benchmark and writes the
+//! machine-readable `BENCH_hotpath.json` artifact (see
+//! [`crafty_bench::hotpath`]); `--json-out` overrides its output path.
 //!
 //! Every figure is printed as the table of normalized throughputs behind
 //! the paper's plot (one row per thread count, one column per engine,
@@ -16,7 +21,9 @@
 
 use std::collections::BTreeSet;
 
-use crafty_bench::{run_breakdowns, run_figure, writes_per_txn, HarnessConfig};
+use crafty_bench::{
+    render_hotpath_json, run_breakdowns, run_figure, run_hotpath, writes_per_txn, HarnessConfig,
+};
 use crafty_pmem::LatencyModel;
 use crafty_stats::{render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row};
 use crafty_workloads::{
@@ -27,6 +34,7 @@ struct Options {
     targets: BTreeSet<String>,
     cfg: HarnessConfig,
     csv_dir: Option<String>,
+    json_out: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -36,9 +44,11 @@ fn parse_args() -> Options {
     let mut threads: Option<Vec<usize>> = None;
     let mut txns: Option<u64> = None;
     let mut csv_dir = None;
+    let mut json_out = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--json-out" => json_out = Some(args.next().expect("--json-out needs a path")),
             "--paper" => paper = true,
             "--latency-100" => latency100 = true,
             "--threads" => {
@@ -73,11 +83,25 @@ fn parse_args() -> Options {
         }
     }
     if targets.contains("all") {
-        for t in ["fig6", "fig7", "fig8", "table1", "breakdowns", "fig22", "fig23", "fig24"] {
+        for t in [
+            "fig6",
+            "fig7",
+            "fig8",
+            "table1",
+            "breakdowns",
+            "fig22",
+            "fig23",
+            "fig24",
+            "hotpath",
+        ] {
             targets.insert(t.to_string());
         }
     }
-    let mut cfg = if paper { HarnessConfig::paper() } else { HarnessConfig::quick() };
+    let mut cfg = if paper {
+        HarnessConfig::paper()
+    } else {
+        HarnessConfig::quick()
+    };
     if latency100 {
         cfg = cfg.with_latency(LatencyModel::nvm_100ns());
     }
@@ -87,7 +111,12 @@ fn parse_args() -> Options {
     if let Some(t) = txns {
         cfg = cfg.with_txns_per_thread(t);
     }
-    Options { targets, cfg, csv_dir }
+    Options {
+        targets,
+        cfg,
+        csv_dir,
+        json_out,
+    }
 }
 
 fn emit(figure_id: &str, workload: &dyn Workload, cfg: &HarnessConfig, csv_dir: &Option<String>) {
@@ -109,7 +138,12 @@ fn bank_workloads(max_threads: usize) -> Vec<(String, BankWorkload)> {
     [Contention::High, Contention::Medium, Contention::None]
         .into_iter()
         .enumerate()
-        .map(|(i, c)| (format!("fig6{}", (b'a' + i as u8) as char), BankWorkload::paper(c, max_threads)))
+        .map(|(i, c)| {
+            (
+                format!("fig6{}", (b'a' + i as u8) as char),
+                BankWorkload::paper(c, max_threads),
+            )
+        })
         .collect()
 }
 
@@ -169,7 +203,11 @@ fn main() {
         }
         for kernel in StampKernel::ALL {
             let w = StampWorkload::new(kernel);
-            rows.push((w.name(), writes_per_txn(&w, threads, cfg), kernel.paper_writes_per_txn()));
+            rows.push((
+                w.name(),
+                writes_per_txn(&w, threads, cfg),
+                kernel.paper_writes_per_txn(),
+            ));
         }
         println!("{:<28}{:>12}{:>12}", "benchmark", "measured", "paper");
         for (name, measured, paper) in rows {
@@ -196,21 +234,60 @@ fn main() {
             }
         }
     }
+    if has("hotpath") {
+        let path = options.json_out.as_deref().unwrap_or("BENCH_hotpath.json");
+        println!("\n== hotpath: tracked bank benchmark ==");
+        let points = run_hotpath(cfg);
+        for p in &points {
+            let aborts: u64 = p
+                .hw_outcomes
+                .iter()
+                .filter(|(label, _)| *label != "commit")
+                .map(|(_, c)| c)
+                .sum();
+            println!(
+                "{:<20} {:>2} thr {:>12.0} ops/s  {:>8} hw aborts",
+                p.engine, p.threads, p.ops_per_sec, aborts
+            );
+        }
+        std::fs::write(path, render_hotpath_json(cfg, &points)).expect("write hotpath json");
+        println!("[json written to {path}]");
+    }
     // Appendix figures: the same benchmarks at 100 ns drain latency.
     let appendix = cfg.clone().with_latency(LatencyModel::nvm_100ns());
     if has("fig22") {
         for (id, w) in bank_workloads(max_threads) {
-            emit(&id.replace("fig6", "fig22"), &w, &appendix, &options.csv_dir);
+            emit(
+                &id.replace("fig6", "fig22"),
+                &w,
+                &appendix,
+                &options.csv_dir,
+            );
         }
     }
     if has("fig23") {
-        emit("fig23a", &BtreeWorkload::paper(BtreeVariant::InsertOnly), &appendix, &options.csv_dir);
-        emit("fig23b", &BtreeWorkload::paper(BtreeVariant::Mixed), &appendix, &options.csv_dir);
+        emit(
+            "fig23a",
+            &BtreeWorkload::paper(BtreeVariant::InsertOnly),
+            &appendix,
+            &options.csv_dir,
+        );
+        emit(
+            "fig23b",
+            &BtreeWorkload::paper(BtreeVariant::Mixed),
+            &appendix,
+            &options.csv_dir,
+        );
     }
     if has("fig24") {
         for (i, kernel) in StampKernel::ALL.iter().enumerate() {
             let id = format!("fig24{}", (b'a' + i as u8) as char);
-            emit(&id, &StampWorkload::new(*kernel), &appendix, &options.csv_dir);
+            emit(
+                &id,
+                &StampWorkload::new(*kernel),
+                &appendix,
+                &options.csv_dir,
+            );
         }
     }
     println!("\ndone.");

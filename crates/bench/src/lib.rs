@@ -12,6 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hotpath;
+
+pub use hotpath::{render_hotpath_json, run_hotpath, HotpathPoint};
+
 use std::sync::Arc;
 
 use crafty_common::BreakdownSnapshot;

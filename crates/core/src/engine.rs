@@ -206,7 +206,9 @@ impl Crafty {
     /// max so that a concurrent forced refresh (Section 5.2) can never move
     /// the recorded timestamp backwards.
     pub(crate) fn note_sequence(&self, tid: usize, ts: Timestamp) {
-        self.threads[tid].last_seq_ts.fetch_max(ts.raw(), Ordering::AcqRel);
+        self.threads[tid]
+            .last_seq_ts
+            .fetch_max(ts.raw(), Ordering::AcqRel);
     }
 
     /// Section 5.2 lag maintenance. Called by a thread after appending a
@@ -237,13 +239,16 @@ impl Crafty {
                 }
                 let ts = self.clock.now();
                 let mut txn = self.htm.begin(calling_tid);
-                let appended = shared
-                    .undo_log
-                    .append_sequence(&mut txn, &[], ts)
-                    .and_then(|info| {
-                        shared.undo_log.commit_marker_txn(&mut txn, info.marker_abs, ts)?;
-                        Ok(info)
-                    });
+                let appended =
+                    shared
+                        .undo_log
+                        .append_sequence(&mut txn, &[], ts)
+                        .and_then(|info| {
+                            shared
+                                .undo_log
+                                .commit_marker_txn(&mut txn, info.marker_abs, ts)?;
+                            Ok(info)
+                        });
                 let info = match appended {
                     Ok(info) => info,
                     Err(_) => continue,
@@ -303,7 +308,9 @@ impl Crafty {
                 .undo_log
                 .append_sequence(&mut txn, &[], ts)
                 .and_then(|info| {
-                    shared.undo_log.commit_marker_txn(&mut txn, info.marker_abs, ts)?;
+                    shared
+                        .undo_log
+                        .commit_marker_txn(&mut txn, info.marker_abs, ts)?;
                     Ok(info)
                 });
             let info = match appended {
@@ -311,7 +318,9 @@ impl Crafty {
                 Err(_) => continue,
             };
             if txn.commit().is_ok() {
-                shared.undo_log.flush_marker(&self.mem, via_tid, info.marker_abs);
+                shared
+                    .undo_log
+                    .flush_marker(&self.mem, via_tid, info.marker_abs);
                 self.mem.drain(via_tid);
                 // Make everything the target committed before this refresh
                 // durable (see `maintain_ts_lower_bound`).
@@ -327,11 +336,12 @@ impl Crafty {
     fn persist_now_quiesced(&self, tid: usize) {
         let shared = &self.threads[tid];
         let ts = self.clock.now();
-        let info =
-            shared
-                .undo_log
-                .append_sequence_nontx(&self.htm, &[], MarkerKind::Committed, ts);
-        shared.undo_log.flush_marker(&self.mem, tid, info.marker_abs);
+        let info = shared
+            .undo_log
+            .append_sequence_nontx(&self.htm, &[], MarkerKind::Committed, ts);
+        shared
+            .undo_log
+            .flush_marker(&self.mem, tid, info.marker_abs);
         self.mem.drain(tid);
         shared.last_seq_ts.fetch_max(ts.raw(), Ordering::AcqRel);
     }

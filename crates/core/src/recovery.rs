@@ -86,7 +86,9 @@ pub fn parse_sequences(image: &PersistentImage, geometry: &LogGeometry) -> Vec<S
     if capacity == 0 {
         return Vec::new();
     }
-    let states: Vec<SlotState> = (0..capacity).map(|s| geometry.read_slot(image, s)).collect();
+    let states: Vec<SlotState> = (0..capacity)
+        .map(|s| geometry.read_slot(image, s))
+        .collect();
 
     // Current-lap parity: the parity of the first fully persisted slot.
     let Some(current_parity) = states.iter().find_map(|s| match s {
@@ -158,11 +160,8 @@ pub fn recover(
     image: &mut PersistentImage,
     directory_addr: PAddr,
 ) -> Result<RecoveryReport, RecoveryError> {
-    let directory = LogDirectory::load(image, directory_addr).ok_or(
-        RecoveryError::MissingDirectory {
-            at: directory_addr,
-        },
-    )?;
+    let directory = LogDirectory::load(image, directory_addr)
+        .ok_or(RecoveryError::MissingDirectory { at: directory_addr })?;
 
     let per_thread: Vec<Vec<Sequence>> = directory
         .logs
@@ -193,7 +192,7 @@ pub fn recover(
             .filter(|s| s.ts >= cutoff)
             .collect();
         // Reverse timestamp order: newest first (Section 5.1).
-        to_roll_back.sort_by(|a, b| b.ts.cmp(&a.ts));
+        to_roll_back.sort_by_key(|s| std::cmp::Reverse(s.ts));
         for seq in to_roll_back {
             for &(addr, old_value) in seq.entries.iter().rev() {
                 image.write(addr, old_value);
@@ -220,9 +219,10 @@ pub fn logs_are_clean(image: &PersistentImage, directory_addr: PAddr) -> bool {
     let Some(directory) = LogDirectory::load(image, directory_addr) else {
         return false;
     };
-    directory.logs.iter().all(|g| {
-        (0..g.capacity).all(|s| matches!(g.read_slot(image, s), SlotState::Absent))
-    })
+    directory
+        .logs
+        .iter()
+        .all(|g| (0..g.capacity).all(|s| matches!(g.read_slot(image, s), SlotState::Absent)))
 }
 
 /// Decodes a raw slot (two words) — re-exported for diagnostic tools.

@@ -20,12 +20,8 @@
 //! cannot be resumed from a mid-transaction point the way the paper's
 //! compiler-instrumented transactions can.
 
-use std::collections::HashMap;
-
-use crafty_common::{
-    CompletionPath, PAddr, TmThread, TxAbort, TxnBody, TxnOps, TxnReport,
-};
-use crafty_htm::HwTxn;
+use crafty_common::{CompletionPath, PAddr, TmThread, TxAbort, TxnBody, TxnOps, TxnReport};
+use crafty_htm::{GenMap, HwTxn};
 use crafty_pmem::{MemorySpace, PmemAllocator};
 
 use crate::alloc_log::AllocLog;
@@ -41,13 +37,13 @@ struct UndoRecord {
     persistent: bool,
 }
 
-/// Everything the Redo/Validate phases need about a logged transaction.
+/// Metadata the Redo/Validate phases need about a logged transaction. The
+/// bulk data — the undo records, the redo log, and the persistent entries —
+/// lives in [`CraftyThread`]'s reusable buffers (`undo_buf`, `redo_buf`,
+/// `entries_buf`), filled by the Log phase and read by the later phases, so
+/// no per-transaction `Vec`s are allocated.
+#[derive(Clone, Copy, Debug)]
 struct LoggedSeq {
-    /// All writes in program order (persistent and volatile).
-    undo: Vec<UndoRecord>,
-    /// Redo log built while rolling back (reverse program order); the Redo
-    /// phase applies it back-to-front.
-    redo: Vec<(PAddr, u64)>,
     marker_abs: u64,
     /// The Log phase's hardware-transaction commit version: the point in
     /// the global commit order at which the undo log entries (and the
@@ -76,11 +72,31 @@ pub struct CraftyThread<'c> {
     engine: &'c Crafty,
     tid: usize,
     alloc_log: AllocLog,
+    /// All writes of the current transaction in program order (persistent
+    /// and volatile), captured by the Log phase. Reused across
+    /// transactions; cleared (capacity-preserving) at each Log attempt.
+    undo_buf: Vec<UndoRecord>,
+    /// Redo log built while rolling back (reverse program order); the Redo
+    /// phase applies it back-to-front. Reused across transactions.
+    redo_buf: Vec<(PAddr, u64)>,
+    /// The persistent subset of `undo_buf` as `<addr, oldValue>` pairs:
+    /// what the Log phase appends to the undo log and what the Validate
+    /// phase checks re-executed writes against. Reused across transactions.
+    entries_buf: Vec<(PAddr, u64)>,
+    /// Buffered write values for SGL / thread-unsafe fallback execution
+    /// (word → value), with O(1) generation clear.
+    buffered_vals: GenMap,
+    /// First-write order of the buffered execution's distinct words.
+    buffered_order: Vec<PAddr>,
+    /// Persistent addresses written by the buffered execution.
+    persistent_addrs_buf: Vec<PAddr>,
 }
 
 impl std::fmt::Debug for CraftyThread<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CraftyThread").field("tid", &self.tid).finish()
+        f.debug_struct("CraftyThread")
+            .field("tid", &self.tid)
+            .finish()
     }
 }
 
@@ -90,6 +106,12 @@ impl<'c> CraftyThread<'c> {
             engine,
             tid,
             alloc_log: AllocLog::new(),
+            undo_buf: Vec::new(),
+            redo_buf: Vec::new(),
+            entries_buf: Vec::new(),
+            buffered_vals: GenMap::new(),
+            buffered_order: Vec::new(),
+            persistent_addrs_buf: Vec::new(),
         }
     }
 
@@ -148,7 +170,9 @@ impl<'c> CraftyThread<'c> {
     fn finish(&mut self, path: CompletionPath, seq: &LoggedSeq, hw_attempts: u32) -> TxnReport {
         let engine = self.engine;
         self.alloc_log.apply_frees(&engine.allocator);
-        engine.recorder.record_persistent_writes(seq.persistent_writes);
+        engine
+            .recorder
+            .record_persistent_writes(seq.persistent_writes);
         engine.recorder.record_completion(path);
         TxnReport::new(path, hw_attempts)
     }
@@ -186,21 +210,21 @@ impl<'c> CraftyThread<'c> {
                 Err(_) => continue,
             }
 
-            let undo = {
+            self.undo_buf.clear();
+            {
                 let mut ctx = LogCtx {
                     txn: &mut txn,
                     mem: &engine.mem,
                     allocator: &engine.allocator,
                     alloc_log: &mut self.alloc_log,
-                    undo: Vec::new(),
+                    undo: &mut self.undo_buf,
                 };
                 if body(&mut ctx).is_err() {
                     continue;
                 }
-                ctx.undo
-            };
+            }
 
-            if undo.is_empty()
+            if self.undo_buf.is_empty()
                 && self.alloc_log.allocations() == 0
                 && self.alloc_log.deferred_frees() == 0
             {
@@ -214,9 +238,10 @@ impl<'c> CraftyThread<'c> {
 
             // Roll back the writes in reverse order, building the redo log
             // from the values visible just before each rollback step.
-            let mut redo = Vec::with_capacity(undo.len());
+            self.redo_buf.clear();
             let mut rolled_back = true;
-            for rec in undo.iter().rev() {
+            for idx in (0..self.undo_buf.len()).rev() {
+                let rec = self.undo_buf[idx];
                 let current = match txn.read(rec.addr) {
                     Ok(v) => v,
                     Err(_) => {
@@ -224,7 +249,7 @@ impl<'c> CraftyThread<'c> {
                         break;
                     }
                 };
-                redo.push((rec.addr, current));
+                self.redo_buf.push((rec.addr, current));
                 if txn.write(rec.addr, rec.old_value).is_err() {
                     rolled_back = false;
                     break;
@@ -234,16 +259,23 @@ impl<'c> CraftyThread<'c> {
                 continue;
             }
 
-            let persistent_entries: Vec<(PAddr, u64)> = undo
-                .iter()
-                .filter(|r| r.persistent)
-                .map(|r| (r.addr, r.old_value))
-                .collect();
+            self.entries_buf.clear();
+            self.entries_buf.extend(
+                self.undo_buf
+                    .iter()
+                    .filter(|r| r.persistent)
+                    .map(|r| (r.addr, r.old_value)),
+            );
             let log_ts = engine.timestamp();
-            let info = match undo_log.append_sequence(&mut txn, &persistent_entries, log_ts) {
+            let info = match undo_log.append_sequence(&mut txn, &self.entries_buf, log_ts) {
                 Ok(info) => info,
                 Err(_) => continue,
             };
+            // `commit` consumes the transaction: by the time it returns,
+            // the HwTxn has been dropped and the thread's descriptor is
+            // back in the runtime pool, so the maintenance below (which
+            // begins refresh transactions on this tid) reuses it rather
+            // than taking the nested-begin allocation path.
             let log_commit_version = match txn.commit() {
                 Ok(wv) => wv,
                 Err(_) => continue,
@@ -252,7 +284,7 @@ impl<'c> CraftyThread<'c> {
             undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
             engine
                 .recorder
-                .record_flushed_lines(persistent_entries.len() as u64 / 4 + 1);
+                .record_flushed_lines(self.entries_buf.len() as u64 / 4 + 1);
             engine.note_sequence(self.tid, log_ts);
 
             // Section 5.2 housekeeping: this append crossed into the other
@@ -262,7 +294,7 @@ impl<'c> CraftyThread<'c> {
             // so that the recovery cutoff can never fall back onto entries
             // that get discarded. The MAX_LAG bound is re-established at the
             // same point.
-            let crossed = undo_log.crosses_half(info.first_abs, persistent_entries.len() as u64 + 1);
+            let crossed = undo_log.crosses_half(info.first_abs, self.entries_buf.len() as u64 + 1);
             let lag_exceeded = engine.clock.current().raw()
                 >= engine
                     .ts_lower_bound
@@ -273,9 +305,7 @@ impl<'c> CraftyThread<'c> {
             }
 
             return LogOutcome::Logged(LoggedSeq {
-                persistent_writes: persistent_entries.len() as u64,
-                undo,
-                redo,
+                persistent_writes: self.entries_buf.len() as u64,
                 marker_abs: info.marker_abs,
                 log_commit_version,
             });
@@ -329,7 +359,7 @@ impl<'c> CraftyThread<'c> {
             };
             let commit_ts = engine.timestamp();
             let mut ok = true;
-            for &(addr, value) in seq.redo.iter().rev() {
+            for &(addr, value) in self.redo_buf.iter().rev() {
                 if txn.write(addr, value).is_err() {
                     ok = false;
                     break;
@@ -338,10 +368,16 @@ impl<'c> CraftyThread<'c> {
             if !ok {
                 continue;
             }
-            if txn.publish_commit_version(engine.g_last_redo_ts_addr).is_err() {
+            if txn
+                .publish_commit_version(engine.g_last_redo_ts_addr)
+                .is_err()
+            {
                 continue;
             }
-            if undo_log.commit_marker_txn(&mut txn, seq.marker_abs, commit_ts).is_err() {
+            if undo_log
+                .commit_marker_txn(&mut txn, seq.marker_abs, commit_ts)
+                .is_err()
+            {
                 continue;
             }
             if self.flush_writes_on_commit(&mut txn, seq).is_err() {
@@ -370,12 +406,8 @@ impl<'c> CraftyThread<'c> {
     ) -> CommitOutcome {
         let engine = self.engine;
         let undo_log = engine.threads[self.tid].undo_log;
-        let expected: Vec<(PAddr, u64)> = seq
-            .undo
-            .iter()
-            .filter(|r| r.persistent)
-            .map(|r| (r.addr, r.old_value))
-            .collect();
+        // The expected `<addr, oldValue>` pairs are exactly the persistent
+        // entries the Log phase left in `entries_buf` (untouched since).
         for _ in 0..=engine.cfg.htm_retries_per_phase {
             *hw_attempts += 1;
             let mut txn = engine.htm.begin(self.tid);
@@ -392,7 +424,7 @@ impl<'c> CraftyThread<'c> {
                 let mut ctx = ValidateCtx {
                     txn: &mut txn,
                     mem: &engine.mem,
-                    expected: &expected,
+                    expected: &self.entries_buf,
                     next: 0,
                     mismatch: false,
                     alloc_log: &mut self.alloc_log,
@@ -406,7 +438,7 @@ impl<'c> CraftyThread<'c> {
             if body_result.is_err() {
                 continue;
             }
-            if consumed != expected.len() {
+            if consumed != self.entries_buf.len() {
                 // Fewer writes than log entries: the control flow diverged,
                 // so the persisted undo log no longer matches (Algorithm 3
                 // line 8 checks the next entry is the LOGGED marker).
@@ -418,10 +450,16 @@ impl<'c> CraftyThread<'c> {
                 Err(()) => continue,
             };
             let commit_ts = engine.timestamp();
-            if txn.publish_commit_version(engine.g_last_redo_ts_addr).is_err() {
+            if txn
+                .publish_commit_version(engine.g_last_redo_ts_addr)
+                .is_err()
+            {
                 continue;
             }
-            if undo_log.commit_marker_txn(&mut txn, seq.marker_abs, commit_ts).is_err() {
+            if undo_log
+                .commit_marker_txn(&mut txn, seq.marker_abs, commit_ts)
+                .is_err()
+            {
                 continue;
             }
             if self.flush_writes_on_commit(&mut txn, seq).is_err() {
@@ -444,11 +482,7 @@ impl<'c> CraftyThread<'c> {
     /// the log's latest and its writes must be drained eagerly, and (b)
     /// orders such refresh appends with this commit so the forcing thread's
     /// subsequent drain covers the flushes enqueued here.
-    fn touch_log_head(
-        &self,
-        txn: &mut crafty_htm::HwTxn<'_>,
-        seq: &LoggedSeq,
-    ) -> Result<bool, ()> {
+    fn touch_log_head(&self, txn: &mut crafty_htm::HwTxn<'_>, seq: &LoggedSeq) -> Result<bool, ()> {
         let engine = self.engine;
         let head_addr = engine.threads[self.tid].undo_log.head_addr();
         let head = txn.read(head_addr).map_err(|_| ())?;
@@ -468,7 +502,7 @@ impl<'c> CraftyThread<'c> {
         seq: &LoggedSeq,
     ) -> Result<(), ()> {
         let engine = self.engine;
-        for rec in &seq.undo {
+        for rec in &self.undo_buf {
             if rec.persistent {
                 txn.flush_on_commit(rec.addr).map_err(|_| ())?;
             }
@@ -523,10 +557,10 @@ impl<'c> CraftyThread<'c> {
                 engine.mem.drain(self.tid);
                 engine.recorder.record_drain();
                 let undo_log = engine.threads[self.tid].undo_log;
-                for &(addr, value) in seq.redo.iter().rev() {
+                for &(addr, value) in self.redo_buf.iter().rev() {
                     engine.htm.nontx_write(addr, value);
                 }
-                for rec in &seq.undo {
+                for rec in &self.undo_buf {
                     if rec.persistent {
                         engine.mem.clwb(self.tid, rec.addr);
                     }
@@ -565,21 +599,22 @@ impl<'c> CraftyThread<'c> {
         let undo_log = engine.threads[self.tid].undo_log;
         for _ in 0..16 {
             self.alloc_log.release_allocations(&engine.allocator);
-            let (order, buffer) = {
+            self.buffered_vals.clear();
+            self.buffered_order.clear();
+            {
                 let mut ctx = BufferedCtx {
                     htm: &engine.htm,
                     mem: &engine.mem,
                     allocator: &engine.allocator,
                     alloc_log: &mut self.alloc_log,
-                    buffer: HashMap::new(),
-                    order: Vec::new(),
+                    buffer: &mut self.buffered_vals,
+                    order: &mut self.buffered_order,
                 };
                 if body(&mut ctx).is_err() {
                     continue;
                 }
-                (ctx.order, ctx.buffer)
-            };
-            if order.is_empty()
+            }
+            if self.buffered_order.is_empty()
                 && self.alloc_log.allocations() == 0
                 && self.alloc_log.deferred_frees() == 0
             {
@@ -587,29 +622,41 @@ impl<'c> CraftyThread<'c> {
                 return TxnReport::new(CompletionPath::ReadOnly, *hw_attempts);
             }
 
-            let persistent_addrs: Vec<PAddr> = order
-                .iter()
-                .copied()
-                .filter(|a| engine.mem.is_persistent(*a))
-                .collect();
-            let entries: Vec<(PAddr, u64)> = persistent_addrs
-                .iter()
-                .map(|a| (*a, engine.htm.nontx_read(*a)))
-                .collect();
+            self.persistent_addrs_buf.clear();
+            self.persistent_addrs_buf.extend(
+                self.buffered_order
+                    .iter()
+                    .copied()
+                    .filter(|a| engine.mem.is_persistent(*a)),
+            );
+            self.entries_buf.clear();
+            self.entries_buf.extend(
+                self.persistent_addrs_buf
+                    .iter()
+                    .map(|a| (*a, engine.htm.nontx_read(*a))),
+            );
             let log_ts = engine.timestamp();
-            let info =
-                undo_log.append_sequence_nontx(&engine.htm, &entries, MarkerKind::Logged, log_ts);
+            let info = undo_log.append_sequence_nontx(
+                &engine.htm,
+                &self.entries_buf,
+                MarkerKind::Logged,
+                log_ts,
+            );
             undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
             engine.mem.drain(self.tid);
             engine.recorder.record_drain();
-            if undo_log.crosses_half(info.first_abs, entries.len() as u64 + 1) {
+            if undo_log.crosses_half(info.first_abs, self.entries_buf.len() as u64 + 1) {
                 engine.maintain_ts_lower_bound(self.tid, log_ts.raw());
             }
 
-            for addr in &order {
-                engine.htm.nontx_write(*addr, buffer[&addr.word()]);
+            for addr in &self.buffered_order {
+                let value = self
+                    .buffered_vals
+                    .get(addr.word())
+                    .expect("buffered write present");
+                engine.htm.nontx_write(*addr, value);
             }
-            for addr in &persistent_addrs {
+            for addr in &self.persistent_addrs_buf {
                 engine.mem.clwb(self.tid, *addr);
             }
             let commit_ts = engine.timestamp();
@@ -629,7 +676,9 @@ impl<'c> CraftyThread<'c> {
             engine.note_sequence(self.tid, commit_ts);
 
             self.alloc_log.apply_frees(&engine.allocator);
-            engine.recorder.record_persistent_writes(entries.len() as u64);
+            engine
+                .recorder
+                .record_persistent_writes(self.entries_buf.len() as u64);
             engine.recorder.record_completion(path);
             return TxnReport::new(path, *hw_attempts);
         }
@@ -657,7 +706,9 @@ struct LogCtx<'a, 'rt> {
     mem: &'a MemorySpace,
     allocator: &'a PmemAllocator,
     alloc_log: &'a mut AllocLog,
-    undo: Vec<UndoRecord>,
+    /// Borrowed from [`CraftyThread::undo_buf`] so the record storage is
+    /// reused across transactions.
+    undo: &'a mut Vec<UndoRecord>,
 }
 
 impl TxnOps for LogCtx<'_, '_> {
@@ -751,13 +802,16 @@ struct BufferedCtx<'a> {
     mem: &'a MemorySpace,
     allocator: &'a PmemAllocator,
     alloc_log: &'a mut AllocLog,
-    buffer: HashMap<u64, u64>,
-    order: Vec<PAddr>,
+    /// Borrowed from [`CraftyThread::buffered_vals`] /
+    /// [`CraftyThread::buffered_order`] so the buffers are reused across
+    /// transactions.
+    buffer: &'a mut GenMap,
+    order: &'a mut Vec<PAddr>,
 }
 
 impl TxnOps for BufferedCtx<'_> {
     fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
-        if let Some(&v) = self.buffer.get(&addr.word()) {
+        if let Some(v) = self.buffer.get(addr.word()) {
             return Ok(v);
         }
         Ok(self.htm.nontx_read(addr))

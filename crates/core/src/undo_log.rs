@@ -231,7 +231,10 @@ pub struct UndoLog {
 impl UndoLog {
     /// Creates a handle over an already-reserved log region and head word.
     pub fn new(geometry: LogGeometry, head_addr: PAddr) -> Self {
-        UndoLog { geometry, head_addr }
+        UndoLog {
+            geometry,
+            head_addr,
+        }
     }
 
     /// The log's placement and capacity.
@@ -348,15 +351,24 @@ impl UndoLog {
 
     /// Issues CLWBs (no drain) for every line holding entries
     /// `[first_abs, last_abs]`.
+    ///
+    /// Entry slots are laid out contiguously, so their addresses ascend
+    /// monotonically except for the single jump back to the region start at
+    /// a wraparound; deduplicating against the previously flushed line is
+    /// therefore as effective as a full set, without allocating one per
+    /// flush. (At the wrap, at most one line is re-requested, and
+    /// [`MemorySpace::clwb`] deduplicates within the queue anyway.)
     pub fn flush_entries(&self, mem: &MemorySpace, tid: usize, first_abs: u64, last_abs: u64) {
         debug_assert!(last_abs >= first_abs);
         debug_assert!(last_abs - first_abs < self.geometry.capacity);
-        let mut flushed_lines = std::collections::HashSet::new();
+        let mut last_flushed = None;
         for abs in first_abs..=last_abs {
             let addr = self.geometry.slot_addr(abs);
             for a in [addr, addr.add(1)] {
-                if flushed_lines.insert(a.line()) {
+                let line = a.line();
+                if last_flushed != Some(line) {
                     mem.clwb(tid, a);
+                    last_flushed = Some(line);
                 }
             }
         }
@@ -420,7 +432,10 @@ impl LogDirectory {
 
     /// Writes and persists the directory at `at`.
     pub fn store(&self, mem: &MemorySpace, tid: usize, at: PAddr) {
-        assert!(!self.logs.is_empty(), "directory must describe at least one log");
+        assert!(
+            !self.logs.is_empty(),
+            "directory must describe at least one log"
+        );
         let capacity = self.logs[0].capacity;
         assert!(
             self.logs.iter().all(|g| g.capacity == capacity),
@@ -489,7 +504,10 @@ mod tests {
                 };
                 let (m, v) = encode(entry, parity);
                 match decode(m, v) {
-                    SlotState::Valid { parity: p, entry: e } => {
+                    SlotState::Valid {
+                        parity: p,
+                        entry: e,
+                    } => {
                         assert_eq!(p, parity);
                         assert_eq!(e, entry);
                     }
@@ -561,14 +579,20 @@ mod tests {
         let image = mem.crash();
         let g = log.geometry();
         match g.read_slot(&image, 0) {
-            SlotState::Valid { entry: Entry::Data { addr, old_value }, .. } => {
+            SlotState::Valid {
+                entry: Entry::Data { addr, old_value },
+                ..
+            } => {
                 assert_eq!(addr, PAddr::new(64));
                 assert_eq!(old_value, 11);
             }
             other => panic!("slot 0: {other:?}"),
         }
         match g.read_slot(&image, 2) {
-            SlotState::Valid { entry: Entry::Marker { kind, ts }, .. } => {
+            SlotState::Valid {
+                entry: Entry::Marker { kind, ts },
+                ..
+            } => {
                 assert_eq!(kind, MarkerKind::Logged);
                 assert_eq!(ts.raw(), 5);
             }
@@ -592,7 +616,10 @@ mod tests {
         mem.drain(0);
         let image = mem.crash();
         match log.geometry().read_slot(&image, info.marker_abs) {
-            SlotState::Valid { entry: Entry::Marker { kind, ts }, .. } => {
+            SlotState::Valid {
+                entry: Entry::Marker { kind, ts },
+                ..
+            } => {
                 assert_eq!(kind, MarkerKind::Committed);
                 assert_eq!(ts.raw(), 9);
             }
@@ -639,7 +666,10 @@ mod tests {
         log.flush_entries(&mem, 0, info.first_abs, info.marker_abs);
         mem.drain(0);
         match log.geometry().read_slot(&mem.crash(), 1) {
-            SlotState::Valid { entry: Entry::Marker { kind, ts }, .. } => {
+            SlotState::Valid {
+                entry: Entry::Marker { kind, ts },
+                ..
+            } => {
                 assert_eq!(kind, MarkerKind::Committed);
                 assert_eq!(ts.raw(), 3);
             }

@@ -1,0 +1,106 @@
+//! End-to-end allocation check for the Crafty engine: after warmup, a
+//! committed persistent transaction on the bank-workload hot path (Log
+//! phase → undo-log append → flush → Redo phase) performs **zero heap
+//! allocations**. This is the acceptance bar for the reusable-descriptor /
+//! scratch-buffer design across the HTM → core → pmem stack.
+//!
+//! This file intentionally holds a single `#[test]` so no concurrent test
+//! thread can pollute the allocation counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crafty_common::{PersistentTm, SplitMix64, TxAbort, TxnOps};
+use crafty_core::{Crafty, CraftyConfig};
+use crafty_pmem::{MemorySpace, PmemConfig};
+
+struct CountingAllocator {
+    allocations: AtomicU64,
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator {
+    allocations: AtomicU64::new(0),
+};
+
+fn transfer(
+    ops: &mut dyn TxnOps,
+    from: crafty_common::PAddr,
+    to: crafty_common::PAddr,
+) -> Result<(), TxAbort> {
+    let a = ops.read(from)?;
+    ops.write(from, a.wrapping_sub(1))?;
+    let b = ops.read(to)?;
+    ops.write(to, b.wrapping_add(1))?;
+    Ok(())
+}
+
+#[test]
+fn steady_state_bank_transactions_do_not_allocate() {
+    let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+    // A roomy undo log postpones half-crossing maintenance; the test spans
+    // several crossings anyway, which must also be allocation-free.
+    let crafty = Crafty::new(
+        Arc::clone(&mem),
+        CraftyConfig {
+            undo_log_entries: 1024,
+            ..CraftyConfig::small_for_tests().with_max_threads(1)
+        },
+    );
+    let accounts_n = 64u64;
+    let accounts = mem.reserve_persistent(accounts_n * 8);
+    for i in 0..accounts_n {
+        mem.write(accounts.add(i * 8), 1_000);
+    }
+    let mut thread = crafty.register_thread(0);
+    let mut rng = SplitMix64::new(41);
+
+    // Warmup: grows every reusable buffer (descriptor tables, undo/redo
+    // buffers, flush queues) to the workload's steady-state footprint and
+    // crosses the undo log's half boundary at least once.
+    for _ in 0..2_000 {
+        let from = accounts.add(rng.next_below(accounts_n) * 8);
+        let to = accounts.add(rng.next_below(accounts_n) * 8);
+        thread.execute(&mut |ops| transfer(ops, from, to));
+    }
+
+    let before = GLOBAL.allocations.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        let from = accounts.add(rng.next_below(accounts_n) * 8);
+        let to = accounts.add(rng.next_below(accounts_n) * 8);
+        thread.execute(&mut |ops| transfer(ops, from, to));
+    }
+    let after = GLOBAL.allocations.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "engine hot path allocated {} times over 10k steady-state transactions",
+        after - before
+    );
+
+    crafty.quiesce();
+    let total: u64 = (0..accounts_n).map(|i| mem.read(accounts.add(i * 8))).sum();
+    assert_eq!(
+        total,
+        accounts_n * 1_000,
+        "transfers must conserve the total"
+    );
+}

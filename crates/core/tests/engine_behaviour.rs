@@ -56,13 +56,20 @@ fn read_only_transactions_skip_redo_and_validate() {
     assert_eq!(seen, 42);
     assert_eq!(report.path, CompletionPath::ReadOnly);
     assert_eq!(crafty.breakdown().completions(CompletionPath::ReadOnly), 1);
-    assert_eq!(crafty.g_last_redo_ts(), 0, "read-only transactions never advance gLastRedoTS");
+    assert_eq!(
+        crafty.g_last_redo_ts(),
+        0,
+        "read-only transactions never advance gLastRedoTS"
+    );
 }
 
 #[test]
 fn concurrent_transfers_preserve_the_total_balance() {
     let mem = small_mem();
-    let crafty = Arc::new(Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests()));
+    let crafty = Arc::new(Crafty::new(
+        Arc::clone(&mem),
+        CraftyConfig::small_for_tests(),
+    ));
     let accounts = 16u64;
     let base = mem.reserve_persistent(accounts);
     for i in 0..accounts {
@@ -98,19 +105,30 @@ fn concurrent_transfers_preserve_the_total_balance() {
 
 #[test]
 fn contention_exercises_the_validate_path() {
-    let mem = small_mem();
-    let crafty = Arc::new(Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests()));
-    // All threads hammer two disjoint cells: no true data conflicts, but
-    // gLastRedoTS advances constantly, so Redo's conservative check fails
-    // and Validate succeeds (the scenario of Figure 6(c) in the paper).
-    let cells = mem.reserve_persistent(8);
+    // A sizable drain latency keeps each thread spinning in the drain that
+    // `begin` issues between its Log commit and its Redo phase — exactly the
+    // window in which another thread's commit makes the conservative
+    // gLastRedoTS check fail. Without it a single-core host almost never
+    // preempts inside that window and every transaction commits via Redo.
+    let mem = Arc::new(MemorySpace::new(
+        PmemConfig::small_for_tests().with_latency(crafty_pmem::LatencyModel { drain_ns: 30_000 }),
+    ));
+    let crafty = Arc::new(Crafty::new(
+        Arc::clone(&mem),
+        CraftyConfig::small_for_tests(),
+    ));
+    // Each thread hammers its own cell on its own cache line: no true data
+    // conflicts (and no HTM line conflicts), but gLastRedoTS advances
+    // constantly, so Redo's conservative check fails and Validate succeeds
+    // (the scenario of Figure 6(c) in the paper).
     let threads = 4;
+    let cells = mem.reserve_persistent(threads as u64 * crafty_common::WORDS_PER_LINE);
     crossbeam::scope(|s| {
         for tid in 0..threads {
             let crafty = Arc::clone(&crafty);
             s.spawn(move |_| {
                 let mut handle = crafty.register_thread(tid);
-                let cell = cells.add(tid as u64);
+                let cell = cells.add(tid as u64 * crafty_common::WORDS_PER_LINE);
                 for _ in 0..200 {
                     handle.execute(&mut |ops| {
                         let v = ops.read(cell)?;
@@ -123,7 +141,10 @@ fn contention_exercises_the_validate_path() {
     })
     .expect("worker threads");
     for tid in 0..threads {
-        assert_eq!(mem.read(cells.add(tid as u64)), 200);
+        assert_eq!(
+            mem.read(cells.add(tid as u64 * crafty_common::WORDS_PER_LINE)),
+            200
+        );
     }
     let b = crafty.breakdown();
     assert!(
@@ -269,7 +290,10 @@ fn committed_and_quiesced_state_survives_a_strict_crash() {
     let mut image = mem.crash();
     let report = recover(&mut image, crafty.directory_addr()).expect("recovery");
     assert_eq!(image.read(cell), 10, "quiesced state must survive in full");
-    assert_eq!(report.entries_rolled_back, 0, "empty latest sequences roll back nothing");
+    assert_eq!(
+        report.entries_rolled_back, 0,
+        "empty latest sequences roll back nothing"
+    );
 }
 
 #[test]
@@ -310,7 +334,11 @@ fn persist_now_makes_preceding_transactions_durable() {
     crafty.persist_now(0);
     let mut image = mem.crash();
     recover(&mut image, crafty.directory_addr()).expect("recovery");
-    assert_eq!(image.read(cell), 7, "on-demand persistence must pin completed work");
+    assert_eq!(
+        image.read(cell),
+        7,
+        "on-demand persistence must pin completed work"
+    );
 }
 
 #[test]
@@ -325,7 +353,10 @@ fn adversarial_concurrent_crash_preserves_the_bank_invariant() {
             seed,
         });
         let mem = Arc::new(MemorySpace::new(cfg));
-        let crafty = Arc::new(Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests()));
+        let crafty = Arc::new(Crafty::new(
+            Arc::clone(&mem),
+            CraftyConfig::small_for_tests(),
+        ));
         let accounts = 8u64;
         let base = mem.reserve_persistent(accounts);
         for i in 0..accounts {

@@ -3,8 +3,8 @@
 //! the crash tests rely on, exercised directly and exhaustively.
 
 use crafty_common::{BreakdownRecorder, PAddr, Timestamp};
-use crafty_core::undo_log::{decode, Entry, LogGeometry, MarkerKind, UndoLog};
 use crafty_core::recovery::parse_sequences;
+use crafty_core::undo_log::{decode, Entry, LogGeometry, MarkerKind, UndoLog};
 use crafty_htm::{HtmConfig, HtmRuntime};
 use crafty_pmem::{MemorySpace, PmemConfig};
 use proptest::prelude::*;

@@ -7,6 +7,40 @@
 //! explicit aborts with codes, and SFENCE semantics at transaction
 //! boundaries. See `DESIGN.md` ("Substitutions") for the fidelity argument.
 //!
+//! # Hot-path design: reusable per-thread descriptors
+//!
+//! The transaction hot path is allocation-free and contention-free in
+//! steady state, mirroring how real HTM/STM runtimes keep a per-thread
+//! transaction descriptor (cf. phasedTM's `__thread`-local descriptor
+//! state):
+//!
+//! * **Descriptor checkout** — [`HtmRuntime`] owns one reusable
+//!   [`TxnScratch`] per thread slot. [`HtmRuntime::begin`] checks the
+//!   calling thread's descriptor out of the pool and the finished
+//!   transaction returns it on drop. The only per-transaction costs are an
+//!   uncontended per-thread mutex and an O(1) reset. If a thread begins a
+//!   nested transaction while its descriptor is out (which no engine path
+//!   does in steady state), a fresh descriptor is allocated for the inner
+//!   transaction and dropped afterwards.
+//! * **O(1) epoch clear** — the descriptor's read set and write buffer are
+//!   open-addressed tables ([`GenSet`], [`GenMap`]) whose slots carry a
+//!   generation stamp; clearing bumps the generation instead of touching
+//!   the slots. Tables only allocate when they grow past the workload's
+//!   observed footprint, so a warmed-up transaction allocates nothing —
+//!   a property asserted by the `alloc_free_hot_path` integration test
+//!   with a counting global allocator.
+//! * **Incremental write-line dedup** — distinct written lines are tracked
+//!   as writes arrive, so the commit's canonical lock ordering is a sort
+//!   of an already-deduplicated reused buffer and the capacity check is
+//!   O(1) per write, instead of rebuilding a `HashSet` per commit.
+//! * **Per-thread RNG streams** — the spurious-abort ("zero abort")
+//!   injector draws from a [`crafty_common::SplitMix64`] stream stored in
+//!   the descriptor, seeded as `cfg.seed ^ 0x51_0D0A ^ (tid + 1) ·
+//!   0x9E3779B97F4A7C15`. Each thread's abort schedule is a pure function
+//!   of `(seed, tid)`: reruns with the same configuration reproduce the
+//!   same per-thread schedules regardless of interleaving, and no global
+//!   RNG lock is taken at `begin`.
+//!
 //! # Example
 //!
 //! ```
@@ -33,7 +67,9 @@
 pub mod config;
 pub mod retry;
 pub mod runtime;
+pub mod scratch;
 
 pub use config::HtmConfig;
 pub use retry::{run_with_retries, RetryPolicy, RetryResult};
 pub use runtime::{AbortCode, HtmRuntime, HwTxn};
+pub use scratch::{GenMap, GenSet, TxnScratch};

@@ -64,9 +64,8 @@ impl RetryResult {
     /// Number of hardware transactions attempted.
     pub fn attempts(&self) -> u32 {
         match self {
-            RetryResult::Committed { attempts } | RetryResult::ExhaustedRetries { attempts, .. } => {
-                *attempts
-            }
+            RetryResult::Committed { attempts }
+            | RetryResult::ExhaustedRetries { attempts, .. } => *attempts,
         }
     }
 }

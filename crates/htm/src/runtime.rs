@@ -21,15 +21,15 @@
 //! "zero" aborts. It is *not* a high-performance STM — it is a faithful
 //! stand-in for the hardware interface on machines without working TSX.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crafty_common::{BreakdownRecorder, HwTxnOutcome, LineId, PAddr, SplitMix64};
+use crafty_common::{BreakdownRecorder, HwTxnOutcome, LineId, PAddr};
 use crafty_pmem::MemorySpace;
 use parking_lot::Mutex;
 
 use crate::config::HtmConfig;
+use crate::scratch::TxnScratch;
 
 /// Why a hardware transaction aborted.
 ///
@@ -71,7 +71,12 @@ pub struct HtmRuntime {
     line_versions: Box<[AtomicU64]>,
     version_clock: AtomicU64,
     recorder: Arc<BreakdownRecorder>,
-    zero_rng: Mutex<SplitMix64>,
+    /// One reusable transaction descriptor per thread slot. `begin(tid)`
+    /// checks the descriptor out and the transaction returns it on drop;
+    /// in the (non-steady-state) event that a thread begins a second
+    /// transaction while its descriptor is out, a fresh descriptor is
+    /// allocated and discarded afterwards.
+    scratch_pool: Box<[Mutex<Option<Box<TxnScratch>>>]>,
 }
 
 impl std::fmt::Debug for HtmRuntime {
@@ -87,15 +92,48 @@ impl HtmRuntime {
     /// Creates an HTM runtime over `mem`, recording hardware-transaction
     /// outcomes into `recorder`.
     pub fn new(mem: Arc<MemorySpace>, cfg: HtmConfig, recorder: Arc<BreakdownRecorder>) -> Self {
-        let lines = mem.config().total_words().div_ceil(crafty_common::WORDS_PER_LINE) as usize;
+        let lines = mem
+            .config()
+            .total_words()
+            .div_ceil(crafty_common::WORDS_PER_LINE) as usize;
+        let threads = mem.config().max_threads;
         HtmRuntime {
             mem,
             cfg,
             line_versions: (0..lines).map(|_| AtomicU64::new(0)).collect(),
             version_clock: AtomicU64::new(0),
             recorder,
-            zero_rng: Mutex::new(SplitMix64::new(cfg.seed ^ 0x51_0D0A)),
+            scratch_pool: (0..threads).map(|_| Mutex::new(None)).collect(),
         }
+    }
+
+    /// The seed of thread `tid`'s spurious-abort stream: the configured
+    /// seed XORed with a per-thread multiplicative spread, so streams are
+    /// independent yet each is a pure function of `(cfg.seed, tid)` —
+    /// reruns with the same configuration reproduce the same per-thread
+    /// abort schedule regardless of thread interleaving.
+    fn zero_rng_seed(&self, tid: usize) -> u64 {
+        self.cfg.seed ^ 0x51_0D0A ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Checks out thread `tid`'s reusable descriptor (creating it on first
+    /// use), reset and ready for a new transaction.
+    fn checkout_scratch(&self, tid: usize) -> Box<TxnScratch> {
+        let mut scratch = self.scratch_pool[tid]
+            .lock()
+            .take()
+            .unwrap_or_else(|| Box::new(TxnScratch::new(self.zero_rng_seed(tid))));
+        scratch.reset();
+        scratch
+    }
+
+    /// Returns a descriptor to its thread slot. In the nested-begin case
+    /// the slot may already hold the inner transaction's descriptor; the
+    /// one returned later (the outer transaction's, which carries the
+    /// thread's cumulative spurious-abort RNG stream) wins, so descriptor
+    /// reuse never rewinds a thread's abort schedule.
+    fn return_scratch(&self, tid: usize, scratch: Box<TxnScratch>) {
+        *self.scratch_pool[tid].lock() = Some(scratch);
     }
 
     /// The memory space transactions operate on.
@@ -123,10 +161,11 @@ impl HtmRuntime {
             self.mem.drain(tid);
             self.recorder.record_drain();
         }
+        let mut scratch = self.checkout_scratch(tid);
         let doomed_after = {
             let p = self.cfg.zero_abort_probability;
             if p > 0.0 {
-                let mut rng = self.zero_rng.lock();
+                let rng = &mut scratch.zero_rng;
                 if rng.chance(p) {
                     Some(rng.next_below(24) as u32 + 1)
                 } else {
@@ -140,11 +179,7 @@ impl HtmRuntime {
             rt: self,
             tid,
             rv: self.version_clock.load(Ordering::Acquire),
-            read_set: HashSet::new(),
-            write_buf: HashMap::new(),
-            write_order: Vec::new(),
-            version_sinks: Vec::new(),
-            flush_requests: Vec::new(),
+            scratch: Some(scratch),
             failed: None,
             finished: false,
             doomed_after,
@@ -224,11 +259,10 @@ pub struct HwTxn<'rt> {
     rt: &'rt HtmRuntime,
     tid: usize,
     rv: u64,
-    read_set: HashSet<LineId>,
-    write_buf: HashMap<u64, u64>,
-    write_order: Vec<PAddr>,
-    version_sinks: Vec<PAddr>,
-    flush_requests: Vec<PAddr>,
+    /// The thread's checked-out descriptor; `Some` for the whole life of
+    /// the transaction (taken only transiently inside `commit` and finally
+    /// by `Drop`, which returns it to the runtime's pool).
+    scratch: Option<Box<TxnScratch>>,
     failed: Option<AbortCode>,
     finished: bool,
     doomed_after: Option<u32>,
@@ -236,10 +270,11 @@ pub struct HwTxn<'rt> {
 
 impl std::fmt::Debug for HwTxn<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.scratch.as_ref().expect("descriptor present");
         f.debug_struct("HwTxn")
             .field("tid", &self.tid)
-            .field("reads", &self.read_set.len())
-            .field("writes", &self.write_buf.len())
+            .field("reads", &s.read_set.len())
+            .field("writes", &s.write_buf.len())
             .field("failed", &self.failed)
             .finish()
     }
@@ -265,9 +300,18 @@ impl<'rt> HwTxn<'rt> {
         None
     }
 
+    #[inline]
+    fn s(&mut self) -> &mut TxnScratch {
+        self.scratch.as_mut().expect("descriptor present")
+    }
+
     /// Number of distinct words written so far.
     pub fn write_set_len(&self) -> usize {
-        self.write_buf.len()
+        self.scratch
+            .as_ref()
+            .expect("descriptor present")
+            .write_buf
+            .len()
     }
 
     /// The thread id this transaction belongs to.
@@ -288,7 +332,7 @@ impl<'rt> HwTxn<'rt> {
         if let Some(code) = self.tick_doom() {
             return Err(self.fail(code));
         }
-        if let Some(&v) = self.write_buf.get(&addr.word()) {
+        if let Some(v) = self.s().write_buf.get(addr.word()) {
             return Ok(v);
         }
         let line = addr.line();
@@ -301,9 +345,13 @@ impl<'rt> HwTxn<'rt> {
         if v2 != v1 {
             return Err(self.fail(AbortCode::Conflict));
         }
-        self.read_set.insert(line);
-        if self.read_set.len() > self.rt.cfg.read_capacity_lines {
-            return Err(self.fail(AbortCode::Capacity));
+        let read_capacity = self.rt.cfg.read_capacity_lines;
+        let s = self.s();
+        if s.read_set.insert(line.index()) {
+            s.read_order.push(line.index());
+            if s.read_order.len() > read_capacity {
+                return Err(self.fail(AbortCode::Capacity));
+            }
         }
         Ok(value)
     }
@@ -322,17 +370,20 @@ impl<'rt> HwTxn<'rt> {
         if let Some(code) = self.tick_doom() {
             return Err(self.fail(code));
         }
-        if self.write_buf.insert(addr.word(), value).is_none() {
-            self.write_order.push(addr);
-        }
-        let mut lines = HashSet::new();
-        if self.write_order.len() > self.rt.cfg.write_capacity_lines {
-            // Cheap pre-filter: only count distinct lines when the word
-            // count alone exceeds the line budget.
-            for a in &self.write_order {
-                lines.insert(a.line());
+        let write_capacity = self.rt.cfg.write_capacity_lines;
+        let s = self.s();
+        if s.write_buf.insert(addr.word(), value).is_none() {
+            s.write_order.push(addr);
+            // Deduplicate write lines incrementally, so commit never has to
+            // rebuild the distinct-line set and the capacity check is O(1).
+            let line = addr.line();
+            if s.write_lines.insert(line.index()) {
+                s.line_order.push(line);
             }
-            if lines.len() > self.rt.cfg.write_capacity_lines {
+            // Capacity counts *data* lines only (version-sink lines are
+            // lock-ordering entries in `write_lines`, not HTM footprint),
+            // matching the pre-descriptor accounting exactly.
+            if s.data_lines.insert(line.index()) && s.data_lines.len() > write_capacity {
                 return Err(self.fail(AbortCode::Capacity));
             }
         }
@@ -362,7 +413,13 @@ impl<'rt> HwTxn<'rt> {
         if let Some(code) = self.failed {
             return Err(code);
         }
-        self.version_sinks.push(addr);
+        let s = self.s();
+        s.version_sinks.push(addr);
+        // The sink's line must be locked at commit like any written line.
+        let line = addr.line();
+        if s.write_lines.insert(line.index()) {
+            s.line_order.push(line);
+        }
         Ok(())
     }
 
@@ -382,7 +439,7 @@ impl<'rt> HwTxn<'rt> {
         if let Some(code) = self.failed {
             return Err(code);
         }
-        self.flush_requests.push(addr);
+        self.s().flush_requests.push(addr);
         Ok(())
     }
 
@@ -402,21 +459,20 @@ impl<'rt> HwTxn<'rt> {
         if let Some(code) = self.tick_doom() {
             return Err(self.fail(code));
         }
-        // Collect and sort the distinct write lines to lock in a canonical
-        // order (avoids deadlock between concurrent committers).
-        let mut write_lines: Vec<LineId> = {
-            let mut s: HashSet<LineId> = HashSet::new();
-            for a in &self.write_order {
-                s.insert(a.line());
-            }
-            for a in &self.version_sinks {
-                s.insert(a.line());
-            }
-            s.into_iter().collect()
-        };
-        write_lines.sort();
+        // Operate on the descriptor directly while keeping `self` free for
+        // the abort bookkeeping; `Drop` puts it back in the pool.
+        let mut scratch = self.scratch.take().expect("descriptor present");
+        let result = self.commit_with(&mut scratch);
+        self.scratch = Some(scratch);
+        result
+    }
 
-        let mut locked: Vec<LineId> = Vec::with_capacity(write_lines.len());
+    fn commit_with(&mut self, s: &mut TxnScratch) -> Result<u64, AbortCode> {
+        // The distinct write lines were deduplicated as writes arrived;
+        // sorting the reused buffer in place gives the canonical lock
+        // order (avoids deadlock between concurrent committers).
+        s.line_order.sort_unstable();
+
         let release = |rt: &HtmRuntime, locked: &[LineId], version: Option<u64>| {
             for &line in locked {
                 let slot = &rt.line_versions[line.index() as usize];
@@ -430,7 +486,8 @@ impl<'rt> HwTxn<'rt> {
             }
         };
 
-        for &line in &write_lines {
+        s.locked.clear();
+        for &line in &s.line_order {
             let slot = &self.rt.line_versions[line.index() as usize];
             let v = slot.load(Ordering::Acquire);
             let lockable = v & LOCK_BIT == 0 && (v & !LOCK_BIT) <= self.rv;
@@ -439,20 +496,23 @@ impl<'rt> HwTxn<'rt> {
                     .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok();
             if !acquired {
-                release(self.rt, &locked, None);
+                release(self.rt, &s.locked, None);
                 return Err(self.fail(AbortCode::Conflict));
             }
-            locked.push(line);
+            s.locked.push(line);
         }
 
         // Validate the read set (lines we only read must not have advanced).
-        for &line in &self.read_set {
-            if locked.contains(&line) {
+        // Walks the insertion-order list, not the table: its length is the
+        // transaction's actual read-line count, while the table's slot
+        // count is the *largest* footprint this descriptor has ever seen.
+        for &line_idx in &s.read_order {
+            if s.write_lines.contains(line_idx) {
                 continue;
             }
-            let v = self.rt.version_of(line);
+            let v = self.rt.version_of(LineId::new(line_idx));
             if v & LOCK_BIT != 0 || (v & !LOCK_BIT) > self.rv {
-                release(self.rt, &locked, None);
+                release(self.rt, &s.locked, None);
                 return Err(self.fail(AbortCode::Conflict));
             }
         }
@@ -460,11 +520,14 @@ impl<'rt> HwTxn<'rt> {
         // Assign the commit version and publish buffered writes (and the
         // commit version itself into any registered sinks).
         let wv = self.rt.version_clock.fetch_add(1, Ordering::AcqRel) + 1;
-        for addr in &self.write_order {
-            let value = self.write_buf[&addr.word()];
+        for addr in &s.write_order {
+            let value = s
+                .write_buf
+                .get(addr.word())
+                .expect("buffered write present");
             self.rt.mem.write(*addr, value);
         }
-        for addr in &self.version_sinks {
+        for addr in &s.version_sinks {
             self.rt.mem.write(*addr, wv);
         }
         // Fence semantics for flushes issued before the transaction (they
@@ -475,10 +538,10 @@ impl<'rt> HwTxn<'rt> {
             self.rt.mem.drain(self.tid);
             self.rt.recorder.record_drain();
         }
-        for addr in &self.flush_requests {
+        for addr in &s.flush_requests {
             self.rt.mem.clwb(self.tid, *addr);
         }
-        release(self.rt, &locked, Some(wv));
+        release(self.rt, &s.locked, Some(wv));
 
         self.finished = true;
         self.rt.recorder.record_hw(HwTxnOutcome::Commit);
@@ -493,6 +556,10 @@ impl Drop for HwTxn<'_> {
         if !self.finished {
             self.failed = Some(AbortCode::Explicit(0));
             self.rt.recorder.record_hw(HwTxnOutcome::Explicit);
+        }
+        // Hand the descriptor back for the thread's next transaction.
+        if let Some(scratch) = self.scratch.take() {
+            self.rt.return_scratch(self.tid, scratch);
         }
     }
 }
@@ -514,7 +581,11 @@ mod tests {
         let mut t = rt.begin(0);
         assert_eq!(t.read(a).unwrap(), 0);
         t.write(a, 5).unwrap();
-        assert_eq!(t.read(a).unwrap(), 5, "reads must observe own buffered writes");
+        assert_eq!(
+            t.read(a).unwrap(),
+            5,
+            "reads must observe own buffered writes"
+        );
         assert_eq!(rt.mem().read(a), 0, "buffered writes must stay invisible");
         t.commit().unwrap();
         assert_eq!(rt.mem().read(a), 5);
@@ -594,6 +665,24 @@ mod tests {
     }
 
     #[test]
+    fn version_sinks_do_not_count_toward_write_capacity() {
+        let rt = runtime(HtmConfig::tiny()); // write capacity: 4 lines
+        let mut t = rt.begin(0);
+        for i in 0..4 {
+            t.write(PAddr::new(64 + i * 8), i).unwrap();
+        }
+        // A sink on a fifth line is a lock-ordering entry, not HTM write
+        // footprint: it must not trip the capacity check.
+        t.publish_commit_version(PAddr::new(64 + 4 * 8)).unwrap();
+        // A fifth *data* line still does — even though its line is already
+        // tracked for locking via the sink.
+        assert_eq!(
+            t.write(PAddr::new(64 + 4 * 8), 9).unwrap_err(),
+            AbortCode::Capacity
+        );
+    }
+
+    #[test]
     fn zero_aborts_are_injected_probabilistically() {
         let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
         let rt = HtmRuntime::new(
@@ -619,7 +708,10 @@ mod tests {
                 zero_seen = true;
             }
         }
-        assert!(zero_seen, "with probability 1.0 every transaction is doomed");
+        assert!(
+            zero_seen,
+            "with probability 1.0 every transaction is doomed"
+        );
     }
 
     #[test]

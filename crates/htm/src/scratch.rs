@@ -1,0 +1,496 @@
+//! Reusable per-thread transaction descriptor state.
+//!
+//! Real HTM/STM runtimes keep one transaction descriptor per thread and
+//! reuse it across transactions (cf. phasedTM's `__thread`-local descriptor
+//! state); allocating a fresh read set and write buffer per `xbegin` would
+//! dwarf the cost of the transaction itself. This module provides the
+//! same discipline for the simulated RTM:
+//!
+//! * [`GenSet`] / [`GenMap`] — open-addressed hash tables backed by plain
+//!   `Vec`s whose slots are stamped with a *generation* counter. Clearing
+//!   is O(1): bump the generation and every slot becomes logically empty.
+//!   Growth doubles the table (the only allocation, and only until the
+//!   table reaches the workload's steady-state footprint).
+//! * [`TxnScratch`] — everything a hardware transaction needs (read set,
+//!   write buffer, write order, distinct-write-line tracking, commit lock
+//!   buffer, per-thread RNG), checked out of the runtime at
+//!   [`crate::HtmRuntime::begin`] and returned when the transaction ends.
+//!
+//! In steady state a committed transaction performs **zero heap
+//! allocations**: every structure here retains its capacity across reuse.
+
+use crafty_common::{LineId, PAddr, SplitMix64};
+
+/// Multiplicative hash spreading keys across the table (Fibonacci hashing).
+#[inline]
+fn spread(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+const INITIAL_CAPACITY: usize = 64;
+/// Grow when occupancy passes 3/4.
+const LOAD_NUM: usize = 3;
+const LOAD_DEN: usize = 4;
+
+/// An open-addressed hash set of `u64` keys with O(1) generation clear.
+#[derive(Clone, Debug)]
+pub struct GenSet {
+    /// Generation stamp per slot; a slot is occupied iff its stamp equals
+    /// the set's current generation.
+    gens: Vec<u64>,
+    keys: Vec<u64>,
+    gen: u64,
+    len: usize,
+}
+
+impl GenSet {
+    /// Creates an empty set with the default initial capacity.
+    pub fn new() -> Self {
+        GenSet::with_capacity(INITIAL_CAPACITY)
+    }
+
+    /// Creates an empty set able to hold roughly `capacity` keys before
+    /// growing. The table size is the next power of two above
+    /// `capacity * 4/3`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(4) * LOAD_DEN / LOAD_NUM).next_power_of_two();
+        GenSet {
+            gens: vec![0; slots],
+            // Generation 0 is never "current" (gen starts at 1), so fresh
+            // slots read as empty without an extra init pass.
+            keys: vec![0; slots],
+            gen: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of keys currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set holds no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The table's slot count (stable across [`GenSet::clear`]; used by
+    /// tests asserting steady-state capacity stability).
+    pub fn slot_capacity(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Logically empties the set in O(1) by advancing the generation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.gen += 1;
+        self.len = 0;
+    }
+
+    /// The slot holding `key`, or the empty slot where it would go.
+    /// Termination is guaranteed because the load factor stays below 1.
+    #[inline]
+    fn find_slot(&self, key: u64) -> (usize, bool) {
+        let mask = (self.gens.len() - 1) as u64;
+        let mut i = (spread(key) & mask) as usize;
+        loop {
+            if self.gens[i] != self.gen {
+                return (i, false);
+            }
+            if self.keys[i] == key {
+                return (i, true);
+            }
+            i = (i + 1) & mask as usize;
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    /// Probes before the load check, so a duplicate insert never grows the
+    /// table.
+    #[inline]
+    pub fn insert(&mut self, key: u64) -> bool {
+        let (mut slot, found) = self.find_slot(key);
+        if found {
+            return false;
+        }
+        if (self.len + 1) * LOAD_DEN >= self.gens.len() * LOAD_NUM {
+            self.grow();
+            slot = self.find_slot(key).0;
+        }
+        self.gens[slot] = self.gen;
+        self.keys[slot] = key;
+        self.len += 1;
+        true
+    }
+
+    /// True if `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.find_slot(key).1
+    }
+
+    /// Iterates the keys (in table order, not insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.gens
+            .iter()
+            .zip(&self.keys)
+            .filter(move |(g, _)| **g == self.gen)
+            .map(|(_, k)| *k)
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_slots = self.gens.len() * 2;
+        let mut bigger = GenSet {
+            gens: vec![0; new_slots],
+            keys: vec![0; new_slots],
+            gen: 1,
+            len: 0,
+        };
+        for key in self.iter() {
+            // Re-insert without the load check: the doubled table fits.
+            let mask = (new_slots - 1) as u64;
+            let mut i = (spread(key) & mask) as usize;
+            while bigger.gens[i] == bigger.gen {
+                i = (i + 1) & mask as usize;
+            }
+            bigger.gens[i] = bigger.gen;
+            bigger.keys[i] = key;
+            bigger.len += 1;
+        }
+        *self = bigger;
+    }
+}
+
+impl Default for GenSet {
+    fn default() -> Self {
+        GenSet::new()
+    }
+}
+
+/// An open-addressed `u64 → u64` hash map with O(1) generation clear.
+#[derive(Clone, Debug)]
+pub struct GenMap {
+    gens: Vec<u64>,
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    gen: u64,
+    len: usize,
+}
+
+impl GenMap {
+    /// Creates an empty map with the default initial capacity.
+    pub fn new() -> Self {
+        GenMap::with_capacity(INITIAL_CAPACITY)
+    }
+
+    /// Creates an empty map able to hold roughly `capacity` entries before
+    /// growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(4) * LOAD_DEN / LOAD_NUM).next_power_of_two();
+        GenMap {
+            gens: vec![0; slots],
+            keys: vec![0; slots],
+            vals: vec![0; slots],
+            gen: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of entries currently in the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The table's slot count (stable across [`GenMap::clear`]).
+    pub fn slot_capacity(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Logically empties the map in O(1) by advancing the generation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.gen += 1;
+        self.len = 0;
+    }
+
+    /// The slot holding `key`, or the empty slot where it would go.
+    /// Termination is guaranteed because the load factor stays below 1.
+    #[inline]
+    fn find_slot(&self, key: u64) -> (usize, bool) {
+        let mask = (self.gens.len() - 1) as u64;
+        let mut i = (spread(key) & mask) as usize;
+        loop {
+            if self.gens[i] != self.gen {
+                return (i, false);
+            }
+            if self.keys[i] == key {
+                return (i, true);
+            }
+            i = (i + 1) & mask as usize;
+        }
+    }
+
+    /// Inserts or overwrites; returns the previous value if the key was
+    /// present. Probes before the load check, so an overwrite never grows
+    /// the table.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        let (mut slot, found) = self.find_slot(key);
+        if found {
+            let old = self.vals[slot];
+            self.vals[slot] = value;
+            return Some(old);
+        }
+        if (self.len + 1) * LOAD_DEN >= self.gens.len() * LOAD_NUM {
+            self.grow();
+            slot = self.find_slot(key).0;
+        }
+        self.gens[slot] = self.gen;
+        self.keys[slot] = key;
+        self.vals[slot] = value;
+        self.len += 1;
+        None
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let (slot, found) = self.find_slot(key);
+        found.then(|| self.vals[slot])
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_slots = self.gens.len() * 2;
+        let mut bigger = GenMap {
+            gens: vec![0; new_slots],
+            keys: vec![0; new_slots],
+            vals: vec![0; new_slots],
+            gen: 1,
+            len: 0,
+        };
+        for i in 0..self.gens.len() {
+            if self.gens[i] != self.gen {
+                continue;
+            }
+            let mask = (new_slots - 1) as u64;
+            let mut j = (spread(self.keys[i]) & mask) as usize;
+            while bigger.gens[j] == bigger.gen {
+                j = (j + 1) & mask as usize;
+            }
+            bigger.gens[j] = bigger.gen;
+            bigger.keys[j] = self.keys[i];
+            bigger.vals[j] = self.vals[i];
+            bigger.len += 1;
+        }
+        *self = bigger;
+    }
+}
+
+impl Default for GenMap {
+    fn default() -> Self {
+        GenMap::new()
+    }
+}
+
+/// A reusable hardware-transaction descriptor: the read set, write buffer,
+/// and commit-time buffers of one in-flight transaction, plus the thread's
+/// spurious-abort RNG stream.
+///
+/// One `TxnScratch` lives per thread slot in the runtime; `begin(tid)`
+/// checks it out (resetting it in O(1)) and the transaction returns it when
+/// dropped. All capacity survives reuse, so steady-state transactions
+/// allocate nothing.
+#[derive(Debug)]
+pub struct TxnScratch {
+    /// Distinct lines read (keys are `LineId::index` values).
+    pub(crate) read_set: GenSet,
+    /// The same distinct read lines in insertion order, so commit-time
+    /// read validation walks exactly `len` entries instead of scanning the
+    /// whole table (which never shrinks after a large transaction).
+    pub(crate) read_order: Vec<u64>,
+    /// Buffered word writes (`PAddr::word` → value).
+    pub(crate) write_buf: GenMap,
+    /// First-write order of distinct written words (publication order).
+    pub(crate) write_order: Vec<PAddr>,
+    /// Distinct lines to lock at commit (data writes and version sinks),
+    /// deduplicated incrementally as writes arrive.
+    pub(crate) write_lines: GenSet,
+    /// Distinct lines written by *data* writes only — the set the HTM
+    /// write-capacity check counts, matching the pre-descriptor semantics
+    /// where version-sink lines never counted toward capacity.
+    pub(crate) data_lines: GenSet,
+    /// The same distinct lines in insertion order; sorted in place at
+    /// commit to give the canonical lock order.
+    pub(crate) line_order: Vec<LineId>,
+    /// Addresses to receive the commit version.
+    pub(crate) version_sinks: Vec<PAddr>,
+    /// CLWBs to enqueue atomically with the commit.
+    pub(crate) flush_requests: Vec<PAddr>,
+    /// Lines locked so far during a commit attempt (for rollback).
+    pub(crate) locked: Vec<LineId>,
+    /// The thread's private spurious-abort stream (see
+    /// [`crate::HtmRuntime::begin`] for the seeding discipline).
+    pub(crate) zero_rng: SplitMix64,
+}
+
+impl TxnScratch {
+    /// Creates a descriptor whose zero-abort stream is seeded for one
+    /// thread. `rng_seed` must be unique per thread for independent
+    /// streams; the runtime derives it from the configured seed and the
+    /// thread id.
+    pub(crate) fn new(rng_seed: u64) -> Self {
+        TxnScratch {
+            read_set: GenSet::new(),
+            read_order: Vec::with_capacity(INITIAL_CAPACITY),
+            write_buf: GenMap::new(),
+            write_order: Vec::with_capacity(INITIAL_CAPACITY),
+            write_lines: GenSet::new(),
+            data_lines: GenSet::new(),
+            line_order: Vec::with_capacity(INITIAL_CAPACITY),
+            version_sinks: Vec::with_capacity(4),
+            flush_requests: Vec::with_capacity(INITIAL_CAPACITY),
+            locked: Vec::with_capacity(INITIAL_CAPACITY),
+            zero_rng: SplitMix64::new(rng_seed),
+        }
+    }
+
+    /// Readies the descriptor for a fresh transaction. O(1): the hash
+    /// tables clear by generation bump and the `Vec`s keep their capacity.
+    pub(crate) fn reset(&mut self) {
+        self.read_set.clear();
+        self.read_order.clear();
+        self.write_buf.clear();
+        self.write_order.clear();
+        self.write_lines.clear();
+        self.data_lines.clear();
+        self.line_order.clear();
+        self.version_sinks.clear();
+        self.flush_requests.clear();
+        self.locked.clear();
+    }
+
+    /// Total slot capacity across the descriptor's tables and buffers.
+    /// Stable across transactions once the workload's footprint has been
+    /// seen — asserted by the zero-allocation tests.
+    pub fn capacity_signature(&self) -> usize {
+        self.read_set.slot_capacity()
+            + self.write_buf.slot_capacity()
+            + self.write_lines.slot_capacity()
+            + self.data_lines.slot_capacity()
+            + self.read_order.capacity()
+            + self.write_order.capacity()
+            + self.line_order.capacity()
+            + self.version_sinks.capacity()
+            + self.flush_requests.capacity()
+            + self.locked.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genset_insert_contains_and_clear() {
+        let mut s = GenSet::new();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert!(s.insert(0), "zero must be a usable key");
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(7));
+        assert!(!s.contains(0));
+        assert!(s.insert(7), "cleared keys are insertable again");
+    }
+
+    #[test]
+    fn genset_grows_past_initial_capacity() {
+        let mut s = GenSet::with_capacity(4);
+        let initial = s.slot_capacity();
+        for k in 0..1000 {
+            assert!(s.insert(k * 3));
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.slot_capacity() > initial);
+        for k in 0..1000 {
+            assert!(s.contains(k * 3), "key {} lost in growth", k * 3);
+        }
+        let mut collected: Vec<u64> = s.iter().collect();
+        collected.sort_unstable();
+        assert_eq!(collected, (0..1000).map(|k| k * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn genmap_insert_get_overwrite_clear() {
+        let mut m = GenMap::new();
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 20), Some(10));
+        assert_eq!(m.get(1), Some(20));
+        assert_eq!(m.get(2), None);
+        assert_eq!(m.insert(0, 5), None, "zero must be a usable key");
+        m.clear();
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn genmap_grows_and_keeps_entries() {
+        let mut m = GenMap::with_capacity(4);
+        for k in 0..500 {
+            assert_eq!(m.insert(k, k + 1), None);
+        }
+        for k in 0..500 {
+            assert_eq!(m.get(k), Some(k + 1));
+        }
+        assert_eq!(m.len(), 500);
+    }
+
+    #[test]
+    fn clear_is_constant_time_capacity_preserving() {
+        let mut s = GenSet::new();
+        for k in 0..200 {
+            s.insert(k);
+        }
+        let cap = s.slot_capacity();
+        for _ in 0..10_000 {
+            s.clear();
+            s.insert(1);
+        }
+        assert_eq!(s.slot_capacity(), cap, "clear must never shrink or grow");
+    }
+
+    #[test]
+    fn scratch_reset_preserves_capacity_signature() {
+        let mut scratch = TxnScratch::new(7);
+        for k in 0..300u64 {
+            scratch.read_set.insert(k);
+            scratch.write_buf.insert(k, k);
+            scratch.write_order.push(PAddr::new(k));
+            scratch.write_lines.insert(k);
+            scratch.line_order.push(LineId::new(k));
+        }
+        scratch.reset();
+        let sig = scratch.capacity_signature();
+        for _ in 0..1000 {
+            scratch.reset();
+            scratch.read_set.insert(3);
+            scratch.write_buf.insert(3, 4);
+        }
+        assert_eq!(scratch.capacity_signature(), sig);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the open-addressed scratch structures: arbitrary
+//! interleavings of insert / lookup / epoch-clear / growth must agree with
+//! the std `HashSet` / `HashMap` reference behaviour the structures
+//! replaced on the transaction hot path.
+
+use std::collections::{HashMap, HashSet};
+
+use crafty_htm::{GenMap, GenSet};
+use proptest::prelude::*;
+
+/// One scripted operation against both the scratch structure and its
+/// reference model.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Lookup(u64),
+    Clear,
+}
+
+/// Decodes a draw into an operation. Keys are confined to a small domain
+/// so that collisions, duplicate inserts, and probe chains actually occur;
+/// every 64th value also throws in a huge key to exercise hashing of sparse
+/// addresses.
+fn decode_op(raw: u64, value: u64) -> Op {
+    let key_small = raw % 97;
+    let key = if raw % 64 == 63 {
+        key_small.wrapping_mul(0x0040_0000_0000_1001)
+    } else {
+        key_small
+    };
+    match raw % 13 {
+        // Clears are rare so runs between them grow long enough to force
+        // table growth.
+        0 => Op::Clear,
+        1..=6 => Op::Insert(key, value),
+        _ => Op::Lookup(key),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GenSet behaves exactly like a HashSet under arbitrary op sequences.
+    #[test]
+    fn genset_agrees_with_hashset(seed: u64, ops in 1usize..400) {
+        let mut rng = crafty_common::SplitMix64::new(seed);
+        let mut ours = GenSet::with_capacity(4); // tiny: forces growth
+        let mut reference: HashSet<u64> = HashSet::new();
+        for step in 0..ops {
+            match decode_op(rng.next_u64(), 0) {
+                Op::Insert(key, _) => {
+                    let inserted = ours.insert(key);
+                    prop_assert_eq!(inserted, reference.insert(key), "step {}", step);
+                }
+                Op::Lookup(key) => {
+                    prop_assert_eq!(ours.contains(key), reference.contains(&key), "step {}", step);
+                }
+                Op::Clear => {
+                    ours.clear();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(ours.len(), reference.len(), "step {}", step);
+        }
+        let mut collected: Vec<u64> = ours.iter().collect();
+        collected.sort_unstable();
+        let mut expected: Vec<u64> = reference.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// GenMap behaves exactly like a HashMap under arbitrary op sequences,
+    /// including overwrite semantics (returning the previous value).
+    #[test]
+    fn genmap_agrees_with_hashmap(seed: u64, ops in 1usize..400) {
+        let mut rng = crafty_common::SplitMix64::new(seed);
+        let mut ours = GenMap::with_capacity(4); // tiny: forces growth
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for step in 0..ops {
+            let value = rng.next_u64();
+            match decode_op(rng.next_u64(), value) {
+                Op::Insert(key, value) => {
+                    prop_assert_eq!(
+                        ours.insert(key, value),
+                        reference.insert(key, value),
+                        "step {}", step
+                    );
+                }
+                Op::Lookup(key) => {
+                    prop_assert_eq!(
+                        ours.get(key),
+                        reference.get(&key).copied(),
+                        "step {}", step
+                    );
+                }
+                Op::Clear => {
+                    ours.clear();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(ours.len(), reference.len(), "step {}", step);
+        }
+        for (&key, &value) in &reference {
+            prop_assert_eq!(ours.get(key), Some(value));
+        }
+    }
+
+    /// Epoch-clearing never resurrects previous-epoch entries, even after
+    /// thousands of generations (the generation counter must not alias).
+    #[test]
+    fn generations_never_alias(seed: u64) {
+        let mut rng = crafty_common::SplitMix64::new(seed);
+        let mut set = GenSet::with_capacity(8);
+        let mut map = GenMap::with_capacity(8);
+        for _gen in 0..2000 {
+            let key = rng.next_u64() % 31;
+            prop_assert!(!set.contains(key), "stale key visible after clear");
+            prop_assert_eq!(map.get(key), None, "stale entry visible after clear");
+            set.insert(key);
+            map.insert(key, key + 1);
+            prop_assert!(set.contains(key));
+            prop_assert_eq!(map.get(key), Some(key + 1));
+            set.clear();
+            map.clear();
+        }
+    }
+}

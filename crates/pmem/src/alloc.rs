@@ -142,7 +142,9 @@ mod tests {
         for _ in 0..4 {
             let a = Arc::clone(&a);
             handles.push(std::thread::spawn(move || {
-                (0..256).map(|_| a.alloc(2).expect("alloc").word()).collect::<Vec<_>>()
+                (0..256)
+                    .map(|_| a.alloc(2).expect("alloc").word())
+                    .collect::<Vec<_>>()
             }));
         }
         let mut seen = HashSet::new();

@@ -65,11 +65,21 @@ pub struct MemorySpace {
     persistent_image: Box<[AtomicU64]>,
     line_dirty: Box<[AtomicBool]>,
     flush_queues: Box<[Mutex<Vec<LineId>>]>,
-    reserve_persistent: Mutex<u64>,
-    reserve_volatile: Mutex<u64>,
-    evict_rng: Mutex<SplitMix64>,
+    /// Reservation cursors (word indices). Plain atomics: reservations are
+    /// rare (setup-time) but formerly shared a mutex with the store hot
+    /// path.
+    reserve_persistent: AtomicU64,
+    reserve_volatile: AtomicU64,
+    /// Striped eviction-sampling RNG states, each a SplitMix64 stream
+    /// seeded from this space's crash-model seed (see
+    /// [`MemorySpace::evict_chance`]).
+    evict_stripes: Box<[AtomicU64]>,
     stats: StatCells,
 }
+
+/// Stripe count for eviction sampling; lines hash onto stripes, so
+/// unrelated lines rarely contend on the same stream.
+const EVICT_STRIPES: usize = 64;
 
 impl std::fmt::Debug for MemorySpace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -91,10 +101,18 @@ impl MemorySpace {
             volatile_view: (0..total).map(|_| AtomicU64::new(0)).collect(),
             persistent_image: (0..persistent).map(|_| AtomicU64::new(0)).collect(),
             line_dirty: (0..lines).map(|_| AtomicBool::new(false)).collect(),
-            flush_queues: (0..cfg.max_threads).map(|_| Mutex::new(Vec::new())).collect(),
-            reserve_persistent: Mutex::new(WORDS_PER_LINE), // word 0 / line 0 reserved
-            reserve_volatile: Mutex::new(cfg.persistent_words),
-            evict_rng: Mutex::new(SplitMix64::new(cfg.crash.seed ^ 0xE51C_7A0D)),
+            flush_queues: (0..cfg.max_threads)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            reserve_persistent: AtomicU64::new(WORDS_PER_LINE), // word 0 / line 0 reserved
+            reserve_volatile: AtomicU64::new(cfg.persistent_words),
+            evict_stripes: (0..EVICT_STRIPES as u64)
+                .map(|i| {
+                    AtomicU64::new(
+                        cfg.crash.seed ^ 0xE51C_7A0D ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    )
+                })
+                .collect(),
             stats: StatCells::default(),
             cfg,
         }
@@ -170,14 +188,35 @@ impl MemorySpace {
             let line = addr.line();
             self.line_dirty[line.index() as usize].store(true, Ordering::Release);
             let p = self.cfg.crash.eviction_probability;
-            if p > 0.0 {
-                let evict = self.evict_rng.lock().chance(p);
-                if evict {
-                    self.persist_line(line);
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                }
+            if p > 0.0 && self.evict_chance(line, p) {
+                self.persist_line(line);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Draws one eviction-sampling coin flip from one of this space's
+    /// striped SplitMix64 streams, lock-free. SplitMix64 advances its state
+    /// by a constant, so a single `fetch_add` *is* the stream step — no
+    /// mutex is taken on the store hot path (the old implementation locked
+    /// a global `Mutex<SplitMix64>` on every probabilistic store).
+    ///
+    /// The stripe is chosen by the *written line*, not the calling thread,
+    /// so sampling is a pure function of the space's crash-model seed and
+    /// the per-stripe draw order: a single-threaded run replays exactly
+    /// given the same seed (no process-global state is involved). With
+    /// several threads storing to lines of one stripe concurrently, the
+    /// interleaving of their draws is scheduling-dependent — as it already
+    /// was for the old single global stream under concurrency.
+    fn evict_chance(&self, line: LineId, p: f64) -> bool {
+        let stripe =
+            (line.index().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize % EVICT_STRIPES;
+        // SplitMix64's state step is `state += GOLDEN`; fetch_add returns
+        // the previous state, and `chance` performs the same step before
+        // mixing, so consecutive draws on a stripe reproduce the seeded
+        // stream exactly.
+        let prev = self.evict_stripes[stripe].fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        SplitMix64::new(prev).chance(p)
     }
 
     /// Atomically compare-and-swap the word at `addr` in the volatile view.
@@ -245,13 +284,22 @@ impl MemorySpace {
     ///
     /// Panics if `tid >= max_threads`.
     pub fn drain(&self, tid: usize) -> u64 {
-        let pending: Vec<LineId> = std::mem::take(&mut *self.flush_queues[tid].lock());
-        let count = pending.len() as u64;
-        for line in pending {
-            self.persist_line(line);
-        }
+        // Persist in place and clear, rather than mem::take-ing the Vec:
+        // the queue keeps its capacity, so steady-state flush/drain cycles
+        // never reallocate.
+        let count = {
+            let mut queue = self.flush_queues[tid].lock();
+            for &line in queue.iter() {
+                self.persist_line(line);
+            }
+            let count = queue.len() as u64;
+            queue.clear();
+            count
+        };
         self.stats.drains.fetch_add(1, Ordering::Relaxed);
-        self.stats.lines_persisted.fetch_add(count, Ordering::Relaxed);
+        self.stats
+            .lines_persisted
+            .fetch_add(count, Ordering::Relaxed);
         self.emulate_drain_latency();
         count
     }
@@ -352,15 +400,19 @@ impl MemorySpace {
     ///
     /// Panics if the persistent region is exhausted.
     pub fn reserve_persistent(&self, words: u64) -> PAddr {
-        let mut cursor = self.reserve_persistent.lock();
-        let start = *cursor;
         let aligned = words.div_ceil(WORDS_PER_LINE) * WORDS_PER_LINE;
-        assert!(
-            start + aligned <= self.cfg.persistent_words,
-            "persistent region exhausted: need {aligned} words at {start}, have {}",
-            self.cfg.persistent_words
-        );
-        *cursor = start + aligned;
+        let start = self
+            .reserve_persistent
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                cur.checked_add(aligned)
+                    .filter(|&end| end <= self.cfg.persistent_words)
+            })
+            .unwrap_or_else(|cur| {
+                panic!(
+                    "persistent region exhausted: need {aligned} words at {cur}, have {}",
+                    self.cfg.persistent_words
+                )
+            });
         PAddr::new(start)
     }
 
@@ -370,15 +422,19 @@ impl MemorySpace {
     ///
     /// Panics if the volatile region is exhausted.
     pub fn reserve_volatile(&self, words: u64) -> PAddr {
-        let mut cursor = self.reserve_volatile.lock();
-        let start = *cursor;
         let aligned = words.div_ceil(WORDS_PER_LINE) * WORDS_PER_LINE;
-        assert!(
-            start + aligned <= self.cfg.total_words(),
-            "volatile region exhausted: need {aligned} words at {start}, have {}",
-            self.cfg.total_words()
-        );
-        *cursor = start + aligned;
+        let start = self
+            .reserve_volatile
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                cur.checked_add(aligned)
+                    .filter(|&end| end <= self.cfg.total_words())
+            })
+            .unwrap_or_else(|cur| {
+                panic!(
+                    "volatile region exhausted: need {aligned} words at {cur}, have {}",
+                    self.cfg.total_words()
+                )
+            });
         PAddr::new(start)
     }
 
@@ -418,7 +474,11 @@ mod tests {
         m.write(a, 7);
         assert_eq!(m.read_persisted(a), 0);
         let img = m.crash();
-        assert_eq!(img.read(a), 0, "unflushed write must not persist under strict model");
+        assert_eq!(
+            img.read(a),
+            0,
+            "unflushed write must not persist under strict model"
+        );
     }
 
     #[test]
@@ -530,7 +590,11 @@ mod tests {
         let m = MemorySpace::new(cfg);
         let a = PAddr::new(64);
         m.write(a, 3);
-        assert_eq!(m.read_persisted(a), 3, "eviction should have written the line back");
+        assert_eq!(
+            m.read_persisted(a),
+            3,
+            "eviction should have written the line back"
+        );
         assert!(m.stats().evictions >= 1);
     }
 

@@ -1,0 +1,213 @@
+//! A minimal JSON document builder.
+//!
+//! The workspace is built in an offline environment without `serde`, so the
+//! machine-readable benchmark artifacts (`BENCH_hotpath.json`) are rendered
+//! through this small value type instead. It supports exactly what the
+//! artifacts need: objects with ordered keys, arrays, strings, integers,
+//! and finite floats.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (u64 covers every counter the artifacts emit).
+    UInt(u64),
+    /// A float; non-finite values render as `null` (JSON has no NaN).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object whose keys keep insertion order, so rendered artifacts
+    /// diff cleanly between runs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds (or appends — keys are not deduplicated) a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Object(fields) => fields.push((key.to_string(), value)),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    pub fn with(mut self, key: &str, value: Json) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Renders the value as a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Renders the value with two-space indentation (for committed
+    /// artifacts that humans also read).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_sequence(out, depth, pretty, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, depth + 1, pretty);
+                });
+            }
+            Json::Object(fields) => {
+                write_sequence(out, depth, pretty, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, depth + 1, pretty);
+                });
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+fn write_sequence(
+    out: &mut String,
+    depth: usize,
+    pretty: bool,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str("  ");
+            }
+        }
+        item(out, i);
+    }
+    if pretty && len > 0 {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::from("a\"b\n").render(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let j = Json::object()
+            .with("z", Json::from(1u64))
+            .with("a", Json::Array(vec![Json::from(2u64), Json::Null]));
+        assert_eq!(j.render(), "{\"z\":1,\"a\":[2,null]}");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let j = Json::object().with("k", Json::Array(vec![Json::from(1u64)]));
+        assert_eq!(j.render_pretty(), "{\n  \"k\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_non_object_panics() {
+        Json::Null.set("k", Json::Null);
+    }
+}

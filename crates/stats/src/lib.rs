@@ -8,12 +8,16 @@
 //! * [`report`] — text/CSV rendering of every figure, of the
 //!   persistent/hardware transaction breakdowns (Figures 9–21), and of
 //!   Table 1 (writes per transaction).
+//! * [`json`] — a dependency-free JSON builder for machine-readable
+//!   benchmark artifacts such as `BENCH_hotpath.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod report;
 pub mod throughput;
 
+pub use json::Json;
 pub use report::{render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row};
 pub use throughput::{Figure, Measurement, PAPER_THREAD_COUNTS};

@@ -141,7 +141,15 @@ mod tests {
     #[test]
     fn breakdown_lists_every_category() {
         let s = render_breakdown("Crafty", &BreakdownSnapshot::default());
-        for label in ["read-only", "redo", "validate", "sgl", "commit", "conflict", "capacity"] {
+        for label in [
+            "read-only",
+            "redo",
+            "validate",
+            "sgl",
+            "commit",
+            "conflict",
+            "capacity",
+        ] {
             assert!(s.contains(label), "missing {label} in breakdown");
         }
     }

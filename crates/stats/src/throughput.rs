@@ -9,14 +9,12 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 /// The thread counts every figure in the paper sweeps.
 pub const PAPER_THREAD_COUNTS: [usize; 7] = [1, 2, 4, 8, 12, 15, 16];
 
 /// One measured run: an engine, a thread count, how much work was done and
 /// how long it took.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Measurement {
     /// Engine name as used in the figure legends (e.g. `"Crafty"`).
     pub engine: String,
@@ -39,7 +37,7 @@ impl Measurement {
 }
 
 /// A figure: one benchmark, several engines, several thread counts.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Figure {
     /// Figure title (e.g. `"bank (high contention)"`).
     pub title: String,

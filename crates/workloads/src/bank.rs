@@ -201,7 +201,10 @@ mod tests {
         run_mix(&engine, mix.as_ref(), 3, 60, 7);
         mix.verify(&mem).expect("bank invariant");
         let b = engine.breakdown();
-        assert!((b.writes_per_txn() - 10.0).abs() < 0.01, "10 writes per transaction");
+        assert!(
+            (b.writes_per_txn() - 10.0).abs() < 0.01,
+            "10 writes per transaction"
+        );
     }
 
     #[test]

@@ -94,7 +94,12 @@ impl Workload for BtreeWorkload {
 
 impl BtreeMix {
     /// Number of keys the benchmark pre-fills before measurement.
-    pub fn prefill(&self, mem: &Arc<MemorySpace>, engine: &dyn crafty_common::PersistentTm, keys: u64) {
+    pub fn prefill(
+        &self,
+        mem: &Arc<MemorySpace>,
+        engine: &dyn crafty_common::PersistentTm,
+        keys: u64,
+    ) {
         let mut handle = engine.register_thread(0);
         let mut rng = SplitMix64::new(0xB7EE);
         for _ in 0..keys {
@@ -145,8 +150,7 @@ impl BtreeMix {
                 }
                 return Ok(None);
             }
-            let go_right =
-                idx < nkeys && self.node_read(ops, node, OFF_KEYS + idx)? <= key;
+            let go_right = idx < nkeys && self.node_read(ops, node, OFF_KEYS + idx)? <= key;
             let child_idx = if go_right { idx + 1 } else { idx };
             node = PAddr::new(self.node_read(ops, node, OFF_CHILDREN + child_idx)?);
         }

@@ -64,7 +64,7 @@ pub fn build_engine(
     // benchmark-sized spaces.
     let heap_words = (mem.persistent_words() / 4).min(1 << 21);
     let per_thread_log_words =
-        (mem.persistent_words() / (4 * max_threads as u64)).min(1 << 16).max(64);
+        (mem.persistent_words() / (4 * max_threads as u64)).clamp(64, 1 << 16);
     match kind {
         EngineKind::NonDurable => Box::new(NonDurable::new(Arc::clone(mem), heap_words)),
         EngineKind::NvHtm => Box::new(NvHtm::new(

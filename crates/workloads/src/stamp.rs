@@ -221,7 +221,10 @@ impl StampMix {
         let node = rng.next_below(self.cold_slots / 2);
         let cursor = ops.read(self.cold_addr(node))?;
         ops.write(self.cold_addr(node), cursor + 1)?;
-        ops.write(self.cold_addr(self.cold_slots / 2 + node + cursor % 8), rng.next_u64())
+        ops.write(
+            self.cold_addr(self.cold_slots / 2 + node + cursor % 8),
+            rng.next_u64(),
+        )
     }
 
     fn genome(&self, rng: &mut SplitMix64, ops: &mut dyn TxnOps) -> Result<(), TxAbort> {
@@ -301,9 +304,9 @@ mod tests {
     fn write_counts_track_table_1() {
         // SW undo logging counts every persistent write it performs, which
         // is exactly the Table 1 metric.
-        let mem = Arc::new(MemorySpace::new(PmemConfig::benchmark().with_latency(
-            crafty_pmem::LatencyModel::instant(),
-        )));
+        let mem = Arc::new(MemorySpace::new(
+            PmemConfig::benchmark().with_latency(crafty_pmem::LatencyModel::instant()),
+        ));
         for kernel in [
             StampKernel::KmeansHigh,
             StampKernel::VacationHigh,

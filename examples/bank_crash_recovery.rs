@@ -12,9 +12,9 @@
 
 use std::sync::Arc;
 
+use crafty_common::SplitMix64;
 use crafty_repro::prelude::*;
 use crafty_repro::workloads::{BankWorkload, Contention};
-use crafty_common::SplitMix64;
 
 fn main() {
     let threads = 4usize;

@@ -37,7 +37,10 @@ fn main() {
     })
     .expect("worker threads");
 
-    println!("counter after 4 threads x 1000 transactions: {}", mem.read(counter));
+    println!(
+        "counter after 4 threads x 1000 transactions: {}",
+        mem.read(counter)
+    );
     let breakdown = crafty.breakdown();
     println!(
         "commit paths — redo: {}, validate: {}, sgl: {}, read-only: {}",

@@ -6,11 +6,11 @@
 
 use std::sync::Arc;
 
-use crafty_repro::prelude::*;
-use crafty_repro::workloads::{BankWorkload, Contention};
 use crafty_common::SplitMix64;
 use crafty_core::recover;
 use crafty_pmem::PersistentImage;
+use crafty_repro::prelude::*;
+use crafty_repro::workloads::{BankWorkload, Contention};
 use proptest::prelude::*;
 
 /// Runs a multi-threaded bank run on Crafty, crashes without quiescing,
@@ -136,8 +136,7 @@ fn bank_invariant_survives_an_adversarial_crash() {
 #[test]
 fn ablation_variants_are_also_crash_consistent() {
     for variant in [CraftyVariant::NoRedo, CraftyVariant::NoValidate] {
-        let (expected, total) =
-            bank_crash_run(7, 2, 120, CrashModel::adversarial(7), variant);
+        let (expected, total) = bank_crash_run(7, 2, 120, CrashModel::adversarial(7), variant);
         assert_eq!(total, expected, "{variant:?}");
     }
 }

@@ -5,11 +5,11 @@
 
 use std::sync::Arc;
 
+use crafty_common::CompletionPath;
 use crafty_repro::prelude::*;
 use crafty_repro::workloads::{
     run_mix, BankWorkload, BtreeVariant, BtreeWorkload, Contention, StampKernel, StampWorkload,
 };
-use crafty_common::CompletionPath;
 
 fn small_space(threads: usize) -> Arc<MemorySpace> {
     Arc::new(MemorySpace::new(PmemConfig {
@@ -127,7 +127,10 @@ fn crafty_breakdown_distinguishes_commit_paths_under_contention() {
     let mix = Workload::prepare(&workload, &mem);
     run_mix(engine.as_ref(), mix.as_ref(), threads, 250, 23);
     let b = engine.breakdown();
-    assert!(b.completions(CompletionPath::Redo) > 0, "redo path must be exercised");
+    assert!(
+        b.completions(CompletionPath::Redo) > 0,
+        "redo path must be exercised"
+    );
     assert!(
         b.completions(CompletionPath::Redo)
             + b.completions(CompletionPath::Validate)

@@ -1,0 +1,294 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements just enough of criterion's API for the workspace's bench
+//! targets to compile and produce useful wall-clock numbers: benchmark
+//! groups, `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. There is no statistical analysis — each
+//! benchmark reports the mean time per iteration over a fixed measurement
+//! window.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) each
+//! benchmark body runs exactly once, with no warm-up or measurement loop.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the displayed id.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs the timed routine.
+pub struct Bencher<'a> {
+    mode: &'a Mode,
+    /// Filled in by [`Bencher::iter`]: (total elapsed, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly for the configured
+    /// measurement window (or exactly once in test mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                routine();
+                self.result = Some((Duration::ZERO, 1));
+            }
+            Mode::Bench {
+                warm_up_time,
+                measurement_time,
+            } => {
+                let warm_end = Instant::now() + *warm_up_time;
+                while Instant::now() < warm_end {
+                    routine();
+                }
+                let mut iters = 0u64;
+                let start = Instant::now();
+                let measure_end = start + *measurement_time;
+                loop {
+                    routine();
+                    iters += 1;
+                    if Instant::now() >= measure_end {
+                        break;
+                    }
+                }
+                self.result = Some((start.elapsed(), iters));
+            }
+        }
+    }
+}
+
+enum Mode {
+    /// `--test`: run each routine once, no timing.
+    Test,
+    /// Normal bench run with the group's warm-up and measurement windows.
+    Bench {
+        warm_up_time: Duration,
+        measurement_time: Duration,
+    },
+}
+
+/// The top-level harness handle; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing warm-up/measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mode = if self.criterion.test_mode {
+            Mode::Test
+        } else {
+            Mode::Bench {
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+            }
+        };
+        let mut bencher = Bencher {
+            mode: &mode,
+            result: None,
+        };
+        f(&mut bencher);
+        report(&full, bencher.result);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, result: Option<(Duration, u64)>) {
+    match result {
+        Some((elapsed, iters)) if iters > 0 && !elapsed.is_zero() => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench: {id:<60} {ns:>14.0} ns/iter ({iters} iters)");
+        }
+        Some((_, iters)) => {
+            println!("bench: {id:<60} ok ({iters} iters, untimed)");
+        }
+        None => println!("bench: {id:<60} skipped (no iter call)"),
+    }
+}
+
+/// Prevents the compiler from optimizing away a value; mirrors
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions; mirrors criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`; mirrors criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_routine_and_reports() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1, "test mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("nomatch".to_string()),
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

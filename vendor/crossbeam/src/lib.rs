@@ -1,0 +1,82 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses: the
+//! `crossbeam::scope` scoped-thread API, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from the real crate: if a spawned thread panics, the panic
+//! is propagated when the scope unwinds (std semantics) instead of being
+//! returned inside the `Err` variant — the `Result` returned here is always
+//! `Ok`, so `.expect(..)` call sites behave identically in passing runs and
+//! still fail loudly on a child panic.
+
+use std::thread::ScopedJoinHandle;
+
+/// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope handle (which
+    /// crossbeam callers conventionally ignore with `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the enclosing
+/// stack frame; mirrors `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Mirror of the `crossbeam::thread` module path.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handle() {
+        let r = super::scope(|s| s.spawn(|_| 21).join().unwrap() * 2).expect("scope");
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}
