@@ -148,7 +148,6 @@ pub struct ShadowPagingTm {
     /// Volatile word incremented inside hardware transactions (DudeTM).
     dude_counter_addr: PAddr,
     sgl_addr: PAddr,
-    sgl_mutex: Mutex<()>,
     /// Per-thread persistent redo log region and its capacity in words.
     redo_logs: Vec<PAddr>,
     /// Timestamp of each thread's transaction that has committed in HTM but
@@ -221,6 +220,16 @@ impl ShadowPagingTm {
                     mem.drain(checkpoint_tid);
                     recorder.record_drain();
                     queue.completed.fetch_add(1, Ordering::AcqRel);
+                    // Hand the core back between jobs. On hosts with fewer
+                    // cores than workers the checkpointer otherwise chews
+                    // through a deep backlog without ever descheduling,
+                    // starving the very workers that feed it (the
+                    // multi-thread collapse the tracked benchmark showed on
+                    // a single-core container). One yield per job bounds
+                    // the checkpointer to one drain per scheduling quantum
+                    // under contention while costing nothing when cores
+                    // are plentiful and the queue is short.
+                    std::thread::yield_now();
                 }
             })
         };
@@ -235,7 +244,6 @@ impl ShadowPagingTm {
             clock: Clock::new(),
             dude_counter_addr,
             sgl_addr,
-            sgl_mutex: Mutex::new(()),
             redo_logs,
             in_flight: (0..cfg.max_threads).map(|_| AtomicU64::new(0)).collect(),
             queue,
@@ -283,7 +291,11 @@ impl ShadowPagingTm {
                 if !earlier_in_flight {
                     break;
                 }
-                std::hint::spin_loop();
+                // Yield, don't spin: the thread being waited on needs a
+                // core to finish its durable commit, and on few-core hosts
+                // a spinning waiter is exactly what keeps it from getting
+                // one (the NV-HTM multi-thread collapse).
+                std::thread::yield_now();
             }
         }
 
@@ -454,9 +466,11 @@ impl TmThread for CowThread<'_> {
             );
         }
 
-        // Global-lock fallback.
-        let guard = engine.sgl_mutex.lock();
-        engine.htm.nontx_write(engine.sgl_addr, 1);
+        // Global-lock fallback: acquire the simulated SGL word itself (no
+        // host mutex); subscribed hardware transactions abort on
+        // acquisition, and the guard releases the word on drop
+        // (panic-safe).
+        let sgl = engine.htm.nontx_acquire_lock_word(engine.sgl_addr);
         let mut ops = LockedShadowOps {
             htm: &engine.htm,
             allocator: &engine.allocator,
@@ -466,8 +480,8 @@ impl TmThread for CowThread<'_> {
         body(&mut ops).expect("transaction body must succeed under the global lock");
         let writes = ops.writes;
         let ts = engine.clock.now().raw();
-        engine.htm.nontx_write(engine.sgl_addr, 0);
-        drop(guard);
+        // Release before the (slow) durable completion, as before.
+        drop(sgl);
         self.engine.complete_transaction(
             self.tid,
             &mut self.log_cursor,

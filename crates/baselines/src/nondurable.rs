@@ -8,7 +8,6 @@ use crafty_common::{
 };
 use crafty_htm::{HtmConfig, HtmRuntime, HwTxn};
 use crafty_pmem::{MemorySpace, PmemAllocator};
-use parking_lot::Mutex;
 
 /// Executes each persistent transaction in a hardware transaction with a
 /// global-lock fallback, exactly like the `Non-durable` configuration of
@@ -20,7 +19,6 @@ pub struct NonDurable {
     recorder: Arc<BreakdownRecorder>,
     allocator: PmemAllocator,
     sgl_addr: PAddr,
-    sgl_mutex: Mutex<()>,
     max_attempts: u32,
 }
 
@@ -49,7 +47,6 @@ impl NonDurable {
             recorder,
             allocator: PmemAllocator::new(heap, heap_words),
             sgl_addr,
-            sgl_mutex: Mutex::new(()),
             max_attempts: 8,
         }
     }
@@ -140,16 +137,17 @@ impl TmThread for NonDurableThread<'_> {
                 return TxnReport::new(CompletionPath::NonCrafty, attempts);
             }
         }
-        // Global-lock fallback.
-        let guard = engine.sgl_mutex.lock();
-        engine.htm.nontx_write(engine.sgl_addr, 1);
+        // Global-lock fallback: the SGL word in simulated memory *is* the
+        // lock — no host mutex. Acquiring it through the versioned-lock
+        // machinery aborts every subscribed hardware transaction; the
+        // guard releases the word on drop (panic-safe).
+        let sgl = engine.htm.nontx_acquire_lock_word(engine.sgl_addr);
         let mut ops = LockedOps {
             htm: &engine.htm,
             allocator: &engine.allocator,
         };
         body(&mut ops).expect("transaction body must succeed under the global lock");
-        engine.htm.nontx_write(engine.sgl_addr, 0);
-        drop(guard);
+        drop(sgl);
         engine.recorder.record_completion(CompletionPath::Sgl);
         TxnReport::new(CompletionPath::Sgl, attempts)
     }

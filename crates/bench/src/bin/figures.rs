@@ -4,13 +4,31 @@
 //! figures [targets...] [--paper] [--latency-100] [--threads a,b,c] [--txns N] [--csv DIR]
 //!         [--json-out PATH]
 //!
-//! targets: fig6 fig7 fig8 table1 breakdowns fig22 fig23 fig24 hotpath all
-//!          (default: fig6 fig7 table1)
+//! targets: fig6 fig7 fig8 table1 breakdowns fig22 fig23 fig24 hotpath
+//!          flushbound all   (default: fig6 fig7 table1)
+//!
+//! figures compare --candidate PATH [--baseline BENCH_hotpath.json]
+//!         [--tolerance 0.40] [--engine Crafty] [--reference Non-durable]
+//!         [--threads 1] [--absolute]
 //! ```
 //!
 //! The `hotpath` target runs the tracked bank benchmark and writes the
 //! machine-readable `BENCH_hotpath.json` artifact (see
-//! [`crafty_bench::hotpath`]); `--json-out` overrides its output path.
+//! [`crafty_bench::hotpath`]); `--json-out` overrides its output path. The
+//! `flushbound` target stresses the persistence domain (clwb/drain) with no
+//! transactions (see [`crafty_bench::flushbound`]).
+//!
+//! `compare` is the CI perf-regression gate: it reads two hotpath JSON
+//! artifacts (the committed baseline and a fresh candidate run) and fails
+//! (exit 1) if the candidate's Crafty throughput regressed by more than the
+//! tolerance. By default the compared metric is Crafty's throughput
+//! *normalized to Non-durable in the same artifact*, which cancels
+//! machine-speed differences between the baseline host and the CI runner;
+//! `--absolute` compares raw ops/s instead (only meaningful on the same
+//! host). To intentionally move the baseline, regenerate it
+//! (`cargo run --release -p crafty-bench --bin figures -- hotpath`) and
+//! commit the new `BENCH_hotpath.json` alongside the change that shifted
+//! performance.
 //!
 //! Every figure is printed as the table of normalized throughputs behind
 //! the paper's plot (one row per thread count, one column per engine,
@@ -22,10 +40,13 @@
 use std::collections::BTreeSet;
 
 use crafty_bench::{
-    render_hotpath_json, run_breakdowns, run_figure, run_hotpath, writes_per_txn, HarnessConfig,
+    render_hotpath_json, run_breakdowns, run_figure, run_flushbound, run_hotpath, writes_per_txn,
+    HarnessConfig,
 };
 use crafty_pmem::LatencyModel;
-use crafty_stats::{render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row};
+use crafty_stats::{
+    render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row, Json,
+};
 use crafty_workloads::{
     BankWorkload, BtreeVariant, BtreeWorkload, Contention, StampKernel, StampWorkload, Workload,
 };
@@ -93,6 +114,7 @@ fn parse_args() -> Options {
             "fig23",
             "fig24",
             "hotpath",
+            "flushbound",
         ] {
             targets.insert(t.to_string());
         }
@@ -147,7 +169,130 @@ fn bank_workloads(max_threads: usize) -> Vec<(String, BankWorkload)> {
         .collect()
 }
 
+/// The `compare` subcommand: the CI perf-regression gate. Exits the
+/// process — 0 when the candidate is within tolerance of the baseline,
+/// 1 on a regression, 2 on usage or artifact errors.
+fn run_compare(args: &[String]) -> ! {
+    let mut baseline = "BENCH_hotpath.json".to_string();
+    let mut candidate: Option<String> = None;
+    let mut tolerance = 0.40f64;
+    let mut engine = "Crafty".to_string();
+    let mut reference = "Non-durable".to_string();
+    let mut threads = 1u64;
+    let mut absolute = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = value("--baseline"),
+            "--candidate" => candidate = Some(value("--candidate")),
+            "--tolerance" => {
+                tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance needs a fraction like 0.40");
+                    std::process::exit(2);
+                })
+            }
+            "--engine" => engine = value("--engine"),
+            "--reference" => reference = value("--reference"),
+            "--threads" => {
+                threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--absolute" => absolute = true,
+            other => {
+                eprintln!("unknown compare flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let candidate = candidate.unwrap_or_else(|| {
+        eprintln!("compare requires --candidate PATH (a fresh hotpath JSON artifact)");
+        std::process::exit(2);
+    });
+
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let ops = |doc: &Json, path: &str, engine: &str| -> f64 {
+        doc.get("points")
+            .map(Json::items)
+            .unwrap_or(&[])
+            .iter()
+            .find(|p| {
+                p.get("engine").and_then(Json::as_str) == Some(engine)
+                    && p.get("threads").and_then(Json::as_u64) == Some(threads)
+            })
+            .and_then(|p| p.get("ops_per_sec"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| {
+                eprintln!("{path}: no `{engine}` point at {threads} thread(s)");
+                std::process::exit(2);
+            })
+    };
+
+    let base_doc = load(&baseline);
+    let cand_doc = load(&candidate);
+    let (metric_name, base_metric, cand_metric) = if absolute {
+        (
+            format!("{engine} ops/s at {threads} thread(s)"),
+            ops(&base_doc, &baseline, &engine),
+            ops(&cand_doc, &candidate, &engine),
+        )
+    } else {
+        // Normalizing to a reference engine measured in the same artifact
+        // cancels host-speed differences between the baseline machine and
+        // the CI runner.
+        (
+            format!("{engine}/{reference} throughput ratio at {threads} thread(s)"),
+            ops(&base_doc, &baseline, &engine) / ops(&base_doc, &baseline, &reference),
+            ops(&cand_doc, &candidate, &engine) / ops(&cand_doc, &candidate, &reference),
+        )
+    };
+
+    let floor = base_metric * (1.0 - tolerance);
+    println!("perf-regression gate: {metric_name}");
+    println!("  baseline  ({baseline}): {base_metric:.4}");
+    println!("  candidate ({candidate}): {cand_metric:.4}");
+    println!("  floor (tolerance {:.0}%): {floor:.4}", tolerance * 100.0);
+    if cand_metric >= floor {
+        println!("PASS: candidate is within tolerance of the committed baseline.");
+        std::process::exit(0);
+    }
+    println!(
+        "FAIL: candidate regressed {:.1}% below the baseline (allowed {:.0}%).",
+        (1.0 - cand_metric / base_metric) * 100.0,
+        tolerance * 100.0
+    );
+    println!(
+        "If this shift is intentional, refresh the baseline with\n  \
+         cargo run --release -p crafty-bench --bin figures -- hotpath\n\
+         and commit the regenerated BENCH_hotpath.json with your change."
+    );
+    std::process::exit(1);
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("compare") {
+        run_compare(&argv[1..]);
+    }
     let options = parse_args();
     let cfg = &options.cfg;
     let max_threads = cfg.thread_counts.iter().copied().max().unwrap_or(1);
@@ -252,6 +397,19 @@ fn main() {
         }
         std::fs::write(path, render_hotpath_json(cfg, &points)).expect("write hotpath json");
         println!("[json written to {path}]");
+    }
+    if has("flushbound") {
+        println!("\n== flushbound: persistence-domain microbenchmark ==");
+        println!(
+            "{:>3}  {:>14}  {:>14}  {:>12}",
+            "thr", "lines/s", "drains/s", "lines total"
+        );
+        for p in run_flushbound(cfg) {
+            println!(
+                "{:>3}  {:>14.0}  {:>14.0}  {:>12}",
+                p.threads, p.lines_per_sec, p.drains_per_sec, p.lines_persisted
+            );
+        }
     }
     // Appendix figures: the same benchmarks at 100 ns drain latency.
     let appendix = cfg.clone().with_latency(LatencyModel::nvm_100ns());

@@ -12,8 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flushbound;
 pub mod hotpath;
 
+pub use flushbound::{run_flushbound, FlushboundPoint};
 pub use hotpath::{render_hotpath_json, run_hotpath, HotpathPoint};
 
 use std::sync::Arc;
@@ -86,13 +88,14 @@ impl HarnessConfig {
         self
     }
 
-    fn pmem_config(&self, max_threads: usize) -> PmemConfig {
+    pub(crate) fn pmem_config(&self, max_threads: usize) -> PmemConfig {
         PmemConfig {
             persistent_words: self.persistent_words,
             volatile_words: 1 << 20,
             max_threads: max_threads + 2, // workers + checkpointer + slack
             latency: self.latency,
             crash: crafty_pmem::CrashModel::strict(),
+            ..PmemConfig::benchmark()
         }
     }
 }

@@ -13,6 +13,11 @@
 //! * [`breakdown`] — atomic counters that record how each persistent
 //!   transaction completed and how each hardware transaction ended,
 //!   mirroring the categories of the paper's appendix figures.
+//! * [`genset`] — generation-stamped open-addressed tables with O(1)
+//!   clear, shared by the HTM transaction descriptors and the persistence
+//!   domain's flush-queue dedup.
+//! * [`shard`] — lazily-allocated sharded atomic arrays backing the
+//!   per-line metadata (versioned locks, dirty bits, dedup stamps).
 //!
 //! # Example
 //!
@@ -36,11 +41,15 @@ pub mod api;
 pub mod breakdown;
 pub mod clock;
 pub mod error;
+pub mod genset;
 pub mod rng;
+pub mod shard;
 
 pub use addr::{LineId, PAddr, WORDS_PER_LINE};
 pub use api::{PersistentTm, TmThread, TxnBody, TxnOps, TxnReport};
 pub use breakdown::{BreakdownRecorder, BreakdownSnapshot, CompletionPath, HwTxnOutcome};
 pub use clock::{Clock, Timestamp};
 pub use error::{SetupError, TxAbort};
+pub use genset::{GenMap, GenSet};
 pub use rng::SplitMix64;
+pub use shard::LazyAtomicArray;

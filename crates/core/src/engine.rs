@@ -16,7 +16,6 @@ use crafty_common::{
 };
 use crafty_htm::{HtmConfig, HtmRuntime};
 use crafty_pmem::{MemorySpace, PmemAllocator};
-use parking_lot::Mutex;
 
 use crate::config::CraftyConfig;
 use crate::thread::CraftyThread;
@@ -79,9 +78,6 @@ pub struct Crafty {
     /// `tsLowerBound` (Section 5.2): a lazily maintained lower bound on the
     /// earliest timestamp recovery might need to roll back to.
     pub(crate) ts_lower_bound: AtomicU64,
-    /// Host-level mutex serializing SGL sections (the simulated SGL word is
-    /// what hardware transactions subscribe to).
-    pub(crate) sgl_mutex: Mutex<()>,
     pub(crate) threads: Vec<ThreadShared>,
 }
 
@@ -161,7 +157,6 @@ impl Crafty {
             g_last_redo_ts_addr,
             directory_addr,
             ts_lower_bound: AtomicU64::new(0),
-            sgl_mutex: Mutex::new(()),
             threads,
         }
     }
@@ -200,6 +195,17 @@ impl Crafty {
     /// True while some thread holds the single global lock.
     pub fn sgl_held(&self) -> bool {
         self.mem.read(self.sgl_addr) != 0
+    }
+
+    /// Acquires the single global lock by CASing the simulated SGL word
+    /// through the HTM's versioned-lock machinery. There is no host-level
+    /// mutex behind the SGL any more: the word itself is the lock, mutual
+    /// exclusion comes from [`HtmRuntime::nontx_acquire_lock_word`], and
+    /// running hardware transactions that subscribed to the word abort the
+    /// moment it is taken (speculative lock elision), exactly as before.
+    /// The guard releases the word on drop, panic-safe.
+    pub(crate) fn acquire_sgl(&self) -> crafty_htm::LockWordGuard<'_> {
+        self.htm.nontx_acquire_lock_word(self.sgl_addr)
     }
 
     /// Records that thread `tid`'s latest sequence carries `ts`. Uses a

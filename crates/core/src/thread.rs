@@ -532,11 +532,9 @@ impl<'c> CraftyThread<'c> {
 
     fn execute_sgl(&mut self, body: &mut TxnBody<'_>, hw_attempts: &mut u32) -> TxnReport {
         let engine = self.engine;
-        let guard = engine.sgl_mutex.lock();
-        engine.htm.nontx_write(engine.sgl_addr, 1);
+        let sgl = engine.acquire_sgl();
         let report = self.run_buffered_durable(body, CompletionPath::Sgl, hw_attempts, true);
-        engine.htm.nontx_write(engine.sgl_addr, 0);
-        drop(guard);
+        drop(sgl);
         report
     }
 

@@ -71,5 +71,5 @@ pub mod scratch;
 
 pub use config::HtmConfig;
 pub use retry::{run_with_retries, RetryPolicy, RetryResult};
-pub use runtime::{AbortCode, HtmRuntime, HwTxn};
+pub use runtime::{AbortCode, HtmRuntime, HwTxn, LockWordGuard};
 pub use scratch::{GenMap, GenSet, TxnScratch};

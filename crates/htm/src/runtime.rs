@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crafty_common::{BreakdownRecorder, HwTxnOutcome, LineId, PAddr};
+use crafty_common::{BreakdownRecorder, HwTxnOutcome, LazyAtomicArray, LineId, PAddr};
 use crafty_pmem::MemorySpace;
 use parking_lot::Mutex;
 
@@ -68,7 +68,11 @@ const LOCK_BIT: u64 = 1 << 63;
 pub struct HtmRuntime {
     mem: Arc<MemorySpace>,
     cfg: HtmConfig,
-    line_versions: Box<[AtomicU64]>,
+    /// One versioned lock per cache line, sharded into lazily-allocated
+    /// segments: an untouched segment reads as version 0 (unlocked, older
+    /// than every snapshot), so a 256 MiB space no longer allocates tens of
+    /// megabytes of dense lock words up front.
+    line_versions: LazyAtomicArray,
     version_clock: AtomicU64,
     recorder: Arc<BreakdownRecorder>,
     /// One reusable transaction descriptor per thread slot. `begin(tid)`
@@ -83,6 +87,7 @@ impl std::fmt::Debug for HtmRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HtmRuntime")
             .field("lines", &self.line_versions.len())
+            .field("line_segments", &self.line_versions.allocated_segments())
             .field("config", &self.cfg)
             .finish()
     }
@@ -95,12 +100,12 @@ impl HtmRuntime {
         let lines = mem
             .config()
             .total_words()
-            .div_ceil(crafty_common::WORDS_PER_LINE) as usize;
+            .div_ceil(crafty_common::WORDS_PER_LINE);
         let threads = mem.config().max_threads;
         HtmRuntime {
             mem,
             cfg,
-            line_versions: (0..lines).map(|_| AtomicU64::new(0)).collect(),
+            line_versions: LazyAtomicArray::new(lines),
             version_clock: AtomicU64::new(0),
             recorder,
             scratch_pool: (0..threads).map(|_| Mutex::new(None)).collect(),
@@ -202,9 +207,69 @@ impl HtmRuntime {
     /// atomicity). Crafty's SGL acquisition/release and its thread-unsafe
     /// mode use this for writes performed outside hardware transactions.
     pub fn nontx_write(&self, addr: PAddr, value: u64) {
-        let line = addr.line();
-        let slot = &self.line_versions[line.index() as usize];
-        // Lock the line, publish, then bump its version.
+        let slot = self.lock_line(addr.line());
+        self.mem.write(addr, value);
+        let wv = self.version_clock.fetch_add(1, Ordering::AcqRel) + 1;
+        slot.store(wv, Ordering::Release);
+    }
+
+    /// Performs a non-transactional compare-and-swap that participates in
+    /// the versioned-lock machinery, mirroring [`HtmRuntime::nontx_write`]:
+    /// the containing line is locked for the duration of the CAS, running
+    /// transactions with the line in their footprint abort (strong
+    /// atomicity), and a successful swap bumps the line's version.
+    ///
+    /// This is what the engines build their single-global-lock acquisition
+    /// on: the SGL is just a word in simulated memory, and CASing it
+    /// through this method gives mutual exclusion *and* HTM subscription
+    /// without any host-level mutex.
+    pub fn nontx_compare_exchange(&self, addr: PAddr, current: u64, new: u64) -> Result<u64, u64> {
+        let slot = self.lock_line(addr.line());
+        let result = self.mem.compare_exchange(addr, current, new);
+        match result {
+            Ok(_) => {
+                let wv = self.version_clock.fetch_add(1, Ordering::AcqRel) + 1;
+                slot.store(wv, Ordering::Release);
+            }
+            Err(_) => {
+                // Nothing was written: release the lock bit, leaving the
+                // version unchanged so readers are not spuriously aborted.
+                let v = slot.load(Ordering::Acquire);
+                slot.store(v & !LOCK_BIT, Ordering::Release);
+            }
+        }
+        result
+    }
+
+    /// Acquires a lock *word* in simulated memory (0 = free, 1 = held) —
+    /// the engines' single-global-lock acquisition. The CAS goes through
+    /// [`HtmRuntime::nontx_compare_exchange`], so subscribed hardware
+    /// transactions abort the moment the word is taken; between failed
+    /// attempts the waiter spins with plain versioned reads
+    /// (test-and-test-and-set), because a CAS retry loop would transiently
+    /// lock the word's line on every failed attempt and spuriously abort
+    /// the very transactions that are still making progress.
+    ///
+    /// The returned guard releases the word when dropped — including
+    /// during unwinding, so a panic inside the locked section cannot wedge
+    /// the word at 1 and leave every other thread spinning forever (the
+    /// liveness the old host `Mutex` provided through its own guard).
+    #[must_use = "the lock word is released when the guard drops"]
+    pub fn nontx_acquire_lock_word(&self, addr: PAddr) -> LockWordGuard<'_> {
+        loop {
+            if self.nontx_compare_exchange(addr, 0, 1).is_ok() {
+                return LockWordGuard { rt: self, addr };
+            }
+            while self.nontx_read(addr) != 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Acquires the versioned lock of `line` for a non-transactional
+    /// operation and returns its slot (with the lock bit set).
+    fn lock_line(&self, line: LineId) -> &AtomicU64 {
+        let slot = self.line_versions.get(line.index());
         loop {
             let v = slot.load(Ordering::Acquire);
             if v & LOCK_BIT != 0 {
@@ -215,12 +280,9 @@ impl HtmRuntime {
                 .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                break;
+                return slot;
             }
         }
-        self.mem.write(addr, value);
-        let wv = self.version_clock.fetch_add(1, Ordering::AcqRel) + 1;
-        slot.store(wv, Ordering::Release);
     }
 
     /// Reads a word non-transactionally. The read is atomic with respect to
@@ -229,22 +291,40 @@ impl HtmRuntime {
     /// if the containing line is locked by an in-flight commit, the read
     /// waits for the commit to finish.
     pub fn nontx_read(&self, addr: PAddr) -> u64 {
-        let slot = &self.line_versions[addr.line().index() as usize];
+        let line = addr.line();
         loop {
-            let v1 = slot.load(Ordering::Acquire);
+            let v1 = self.version_of(line);
             if v1 & LOCK_BIT != 0 {
                 std::hint::spin_loop();
                 continue;
             }
             let value = self.mem.read(addr);
-            if slot.load(Ordering::Acquire) == v1 {
+            if self.version_of(line) == v1 {
                 return value;
             }
         }
     }
 
+    /// The line's current versioned-lock word. Lines whose metadata segment
+    /// was never touched are at version 0: unlocked and older than every
+    /// snapshot, so readers need not materialize the segment.
     fn version_of(&self, line: LineId) -> u64 {
-        self.line_versions[line.index() as usize].load(Ordering::Acquire)
+        self.line_versions.load_or_zero(line.index())
+    }
+}
+
+/// Holds a lock word in simulated memory acquired through
+/// [`HtmRuntime::nontx_acquire_lock_word`]; releases it (a versioned
+/// non-transactional store of 0) when dropped, panic-safe.
+#[derive(Debug)]
+pub struct LockWordGuard<'rt> {
+    rt: &'rt HtmRuntime,
+    addr: PAddr,
+}
+
+impl Drop for LockWordGuard<'_> {
+    fn drop(&mut self) {
+        self.rt.nontx_write(self.addr, 0);
     }
 }
 
@@ -475,7 +555,7 @@ impl<'rt> HwTxn<'rt> {
 
         let release = |rt: &HtmRuntime, locked: &[LineId], version: Option<u64>| {
             for &line in locked {
-                let slot = &rt.line_versions[line.index() as usize];
+                let slot = rt.line_versions.get(line.index());
                 match version {
                     Some(wv) => slot.store(wv, Ordering::Release),
                     None => {
@@ -488,7 +568,7 @@ impl<'rt> HwTxn<'rt> {
 
         s.locked.clear();
         for &line in &s.line_order {
-            let slot = &self.rt.line_versions[line.index() as usize];
+            let slot = self.rt.line_versions.get(line.index());
             let v = slot.load(Ordering::Acquire);
             let lockable = v & LOCK_BIT == 0 && (v & !LOCK_BIT) <= self.rv;
             let acquired = lockable

@@ -6,11 +6,10 @@
 //! dwarf the cost of the transaction itself. This module provides the
 //! same discipline for the simulated RTM:
 //!
-//! * [`GenSet`] / [`GenMap`] — open-addressed hash tables backed by plain
-//!   `Vec`s whose slots are stamped with a *generation* counter. Clearing
-//!   is O(1): bump the generation and every slot becomes logically empty.
-//!   Growth doubles the table (the only allocation, and only until the
-//!   table reaches the workload's steady-state footprint).
+//! * [`GenSet`] / [`GenMap`] — generation-stamped open-addressed tables
+//!   with O(1) clear. They originated here and now live in
+//!   [`crafty_common::genset`], shared with the persistence domain's
+//!   flush-queue dedup; they are re-exported for compatibility.
 //! * [`TxnScratch`] — everything a hardware transaction needs (read set,
 //!   write buffer, write order, distinct-write-line tracking, commit lock
 //!   buffer, per-thread RNG), checked out of the runtime at
@@ -21,287 +20,9 @@
 
 use crafty_common::{LineId, PAddr, SplitMix64};
 
-/// Multiplicative hash spreading keys across the table (Fibonacci hashing).
-#[inline]
-fn spread(key: u64) -> u64 {
-    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
+pub use crafty_common::{GenMap, GenSet};
 
 const INITIAL_CAPACITY: usize = 64;
-/// Grow when occupancy passes 3/4.
-const LOAD_NUM: usize = 3;
-const LOAD_DEN: usize = 4;
-
-/// An open-addressed hash set of `u64` keys with O(1) generation clear.
-#[derive(Clone, Debug)]
-pub struct GenSet {
-    /// Generation stamp per slot; a slot is occupied iff its stamp equals
-    /// the set's current generation.
-    gens: Vec<u64>,
-    keys: Vec<u64>,
-    gen: u64,
-    len: usize,
-}
-
-impl GenSet {
-    /// Creates an empty set with the default initial capacity.
-    pub fn new() -> Self {
-        GenSet::with_capacity(INITIAL_CAPACITY)
-    }
-
-    /// Creates an empty set able to hold roughly `capacity` keys before
-    /// growing. The table size is the next power of two above
-    /// `capacity * 4/3`.
-    pub fn with_capacity(capacity: usize) -> Self {
-        let slots = (capacity.max(4) * LOAD_DEN / LOAD_NUM).next_power_of_two();
-        GenSet {
-            gens: vec![0; slots],
-            // Generation 0 is never "current" (gen starts at 1), so fresh
-            // slots read as empty without an extra init pass.
-            keys: vec![0; slots],
-            gen: 1,
-            len: 0,
-        }
-    }
-
-    /// Number of keys currently in the set.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True if the set holds no keys.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// The table's slot count (stable across [`GenSet::clear`]; used by
-    /// tests asserting steady-state capacity stability).
-    pub fn slot_capacity(&self) -> usize {
-        self.gens.len()
-    }
-
-    /// Logically empties the set in O(1) by advancing the generation.
-    #[inline]
-    pub fn clear(&mut self) {
-        self.gen += 1;
-        self.len = 0;
-    }
-
-    /// The slot holding `key`, or the empty slot where it would go.
-    /// Termination is guaranteed because the load factor stays below 1.
-    #[inline]
-    fn find_slot(&self, key: u64) -> (usize, bool) {
-        let mask = (self.gens.len() - 1) as u64;
-        let mut i = (spread(key) & mask) as usize;
-        loop {
-            if self.gens[i] != self.gen {
-                return (i, false);
-            }
-            if self.keys[i] == key {
-                return (i, true);
-            }
-            i = (i + 1) & mask as usize;
-        }
-    }
-
-    /// Inserts `key`; returns `true` if it was not already present.
-    /// Probes before the load check, so a duplicate insert never grows the
-    /// table.
-    #[inline]
-    pub fn insert(&mut self, key: u64) -> bool {
-        let (mut slot, found) = self.find_slot(key);
-        if found {
-            return false;
-        }
-        if (self.len + 1) * LOAD_DEN >= self.gens.len() * LOAD_NUM {
-            self.grow();
-            slot = self.find_slot(key).0;
-        }
-        self.gens[slot] = self.gen;
-        self.keys[slot] = key;
-        self.len += 1;
-        true
-    }
-
-    /// True if `key` is in the set.
-    #[inline]
-    pub fn contains(&self, key: u64) -> bool {
-        self.find_slot(key).1
-    }
-
-    /// Iterates the keys (in table order, not insertion order).
-    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.gens
-            .iter()
-            .zip(&self.keys)
-            .filter(move |(g, _)| **g == self.gen)
-            .map(|(_, k)| *k)
-    }
-
-    #[cold]
-    fn grow(&mut self) {
-        let new_slots = self.gens.len() * 2;
-        let mut bigger = GenSet {
-            gens: vec![0; new_slots],
-            keys: vec![0; new_slots],
-            gen: 1,
-            len: 0,
-        };
-        for key in self.iter() {
-            // Re-insert without the load check: the doubled table fits.
-            let mask = (new_slots - 1) as u64;
-            let mut i = (spread(key) & mask) as usize;
-            while bigger.gens[i] == bigger.gen {
-                i = (i + 1) & mask as usize;
-            }
-            bigger.gens[i] = bigger.gen;
-            bigger.keys[i] = key;
-            bigger.len += 1;
-        }
-        *self = bigger;
-    }
-}
-
-impl Default for GenSet {
-    fn default() -> Self {
-        GenSet::new()
-    }
-}
-
-/// An open-addressed `u64 → u64` hash map with O(1) generation clear.
-#[derive(Clone, Debug)]
-pub struct GenMap {
-    gens: Vec<u64>,
-    keys: Vec<u64>,
-    vals: Vec<u64>,
-    gen: u64,
-    len: usize,
-}
-
-impl GenMap {
-    /// Creates an empty map with the default initial capacity.
-    pub fn new() -> Self {
-        GenMap::with_capacity(INITIAL_CAPACITY)
-    }
-
-    /// Creates an empty map able to hold roughly `capacity` entries before
-    /// growing.
-    pub fn with_capacity(capacity: usize) -> Self {
-        let slots = (capacity.max(4) * LOAD_DEN / LOAD_NUM).next_power_of_two();
-        GenMap {
-            gens: vec![0; slots],
-            keys: vec![0; slots],
-            vals: vec![0; slots],
-            gen: 1,
-            len: 0,
-        }
-    }
-
-    /// Number of entries currently in the map.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True if the map holds no entries.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// The table's slot count (stable across [`GenMap::clear`]).
-    pub fn slot_capacity(&self) -> usize {
-        self.gens.len()
-    }
-
-    /// Logically empties the map in O(1) by advancing the generation.
-    #[inline]
-    pub fn clear(&mut self) {
-        self.gen += 1;
-        self.len = 0;
-    }
-
-    /// The slot holding `key`, or the empty slot where it would go.
-    /// Termination is guaranteed because the load factor stays below 1.
-    #[inline]
-    fn find_slot(&self, key: u64) -> (usize, bool) {
-        let mask = (self.gens.len() - 1) as u64;
-        let mut i = (spread(key) & mask) as usize;
-        loop {
-            if self.gens[i] != self.gen {
-                return (i, false);
-            }
-            if self.keys[i] == key {
-                return (i, true);
-            }
-            i = (i + 1) & mask as usize;
-        }
-    }
-
-    /// Inserts or overwrites; returns the previous value if the key was
-    /// present. Probes before the load check, so an overwrite never grows
-    /// the table.
-    #[inline]
-    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
-        let (mut slot, found) = self.find_slot(key);
-        if found {
-            let old = self.vals[slot];
-            self.vals[slot] = value;
-            return Some(old);
-        }
-        if (self.len + 1) * LOAD_DEN >= self.gens.len() * LOAD_NUM {
-            self.grow();
-            slot = self.find_slot(key).0;
-        }
-        self.gens[slot] = self.gen;
-        self.keys[slot] = key;
-        self.vals[slot] = value;
-        self.len += 1;
-        None
-    }
-
-    /// Looks up `key`.
-    #[inline]
-    pub fn get(&self, key: u64) -> Option<u64> {
-        let (slot, found) = self.find_slot(key);
-        found.then(|| self.vals[slot])
-    }
-
-    #[cold]
-    fn grow(&mut self) {
-        let new_slots = self.gens.len() * 2;
-        let mut bigger = GenMap {
-            gens: vec![0; new_slots],
-            keys: vec![0; new_slots],
-            vals: vec![0; new_slots],
-            gen: 1,
-            len: 0,
-        };
-        for i in 0..self.gens.len() {
-            if self.gens[i] != self.gen {
-                continue;
-            }
-            let mask = (new_slots - 1) as u64;
-            let mut j = (spread(self.keys[i]) & mask) as usize;
-            while bigger.gens[j] == bigger.gen {
-                j = (j + 1) & mask as usize;
-            }
-            bigger.gens[j] = bigger.gen;
-            bigger.keys[j] = self.keys[i];
-            bigger.vals[j] = self.vals[i];
-            bigger.len += 1;
-        }
-        *self = bigger;
-    }
-}
-
-impl Default for GenMap {
-    fn default() -> Self {
-        GenMap::new()
-    }
-}
 
 /// A reusable hardware-transaction descriptor: the read set, write buffer,
 /// and commit-time buffers of one in-flight transaction, plus the thread's
@@ -400,79 +121,6 @@ impl TxnScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn genset_insert_contains_and_clear() {
-        let mut s = GenSet::new();
-        assert!(s.insert(7));
-        assert!(!s.insert(7));
-        assert!(s.contains(7));
-        assert!(!s.contains(8));
-        assert!(s.insert(0), "zero must be a usable key");
-        assert_eq!(s.len(), 2);
-        s.clear();
-        assert_eq!(s.len(), 0);
-        assert!(!s.contains(7));
-        assert!(!s.contains(0));
-        assert!(s.insert(7), "cleared keys are insertable again");
-    }
-
-    #[test]
-    fn genset_grows_past_initial_capacity() {
-        let mut s = GenSet::with_capacity(4);
-        let initial = s.slot_capacity();
-        for k in 0..1000 {
-            assert!(s.insert(k * 3));
-        }
-        assert_eq!(s.len(), 1000);
-        assert!(s.slot_capacity() > initial);
-        for k in 0..1000 {
-            assert!(s.contains(k * 3), "key {} lost in growth", k * 3);
-        }
-        let mut collected: Vec<u64> = s.iter().collect();
-        collected.sort_unstable();
-        assert_eq!(collected, (0..1000).map(|k| k * 3).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn genmap_insert_get_overwrite_clear() {
-        let mut m = GenMap::new();
-        assert_eq!(m.insert(1, 10), None);
-        assert_eq!(m.insert(1, 20), Some(10));
-        assert_eq!(m.get(1), Some(20));
-        assert_eq!(m.get(2), None);
-        assert_eq!(m.insert(0, 5), None, "zero must be a usable key");
-        m.clear();
-        assert_eq!(m.get(1), None);
-        assert_eq!(m.get(0), None);
-        assert_eq!(m.len(), 0);
-    }
-
-    #[test]
-    fn genmap_grows_and_keeps_entries() {
-        let mut m = GenMap::with_capacity(4);
-        for k in 0..500 {
-            assert_eq!(m.insert(k, k + 1), None);
-        }
-        for k in 0..500 {
-            assert_eq!(m.get(k), Some(k + 1));
-        }
-        assert_eq!(m.len(), 500);
-    }
-
-    #[test]
-    fn clear_is_constant_time_capacity_preserving() {
-        let mut s = GenSet::new();
-        for k in 0..200 {
-            s.insert(k);
-        }
-        let cap = s.slot_capacity();
-        for _ in 0..10_000 {
-            s.clear();
-            s.insert(1);
-        }
-        assert_eq!(s.slot_capacity(), cap, "clear must never shrink or grow");
-    }
 
     #[test]
     fn scratch_reset_preserves_capacity_signature() {

@@ -105,6 +105,12 @@ pub struct PmemConfig {
     /// Maximum number of worker threads that will use the space. Flush
     /// queues and per-thread counters are sized from this.
     pub max_threads: usize,
+    /// Capacity (in pending lines) of each per-thread flush-queue ring.
+    /// Rounded up to a power of two. A full ring never blocks: additional
+    /// flushes complete their write-back immediately (counted in
+    /// [`crate::PmemStats::overflow_writebacks`]), which real hardware is
+    /// free to do for any CLWB before the fence.
+    pub flush_queue_capacity: usize,
     /// Latency charged to drain operations.
     pub latency: LatencyModel,
     /// Eviction and crash-resolution behaviour.
@@ -118,6 +124,7 @@ impl PmemConfig {
             persistent_words: 1 << 16,
             volatile_words: 1 << 14,
             max_threads: 8,
+            flush_queue_capacity: 1 << 10,
             latency: LatencyModel::instant(),
             crash: CrashModel::strict(),
         }
@@ -130,6 +137,7 @@ impl PmemConfig {
             persistent_words: 1 << 25,
             volatile_words: 1 << 22,
             max_threads: 32,
+            flush_queue_capacity: 1 << 12,
             latency: LatencyModel::nvm_300ns(),
             crash: CrashModel::strict(),
         }
@@ -150,6 +158,12 @@ impl PmemConfig {
     /// Sets the maximum number of worker threads (builder style).
     pub fn with_max_threads(mut self, max_threads: usize) -> Self {
         self.max_threads = max_threads;
+        self
+    }
+
+    /// Sets the per-thread flush-queue ring capacity (builder style).
+    pub fn with_flush_queue_capacity(mut self, capacity: usize) -> Self {
+        self.flush_queue_capacity = capacity;
         self
     }
 

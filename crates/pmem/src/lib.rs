@@ -1,4 +1,5 @@
-//! Simulated byte-addressable persistent memory.
+//! Simulated byte-addressable persistent memory — a lock-free, sharded
+//! persistence domain.
 //!
 //! The Crafty paper evaluates on DRAM-emulated NVM: persistent memory is
 //! ordinary memory, and the round-trip persist latency is emulated by busy
@@ -12,6 +13,33 @@
 //! * [`PersistentImage`] — what survives a [`MemorySpace::crash`]; the
 //!   input to the recovery observer.
 //! * [`PmemAllocator`] — a simple allocator over a persistent heap region.
+//!
+//! # Persistence must not serialize the fast path
+//!
+//! Crafty's core claim is that persistence tracking can ride along with the
+//! HTM fast path instead of serializing it, so the simulated persistence
+//! domain is built the same way:
+//!
+//! * **[`MemorySpace::clwb`] and [`MemorySpace::drain`] are mutex-free.**
+//!   Each thread slot owns a single-writer flush-queue ring; duplicate
+//!   flushes of a pending line are absorbed in O(1) by a generation-stamped
+//!   per-line dedup table (the [`crafty_common::GenSet`] idea applied to
+//!   shared memory: a drain's claim-cursor bump invalidates every stamp
+//!   behind it at once). Drains — from the owner or, on the Section 5.2
+//!   forcing paths, from any other thread — claim the pending range with a
+//!   single CAS.
+//! * **Line metadata is sharded and lazily allocated.** Dirty bits and
+//!   dedup stamps live in [`crafty_common::LazyAtomicArray`] segments
+//!   materialized on first touch, so very large simulated spaces pay
+//!   metadata proportional to the lines they *touch*, not to their size.
+//! * **The steady-state flush path performs zero heap allocations** once
+//!   the touched segments exist — the same counting-allocator-enforced
+//!   guarantee the transaction descriptors in `crafty-htm` carry.
+//!
+//! See the [`space`] module docs for the full design, including the ring
+//! overflow rule (a full queue completes write-backs immediately, which is
+//! a legal early CLWB completion) and the single-writer contract on
+//! `clwb(tid, ..)`.
 //!
 //! # Example
 //!

@@ -23,12 +23,55 @@
 //! probability, since the hardware guarantees only word-granularity
 //! persistence, Section 5.2) and returns the [`PersistentImage`] a recovery
 //! observer would see.
+//!
+//! # The sharded, lock-free persistence domain
+//!
+//! Crafty's premise is that persistence tracking must never serialize the
+//! HTM fast path, so the persist operations here are engineered the same
+//! way:
+//!
+//! * **Per-thread single-writer flush queues.** Each thread slot owns a
+//!   fixed-capacity ring of pending line ids ([`PmemConfig::flush_queue_capacity`]
+//!   entries, allocated once at construction). Only the owning thread
+//!   enqueues ([`MemorySpace::clwb`] with its own `tid`); *any* thread may
+//!   drain, which the Section 5.2 forcing paths rely on. There is no mutex
+//!   anywhere on the flush path.
+//! * **O(1) generation-stamped dedup.** Duplicate flushes of a pending line
+//!   are absorbed by a per-line *stamp table* holding the ring position of
+//!   the owner's most recent enqueue (`pos + 1`; 0 = never flushed). A line
+//!   is pending iff its stamp is at or past the queue's `claim` cursor, so
+//!   the cursor acts as the stamp generation: a drain logically invalidates
+//!   every stamp below it in O(1), exactly the [`crafty_common::GenSet`]
+//!   discipline (the design this table generalizes), with no `Vec::contains`
+//!   scan.
+//! * **Lock-free drains.** [`MemorySpace::drain`] claims the pending range
+//!   `[claim, tail)` with one CAS, persists it, then retires the range in
+//!   order. Concurrent drains of one queue (owner + a Section 5.2 forcing
+//!   thread) claim disjoint ranges, so every queued line is persisted
+//!   exactly once; a drain does not return until everything up to the tail
+//!   it observed is durably retired.
+//! * **Ring overflow = early write-back.** If a queue is full, `clwb`
+//!   writes the line back immediately instead of queueing it. Real hardware
+//!   may complete a CLWB at any point before the fence, so persisting early
+//!   is always legal; the event is counted in
+//!   [`PmemStats::overflow_writebacks`].
+//! * **Sharded, lazily-allocated line metadata.** Dirty bits and dedup
+//!   stamps are [`crafty_common::LazyAtomicArray`] segments materialized on
+//!   first touch, so a multi-gigabyte simulated space no longer pays dense
+//!   up-front metadata proportional to its size (previously
+//!   `line_dirty` was a dense `Box<[AtomicBool]>` over all lines).
+//!
+//! Concurrency contract: all methods are safe to call from any thread, but
+//! `clwb(tid, ..)` calls for one `tid` must come from a single thread at a
+//! time (the queues are single-writer; every engine in the workspace
+//! already follows this discipline — a thread only flushes through its own
+//! slot, and the NV-HTM checkpointer owns a dedicated slot). `drain(tid)`
+//! carries no such restriction.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use crafty_common::{LineId, PAddr, SplitMix64, WORDS_PER_LINE};
-use parking_lot::Mutex;
+use crafty_common::{LazyAtomicArray, LineId, PAddr, SplitMix64, WORDS_PER_LINE};
 
 use crate::config::{CrashModel, PmemConfig};
 use crate::image::PersistentImage;
@@ -44,6 +87,9 @@ pub struct PmemStats {
     pub lines_persisted: u64,
     /// Number of lines written back by spontaneous eviction.
     pub evictions: u64,
+    /// Number of lines written back immediately because the issuing
+    /// thread's flush queue was full (legal early CLWB completion).
+    pub overflow_writebacks: u64,
 }
 
 #[derive(Default)]
@@ -52,19 +98,72 @@ struct StatCells {
     flushes: AtomicU64,
     lines_persisted: AtomicU64,
     evictions: AtomicU64,
+    overflow_writebacks: AtomicU64,
+}
+
+/// One thread slot's pending-flush state. See the module docs for the
+/// design; all fields are plain atomics — the queue takes no lock on either
+/// the enqueue or the drain path.
+struct FlushQueue {
+    /// Ring of pending line ids; absolute position `p` lives in slot
+    /// `p & (capacity - 1)`. Allocated eagerly (it is small and hot) so the
+    /// steady-state flush path never allocates.
+    slots: Box<[AtomicU64]>,
+    /// Next absolute enqueue position. Written only by the owner thread.
+    tail: AtomicU64,
+    /// Positions below this have been claimed by some drain. Advanced by
+    /// CAS; doubles as the dedup-stamp generation cursor.
+    claim: AtomicU64,
+    /// Positions below this have been persisted and retired (their ring
+    /// slots are reusable). Advanced in order by the claiming drains.
+    done: AtomicU64,
+    /// Per-line dedup stamps: `pos + 1` of the owner's latest enqueue of
+    /// that line (0 = never enqueued). Lazily sharded by line index.
+    stamps: LazyAtomicArray,
+}
+
+impl FlushQueue {
+    fn new(capacity: usize, persistent_lines: u64) -> Self {
+        FlushQueue {
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            tail: AtomicU64::new(0),
+            claim: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            stamps: LazyAtomicArray::new(persistent_lines),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pos: u64) -> &AtomicU64 {
+        &self.slots[(pos & (self.slots.len() as u64 - 1)) as usize]
+    }
+
+    /// Lines enqueued but not yet durably retired. Counted against `done`,
+    /// not `claim`: a range a concurrent drain has claimed but not finished
+    /// persisting is still pending from the caller's point of view — the
+    /// SFENCE paths (`HtmRuntime::begin`) use this to decide whether a
+    /// drain (which waits for retirement) is needed.
+    #[inline]
+    fn pending(&self) -> u64 {
+        let tail = self.tail.load(Ordering::Acquire);
+        let done = self.done.load(Ordering::Acquire);
+        tail.saturating_sub(done)
+    }
 }
 
 /// The simulated memory system shared by all engines and workloads.
 ///
-/// See the module documentation for the model. All methods are safe to call
-/// concurrently from any thread; per-thread flush queues are indexed by the
-/// caller-supplied thread id.
+/// See the module documentation for the model and for the lock-free
+/// persistence-domain design. Flush queues are indexed by the
+/// caller-supplied thread id; enqueues are single-writer per id, drains may
+/// come from any thread.
 pub struct MemorySpace {
     cfg: PmemConfig,
     volatile_view: Box<[AtomicU64]>,
     persistent_image: Box<[AtomicU64]>,
-    line_dirty: Box<[AtomicBool]>,
-    flush_queues: Box<[Mutex<Vec<LineId>>]>,
+    /// Dirty flag per persistent line (0 = clean), lazily sharded.
+    line_dirty: LazyAtomicArray,
+    flush_queues: Box<[FlushQueue]>,
     /// Reservation cursors (word indices). Plain atomics: reservations are
     /// rare (setup-time) but formerly shared a mutex with the store hot
     /// path.
@@ -96,13 +195,14 @@ impl MemorySpace {
     pub fn new(cfg: PmemConfig) -> Self {
         let total = cfg.total_words() as usize;
         let persistent = cfg.persistent_words as usize;
-        let lines = persistent.div_ceil(WORDS_PER_LINE as usize);
+        let lines = persistent.div_ceil(WORDS_PER_LINE as usize) as u64;
+        let queue_capacity = cfg.flush_queue_capacity.next_power_of_two().max(2);
         MemorySpace {
             volatile_view: (0..total).map(|_| AtomicU64::new(0)).collect(),
             persistent_image: (0..persistent).map(|_| AtomicU64::new(0)).collect(),
-            line_dirty: (0..lines).map(|_| AtomicBool::new(false)).collect(),
+            line_dirty: LazyAtomicArray::new(lines),
             flush_queues: (0..cfg.max_threads)
-                .map(|_| Mutex::new(Vec::new()))
+                .map(|_| FlushQueue::new(queue_capacity, lines))
                 .collect(),
             reserve_persistent: AtomicU64::new(WORDS_PER_LINE), // word 0 / line 0 reserved
             reserve_volatile: AtomicU64::new(cfg.persistent_words),
@@ -186,7 +286,9 @@ impl MemorySpace {
         self.volatile_view[addr.word() as usize].store(value, Ordering::Release);
         if self.is_persistent(addr) {
             let line = addr.line();
-            self.line_dirty[line.index() as usize].store(true, Ordering::Release);
+            self.line_dirty
+                .get(line.index())
+                .store(1, Ordering::Release);
             let p = self.cfg.crash.eviction_probability;
             if p > 0.0 && self.evict_chance(line, p) {
                 self.persist_line(line);
@@ -236,7 +338,9 @@ impl MemorySpace {
             Ordering::Acquire,
         );
         if r.is_ok() && self.is_persistent(addr) {
-            self.line_dirty[addr.line().index() as usize].store(true, Ordering::Release);
+            self.line_dirty
+                .get(addr.line().index())
+                .store(1, Ordering::Release);
         }
         r
     }
@@ -250,15 +354,23 @@ impl MemorySpace {
         self.check_bounds(addr);
         let old = self.volatile_view[addr.word() as usize].fetch_add(delta, Ordering::AcqRel);
         if self.is_persistent(addr) {
-            self.line_dirty[addr.line().index() as usize].store(true, Ordering::Release);
+            self.line_dirty
+                .get(addr.line().index())
+                .store(1, Ordering::Release);
         }
         old
     }
 
     /// Requests a write-back (CLWB) of the line containing `addr`. The line
-    /// is persisted when the calling thread next drains. Flushing a volatile
-    /// address is a no-op, as on real hardware where it simply would not
-    /// reach a persistence domain.
+    /// is persisted when thread `tid`'s queue next drains. Flushing a
+    /// volatile address is a no-op, as on real hardware where it simply
+    /// would not reach a persistence domain.
+    ///
+    /// Lock-free and O(1): a per-line generation stamp absorbs duplicate
+    /// flushes of a still-pending line, and the enqueue is two plain atomic
+    /// stores. Calls for one `tid` must come from a single thread at a time
+    /// (see the module docs); every `tid` may flush concurrently with every
+    /// other.
     ///
     /// # Panics
     ///
@@ -270,32 +382,104 @@ impl MemorySpace {
         }
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         let line = addr.line();
-        let mut queue = self.flush_queues[tid].lock();
-        if !queue.contains(&line) {
-            queue.push(line);
+        let q = &self.flush_queues[tid];
+        let stamp = q.stamps.get(line.index());
+        let s = stamp.load(Ordering::Relaxed);
+        if s != 0 {
+            // The stamp holds `pos + 1` of this queue's latest enqueue of
+            // the line (0 = never enqueued). If that enqueue is still
+            // unclaimed, the write-back its drain performs covers this
+            // flush too and nothing needs to be queued.
+            //
+            // The fence pairs with the one a claiming drain issues between
+            // its claim CAS and its persist loads (store-buffering
+            // pattern): either the load below observes the claim — the
+            // skip is not taken and the line is re-enqueued — or the
+            // drain's persist is guaranteed to read the data store that
+            // preceded this clwb. Without it, this thread's data store
+            // could still sit in its store buffer while a concurrent
+            // foreign drain claims the old enqueue and persists the stale
+            // value, losing the write.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            if s > q.claim.load(Ordering::Relaxed) {
+                return;
+            }
         }
+        let pos = q.tail.load(Ordering::Relaxed);
+        if pos - q.done.load(Ordering::Acquire) >= q.slots.len() as u64 {
+            // Ring full: complete the write-back immediately. CLWB may
+            // finish at any point before the fence on real hardware, so an
+            // early write-back is always legal; it is just not deduplicated.
+            self.persist_line(line);
+            self.stats
+                .overflow_writebacks
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        q.slot(pos).store(line.index(), Ordering::Release);
+        q.tail.store(pos + 1, Ordering::Release);
+        stamp.store(pos + 1, Ordering::Release);
     }
 
     /// Completes all of thread `tid`'s outstanding flushes (SFENCE) and
     /// charges the configured drain latency. Returns the number of lines
-    /// persisted.
+    /// this call persisted.
+    ///
+    /// Any thread may drain any queue (the Section 5.2 forcing paths drain
+    /// other threads' queues). Concurrent drains of one queue claim
+    /// disjoint ranges, so no line is persisted twice; the call returns
+    /// only after every position up to the tail it observed has been
+    /// durably retired, even if a concurrent drain claimed part of the
+    /// range.
     ///
     /// # Panics
     ///
     /// Panics if `tid >= max_threads`.
     pub fn drain(&self, tid: usize) -> u64 {
-        // Persist in place and clear, rather than mem::take-ing the Vec:
-        // the queue keeps its capacity, so steady-state flush/drain cycles
-        // never reallocate.
-        let count = {
-            let mut queue = self.flush_queues[tid].lock();
-            for &line in queue.iter() {
+        let q = &self.flush_queues[tid];
+        let mut count = 0u64;
+        let target = q.tail.load(Ordering::Acquire);
+        loop {
+            let claim = q.claim.load(Ordering::Acquire);
+            if claim >= target {
+                break;
+            }
+            if q.claim
+                .compare_exchange(claim, target, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // This call owns positions [claim, target): persist them, then
+            // retire the range in order so ring slots are never reused
+            // while a drain is still reading them. The fence pairs with
+            // the one in `clwb`'s dedup skip (see there): it guarantees
+            // that any flusher whose skip check did not observe this claim
+            // has its preceding data store visible to the persist loads
+            // below.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            for pos in claim..target {
+                let line = LineId::new(q.slot(pos).load(Ordering::Acquire));
                 self.persist_line(line);
             }
-            let count = queue.len() as u64;
-            queue.clear();
-            count
-        };
+            count = target - claim;
+            // Both retirement waits yield rather than pure-spin: the drain
+            // being waited on needs a core to finish persisting, and on a
+            // few-core host a spinning waiter is what keeps it descheduled
+            // (the same starvation pattern fixed in the NV-HTM
+            // checkpointer). Uncontended drains never enter either loop
+            // body, so the hot path pays nothing.
+            while q.done.load(Ordering::Acquire) != claim {
+                std::thread::yield_now();
+            }
+            q.done.store(target, Ordering::Release);
+            break;
+        }
+        // SFENCE semantics: even when a concurrent drain claimed (part of)
+        // the range, do not return before it is durably retired.
+        while q.done.load(Ordering::Acquire) < target {
+            std::thread::yield_now();
+        }
         self.stats.drains.fetch_add(1, Ordering::Relaxed);
         self.stats
             .lines_persisted
@@ -311,9 +495,10 @@ impl MemorySpace {
         self.drain(tid);
     }
 
-    /// Number of lines queued by `tid` and not yet drained.
+    /// Number of lines queued by `tid` and not yet durably retired by a
+    /// completed drain.
     pub fn pending_flushes(&self, tid: usize) -> usize {
-        self.flush_queues[tid].lock().len()
+        self.flush_queues[tid].pending() as usize
     }
 
     fn emulate_drain_latency(&self) {
@@ -338,7 +523,9 @@ impl MemorySpace {
             let v = self.volatile_view[addr.word() as usize].load(Ordering::Acquire);
             self.persistent_image[addr.word() as usize].store(v, Ordering::Release);
         }
-        self.line_dirty[line.index() as usize].store(false, Ordering::Release);
+        if let Some(dirty) = self.line_dirty.peek(line.index()) {
+            dirty.store(0, Ordering::Release);
+        }
     }
 
     /// Reads the *persistent image* (not the volatile view) at `addr`.
@@ -375,11 +562,13 @@ impl MemorySpace {
             image[w as usize] = self.persistent_image[w as usize].load(Ordering::Acquire);
         }
         let p = model.dirty_word_persist_probability;
-        for (line_idx, dirty) in self.line_dirty.iter().enumerate() {
-            if !dirty.load(Ordering::Acquire) {
+        for line_idx in 0..self.line_dirty.len() {
+            // Unallocated metadata segments mean every line in them is
+            // clean; `load_or_zero` never materializes them.
+            if self.line_dirty.load_or_zero(line_idx) == 0 {
                 continue;
             }
-            for addr in LineId::new(line_idx as u64).words() {
+            for addr in LineId::new(line_idx).words() {
                 if addr.word() >= words {
                     break;
                 }
@@ -445,6 +634,7 @@ impl MemorySpace {
             flushes: self.stats.flushes.load(Ordering::Relaxed),
             lines_persisted: self.stats.lines_persisted.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
+            overflow_writebacks: self.stats.overflow_writebacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -525,6 +715,61 @@ mod tests {
         assert_eq!(m.drain(0), 1);
         assert_eq!(m.read_persisted(a), 1);
         assert_eq!(m.read_persisted(b), 2);
+    }
+
+    #[test]
+    fn reflushing_after_a_drain_enqueues_again() {
+        let m = space();
+        let a = PAddr::new(64);
+        m.write(a, 1);
+        m.clwb(0, a);
+        assert_eq!(m.drain(0), 1);
+        // The stamp from the first enqueue is now below the claim cursor,
+        // so a fresh flush of the same line must re-enqueue it.
+        m.write(a, 2);
+        m.clwb(0, a);
+        assert_eq!(m.pending_flushes(0), 1);
+        assert_eq!(m.drain(0), 1);
+        assert_eq!(m.read_persisted(a), 2);
+    }
+
+    #[test]
+    fn full_queue_overflow_writes_back_immediately() {
+        let cfg = PmemConfig::small_for_tests().with_flush_queue_capacity(8);
+        let m = MemorySpace::new(cfg);
+        let lines = 20u64;
+        for i in 0..lines {
+            let a = PAddr::new(64 + i * WORDS_PER_LINE);
+            m.write(a, i + 1);
+            m.clwb(0, a);
+        }
+        let s = m.stats();
+        assert!(
+            s.overflow_writebacks > 0,
+            "a 8-deep queue cannot hold 20 lines"
+        );
+        assert_eq!(m.pending_flushes(0), 8);
+        m.drain(0);
+        for i in 0..lines {
+            assert_eq!(
+                m.read_persisted(PAddr::new(64 + i * WORDS_PER_LINE)),
+                i + 1,
+                "line {i} lost (queued and overflowed lines must both persist)"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_thread_can_drain_another_queue() {
+        let m = space();
+        let a = PAddr::new(64);
+        m.write(a, 5);
+        m.clwb(2, a);
+        // A different caller completes thread 2's flushes (the Section 5.2
+        // forcing path).
+        assert_eq!(m.drain(2), 1);
+        assert_eq!(m.read_persisted(a), 5);
+        assert_eq!(m.pending_flushes(2), 0);
     }
 
     #[test]
@@ -655,6 +900,7 @@ mod tests {
         assert_eq!(s.flushes, 1);
         assert_eq!(s.drains, 2);
         assert_eq!(s.lines_persisted, 1);
+        assert_eq!(s.overflow_writebacks, 0);
     }
 
     #[test]

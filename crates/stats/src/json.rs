@@ -1,10 +1,12 @@
-//! A minimal JSON document builder.
+//! A minimal JSON document builder and parser.
 //!
 //! The workspace is built in an offline environment without `serde`, so the
 //! machine-readable benchmark artifacts (`BENCH_hotpath.json`) are rendered
 //! through this small value type instead. It supports exactly what the
 //! artifacts need: objects with ordered keys, arrays, strings, integers,
-//! and finite floats.
+//! and finite floats. [`Json::parse`] reads the same documents back — the
+//! CI perf-regression gate uses it to compare a fresh benchmark run against
+//! the committed baseline artifact.
 
 use std::fmt::Write as _;
 
@@ -51,6 +53,65 @@ impl Json {
     pub fn with(mut self, key: &str, value: Json) -> Json {
         self.set(key, value);
         self
+    }
+
+    /// Looks up a field of an object (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (empty for non-arrays).
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Array(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// The value as an `f64` ([`Json::UInt`] widens losslessly enough for
+    /// the artifacts' counters).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset this builder renders, which is
+    /// all the workspace's artifacts use: objects, arrays, strings without
+    /// `\u` surrogate pairs, integers, floats, booleans, and `null`).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.at));
+        }
+        Ok(value)
     }
 
     /// Renders the value as a compact JSON document.
@@ -159,6 +220,212 @@ fn write_sequence(
     out.push(close);
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.at,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.at
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.at,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.at,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.at += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                Some(b) => {
+                    // Consume one UTF-8 scalar. The input came in as a
+                    // &str, so the byte stream is valid UTF-8 and the
+                    // leading byte determines the scalar's width — no need
+                    // to re-validate the remainder of the document (which
+                    // would make string parsing quadratic).
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let scalar = self
+                        .bytes
+                        .get(self.at..self.at + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or("truncated UTF-8 scalar")?;
+                    out.push_str(scalar);
+                    self.at += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).map_err(|e| e.to_string())?;
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|e| format!("invalid number {text:?}: {e}"))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -209,5 +476,58 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn set_on_non_object_panics() {
         Json::Null.set("k", Json::Null);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::object()
+            .with("engine", Json::from("Crafty"))
+            .with("threads", Json::from(4u64))
+            .with("ops_per_sec", Json::Float(123456.78))
+            .with(
+                "points",
+                Json::Array(vec![Json::Null, Json::Bool(true), Json::from("a\"b\n")]),
+            );
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let parsed = Json::parse(&rendered).expect("parse");
+            assert_eq!(parsed, doc);
+        }
+    }
+
+    #[test]
+    fn parse_accessors_navigate_documents() {
+        let parsed = Json::parse(
+            r#"{"config": {"seed": 42}, "points": [{"engine": "Crafty", "ops_per_sec": 1.5e3}]}"#,
+        )
+        .expect("parse");
+        assert_eq!(
+            parsed
+                .get("config")
+                .and_then(|c| c.get("seed"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+        let point = &parsed.get("points").expect("points").items()[0];
+        assert_eq!(point.get("engine").and_then(Json::as_str), Some("Crafty"));
+        assert_eq!(
+            point.get("ops_per_sec").and_then(Json::as_f64),
+            Some(1500.0)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_handles_negative_and_unicode() {
+        let parsed = Json::parse(r#"[-2.5, "A\t"]"#).expect("parse");
+        assert_eq!(parsed.items()[0].as_f64(), Some(-2.5));
+        assert_eq!(parsed.items()[1].as_str(), Some("A\t"));
     }
 }

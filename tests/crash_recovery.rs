@@ -28,6 +28,7 @@ fn bank_crash_run(
         max_threads: threads + 2,
         latency: LatencyModel::instant(),
         crash,
+        ..PmemConfig::small_for_tests()
     };
     let mem = Arc::new(MemorySpace::new(pmem_cfg));
     let crafty_cfg = CraftyConfig {
@@ -171,6 +172,7 @@ proptest! {
             max_threads: 4,
             latency: LatencyModel::instant(),
             crash: CrashModel::adversarial(seed),
+            ..PmemConfig::small_for_tests()
         }));
         let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests().with_max_threads(2));
         let cell = mem.reserve_persistent(1);

@@ -18,6 +18,7 @@ fn small_space(threads: usize) -> Arc<MemorySpace> {
         max_threads: threads + 2,
         latency: LatencyModel::instant(),
         crash: CrashModel::strict(),
+        ..PmemConfig::small_for_tests()
     }))
 }
 
@@ -131,14 +132,20 @@ fn crafty_breakdown_distinguishes_commit_paths_under_contention() {
         b.completions(CompletionPath::Redo) > 0,
         "redo path must be exercised"
     );
+    let non_redo = b.completions(CompletionPath::Validate) + b.completions(CompletionPath::Sgl);
     assert!(
-        b.completions(CompletionPath::Redo)
-            + b.completions(CompletionPath::Validate)
-            + b.completions(CompletionPath::Sgl)
-            == 1000,
+        b.completions(CompletionPath::Redo) + non_redo == 1000,
         "all updating transactions commit through exactly one path"
     );
-    assert!(b.total_hw_aborts() > 0, "contention must cause some aborts");
+    // A transaction only leaves the Redo path after a failed check, which
+    // aborts a hardware transaction — so non-Redo completions imply aborts.
+    // The converse is scheduling-dependent: on a single core the threads
+    // can serialize so perfectly that no conflict ever materializes, so
+    // zero aborts with 100% Redo completions is a legitimate outcome.
+    assert!(
+        non_redo == 0 || b.total_hw_aborts() > 0,
+        "non-Redo completions require hardware aborts"
+    );
 }
 
 #[test]
