@@ -5,7 +5,7 @@
 //!         [--json-out PATH]
 //!
 //! targets: fig6 fig7 fig8 table1 breakdowns fig22 fig23 fig24 hotpath
-//!          flushbound all   (default: fig6 fig7 table1)
+//!          flushbound kv all   (default: fig6 fig7 table1)
 //!
 //! figures compare --candidate PATH [--baseline BENCH_hotpath.json]
 //!         [--tolerance 0.40] [--engine Crafty] [--reference Non-durable]
@@ -16,7 +16,11 @@
 //! machine-readable `BENCH_hotpath.json` artifact (see
 //! [`crafty_bench::hotpath`]); `--json-out` overrides its output path. The
 //! `flushbound` target stresses the persistence domain (clwb/drain) with no
-//! transactions (see [`crafty_bench::flushbound`]).
+//! transactions (see [`crafty_bench::flushbound`]). The `kv` target runs
+//! the YCSB-style mixes over the durable sharded `crafty-kv` store on
+//! Crafty, Non-durable, NV-HTM, and DudeTM, and writes `BENCH_kv.json`
+//! (see [`crafty_bench::kvbench`]; `--json-out` overrides the path when
+//! `kv` is the only JSON-writing target requested).
 //!
 //! `compare` is the CI perf-regression gate: it reads two hotpath JSON
 //! artifacts (the committed baseline and a fresh candidate run) and fails
@@ -40,8 +44,8 @@
 use std::collections::BTreeSet;
 
 use crafty_bench::{
-    render_hotpath_json, run_breakdowns, run_figure, run_flushbound, run_hotpath, writes_per_txn,
-    HarnessConfig,
+    render_hotpath_json, render_kv_json, run_breakdowns, run_figure, run_flushbound, run_hotpath,
+    run_kv, writes_per_txn, HarnessConfig,
 };
 use crafty_pmem::LatencyModel;
 use crafty_stats::{
@@ -115,6 +119,7 @@ fn parse_args() -> Options {
             "fig24",
             "hotpath",
             "flushbound",
+            "kv",
         ] {
             targets.insert(t.to_string());
         }
@@ -410,6 +415,25 @@ fn main() {
                 p.threads, p.lines_per_sec, p.drains_per_sec, p.lines_persisted
             );
         }
+    }
+    if has("kv") {
+        // `--json-out` names the hotpath artifact when both targets run in
+        // one invocation; kv then keeps its default path.
+        let path = if has("hotpath") {
+            "BENCH_kv.json"
+        } else {
+            options.json_out.as_deref().unwrap_or("BENCH_kv.json")
+        };
+        println!("\n== kv: YCSB mixes over the durable sharded store ==");
+        let points = run_kv(cfg);
+        for p in &points {
+            println!(
+                "YCSB-{:<2} {:<14} {:>2} thr {:>12.0} ops/s",
+                p.mix, p.engine, p.threads, p.ops_per_sec
+            );
+        }
+        std::fs::write(path, render_kv_json(cfg, &points)).expect("write kv json");
+        println!("[json written to {path}]");
     }
     // Appendix figures: the same benchmarks at 100 ns drain latency.
     let appendix = cfg.clone().with_latency(LatencyModel::nvm_100ns());

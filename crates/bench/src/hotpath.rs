@@ -10,7 +10,7 @@ use crafty_common::{CompletionPath, HwTxnOutcome};
 use crafty_stats::Json;
 use crafty_workloads::{BankWorkload, Contention};
 
-use crate::{run_point, HarnessConfig};
+use crate::{round2, run_point, HarnessConfig};
 
 /// One (engine, thread count) sample of the tracked hot-path benchmark.
 #[derive(Clone, Debug)]
@@ -91,10 +91,6 @@ pub fn render_hotpath_json(cfg: &HarnessConfig, points: &[HotpathPoint]) -> Stri
         )
         .with("points", Json::Array(arr))
         .render_pretty()
-}
-
-fn round2(x: f64) -> f64 {
-    (x * 100.0).round() / 100.0
 }
 
 #[cfg(test)]

@@ -1,0 +1,149 @@
+//! The KV-store benchmark behind `BENCH_kv.json`.
+//!
+//! Runs the YCSB-style mixes (A/B/C read-heavy, E scan) over the durable
+//! sharded [`crafty_kv`](crafty_workloads::ycsb) store on the four engines
+//! the paper's headline comparison uses — Crafty, Non-durable, NV-HTM, and
+//! DudeTM — and renders the machine-readable artifact CI uploads as the
+//! `kv-candidate` artifact. There is no committed baseline (and therefore
+//! no regression gate) yet; the JSON exists so the first scaling PR can
+//! commit one.
+
+use crafty_common::{CompletionPath, HwTxnOutcome};
+use crafty_stats::Json;
+use crafty_workloads::{EngineKind, YcsbMix, YcsbWorkload};
+
+use crate::{round2, run_point, HarnessConfig};
+
+/// Engines the KV benchmark compares (legend order).
+pub const KV_ENGINES: [EngineKind; 4] = [
+    EngineKind::NonDurable,
+    EngineKind::DudeTm,
+    EngineKind::NvHtm,
+    EngineKind::Crafty,
+];
+
+/// One (mix, engine, thread count) sample of the KV benchmark.
+#[derive(Clone, Debug)]
+pub struct KvPoint {
+    /// Mix label (`"A"`, `"B"`, `"C"`, `"E"`).
+    pub mix: &'static str,
+    /// Engine legend label.
+    pub engine: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Persistent transactions executed across all threads.
+    pub transactions: u64,
+    /// Transactions per second.
+    pub ops_per_sec: f64,
+    /// Completion-path counts (read-only / redo / validate / sgl / …).
+    pub completions: Vec<(&'static str, u64)>,
+    /// Hardware-transaction outcome counts (commit / conflict / …).
+    pub hw_outcomes: Vec<(&'static str, u64)>,
+}
+
+/// Runs every KV mix on every engine at every configured thread count.
+/// Each point gets a fresh space and a freshly prefetched store, exactly
+/// like the paper's per-point process runs.
+pub fn run_kv(cfg: &HarnessConfig) -> Vec<KvPoint> {
+    let mut points = Vec::new();
+    for mix in YcsbMix::ALL {
+        let workload = YcsbWorkload::paper(mix);
+        for kind in KV_ENGINES {
+            for &threads in &cfg.thread_counts {
+                let (m, breakdown) = run_point(&workload, kind, threads, cfg);
+                points.push(KvPoint {
+                    mix: mix.label(),
+                    engine: kind.label().to_string(),
+                    threads,
+                    transactions: m.transactions,
+                    ops_per_sec: m.throughput(),
+                    completions: CompletionPath::ALL
+                        .iter()
+                        .map(|&p| (p.label(), breakdown.completions(p)))
+                        .collect(),
+                    hw_outcomes: HwTxnOutcome::ALL
+                        .iter()
+                        .map(|&o| (o.label(), breakdown.hw(o)))
+                        .collect(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Renders the KV samples as the `BENCH_kv.json` artifact.
+pub fn render_kv_json(cfg: &HarnessConfig, points: &[KvPoint]) -> String {
+    let workload = YcsbWorkload::paper(YcsbMix::A);
+    let mut arr = Vec::with_capacity(points.len());
+    for p in points {
+        let mut completions = Json::object();
+        for (label, count) in &p.completions {
+            completions.set(label, Json::UInt(*count));
+        }
+        let mut hw = Json::object();
+        for (label, count) in &p.hw_outcomes {
+            hw.set(label, Json::UInt(*count));
+        }
+        arr.push(
+            Json::object()
+                .with("mix", Json::from(p.mix))
+                .with("engine", Json::from(p.engine.as_str()))
+                .with("threads", Json::from(p.threads))
+                .with("transactions", Json::from(p.transactions))
+                .with("ops_per_sec", Json::Float(round2(p.ops_per_sec)))
+                .with("completions", completions)
+                .with("hw_outcomes", hw),
+        );
+    }
+    Json::object()
+        .with("benchmark", Json::from("ycsb over crafty-kv"))
+        .with(
+            "config",
+            Json::object()
+                .with("txns_per_thread", Json::from(cfg.txns_per_thread))
+                .with("drain_latency_ns", Json::from(cfg.latency.drain_ns))
+                .with("records", Json::from(workload.records))
+                .with("shards", Json::from(workload.shards))
+                .with("zipf_theta", Json::Float(workload.theta))
+                // The seed that actually pins the key stream: the
+                // workload's own (per-transaction RNG streams derive from
+                // it), not the harness seed, which the KV mixes ignore.
+                .with("seed", Json::from(workload.seed)),
+        )
+        .with("points", Json::Array(arr))
+        .render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crafty_pmem::LatencyModel;
+
+    #[test]
+    fn kv_points_cover_all_mixes_and_engines() {
+        let cfg = HarnessConfig {
+            engines: KV_ENGINES.to_vec(),
+            thread_counts: vec![1],
+            txns_per_thread: 40,
+            latency: LatencyModel::instant(),
+            persistent_words: 1 << 21,
+            seed: 1,
+        };
+        let points = run_kv(&cfg);
+        assert_eq!(points.len(), YcsbMix::ALL.len() * KV_ENGINES.len());
+        assert!(points.iter().all(|p| p.transactions == 40));
+        assert!(points.iter().all(|p| p.ops_per_sec > 0.0));
+        let json = render_kv_json(&cfg, &points);
+        for engine in ["Crafty", "Non-durable", "NV-HTM", "DudeTM"] {
+            assert!(
+                json.contains(&format!("\"engine\": \"{engine}\"")),
+                "{engine}"
+            );
+        }
+        for mix in ["\"A\"", "\"B\"", "\"C\"", "\"E\""] {
+            assert!(json.contains(&format!("\"mix\": {mix}")), "{mix}");
+        }
+        assert!(json.contains("\"zipf_theta\""));
+    }
+}

@@ -14,9 +14,17 @@
 
 pub mod flushbound;
 pub mod hotpath;
+pub mod kvbench;
 
 pub use flushbound::{run_flushbound, FlushboundPoint};
 pub use hotpath::{render_hotpath_json, run_hotpath, HotpathPoint};
+pub use kvbench::{render_kv_json, run_kv, KvPoint, KV_ENGINES};
+
+/// Rounds to two decimals for the JSON artifacts (stable, diff-friendly
+/// files).
+pub(crate) fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
 
 use std::sync::Arc;
 

@@ -18,6 +18,8 @@
 //!   domain's flush-queue dedup.
 //! * [`shard`] — lazily-allocated sharded atomic arrays backing the
 //!   per-line metadata (versioned locks, dirty bits, dedup stamps).
+//! * [`zipf`] — the YCSB-style zipfian key-popularity distribution used by
+//!   the KV-store workloads.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod error;
 pub mod genset;
 pub mod rng;
 pub mod shard;
+pub mod zipf;
 
 pub use addr::{LineId, PAddr, WORDS_PER_LINE};
 pub use api::{PersistentTm, TmThread, TxnBody, TxnOps, TxnReport};
@@ -51,5 +54,6 @@ pub use breakdown::{BreakdownRecorder, BreakdownSnapshot, CompletionPath, HwTxnO
 pub use clock::{Clock, Timestamp};
 pub use error::{SetupError, TxAbort};
 pub use genset::{GenMap, GenSet};
-pub use rng::SplitMix64;
+pub use rng::{mix64, SplitMix64};
 pub use shard::LazyAtomicArray;
+pub use zipf::{Zipfian, YCSB_THETA};

@@ -6,6 +6,19 @@
 //! injection and workload key generation; the `rand` crate is still used in
 //! workloads when distributions are needed.
 
+/// SplitMix64's output function: adds the golden-gamma increment and
+/// applies the finalizer. A high-quality, bijective-per-gamma-step 64-bit
+/// mix, shared by [`SplitMix64::next_u64`] and by callers that need a
+/// stateless hash with the same avalanche behaviour (the KV store's
+/// shard/slot hashing, the YCSB key scrambler).
+#[inline]
+pub const fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A SplitMix64 pseudo-random number generator.
 ///
 /// # Example
@@ -31,11 +44,9 @@ impl SplitMix64 {
 
     /// Returns the next 64-bit value in the stream.
     pub fn next_u64(&mut self) -> u64 {
+        let out = mix64(self.state);
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        out
     }
 
     /// Returns a value uniformly distributed in `[0, bound)`.

@@ -17,8 +17,10 @@
 //! * **Descriptor checkout** — [`HtmRuntime`] owns one reusable
 //!   [`TxnScratch`] per thread slot. [`HtmRuntime::begin`] checks the
 //!   calling thread's descriptor out of the pool and the finished
-//!   transaction returns it on drop. The only per-transaction costs are an
-//!   uncontended per-thread mutex and an O(1) reset. If a thread begins a
+//!   transaction returns it on drop. The pool slots are single-slot
+//!   lock-free queues (atomic take/put cells), so the only per-transaction
+//!   costs are two uncontended atomic operations and an O(1) reset — no
+//!   mutex is taken anywhere on the checkout path. If a thread begins a
 //!   nested transaction while its descriptor is out (which no engine path
 //!   does in steady state), a fresh descriptor is allocated for the inner
 //!   transaction and dropped afterwards.

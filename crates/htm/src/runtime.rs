@@ -26,7 +26,8 @@ use std::sync::Arc;
 
 use crafty_common::{BreakdownRecorder, HwTxnOutcome, LazyAtomicArray, LineId, PAddr};
 use crafty_pmem::MemorySpace;
-use parking_lot::Mutex;
+use crossbeam::queue::ArrayQueue;
+use crossbeam::utils::Backoff;
 
 use crate::config::HtmConfig;
 use crate::scratch::TxnScratch;
@@ -75,12 +76,15 @@ pub struct HtmRuntime {
     line_versions: LazyAtomicArray,
     version_clock: AtomicU64,
     recorder: Arc<BreakdownRecorder>,
-    /// One reusable transaction descriptor per thread slot. `begin(tid)`
-    /// checks the descriptor out and the transaction returns it on drop;
-    /// in the (non-steady-state) event that a thread begins a second
-    /// transaction while its descriptor is out, a fresh descriptor is
-    /// allocated and discarded afterwards.
-    scratch_pool: Box<[Mutex<Option<Box<TxnScratch>>>]>,
+    /// One reusable transaction descriptor per thread slot, held in a
+    /// single-slot lock-free queue used as an atomic take/put cell:
+    /// `begin(tid)` pops the descriptor out and the transaction pushes it
+    /// back on drop — no mutex anywhere on the checkout path (the previous
+    /// implementation took an uncontended `parking_lot::Mutex` per
+    /// transaction). In the (non-steady-state) event that a thread begins a
+    /// second transaction while its descriptor is out, a fresh descriptor
+    /// is allocated for the inner transaction and discarded afterwards.
+    scratch_pool: Box<[ArrayQueue<Box<TxnScratch>>]>,
 }
 
 impl std::fmt::Debug for HtmRuntime {
@@ -108,7 +112,7 @@ impl HtmRuntime {
             line_versions: LazyAtomicArray::new(lines),
             version_clock: AtomicU64::new(0),
             recorder,
-            scratch_pool: (0..threads).map(|_| Mutex::new(None)).collect(),
+            scratch_pool: (0..threads).map(|_| ArrayQueue::new(1)).collect(),
         }
     }
 
@@ -122,11 +126,11 @@ impl HtmRuntime {
     }
 
     /// Checks out thread `tid`'s reusable descriptor (creating it on first
-    /// use), reset and ready for a new transaction.
+    /// use), reset and ready for a new transaction. A single atomic pop on
+    /// the slot's lock-free cell — no lock is taken.
     fn checkout_scratch(&self, tid: usize) -> Box<TxnScratch> {
         let mut scratch = self.scratch_pool[tid]
-            .lock()
-            .take()
+            .pop()
             .unwrap_or_else(|| Box::new(TxnScratch::new(self.zero_rng_seed(tid))));
         scratch.reset();
         scratch
@@ -135,10 +139,11 @@ impl HtmRuntime {
     /// Returns a descriptor to its thread slot. In the nested-begin case
     /// the slot may already hold the inner transaction's descriptor; the
     /// one returned later (the outer transaction's, which carries the
-    /// thread's cumulative spurious-abort RNG stream) wins, so descriptor
+    /// thread's cumulative spurious-abort RNG stream) wins — `force_push`
+    /// evicts the inner descriptor, which is then dropped — so descriptor
     /// reuse never rewinds a thread's abort schedule.
     fn return_scratch(&self, tid: usize, scratch: Box<TxnScratch>) {
-        *self.scratch_pool[tid].lock() = Some(scratch);
+        drop(self.scratch_pool[tid].force_push(scratch));
     }
 
     /// The memory space transactions operate on.
@@ -268,12 +273,20 @@ impl HtmRuntime {
 
     /// Acquires the versioned lock of `line` for a non-transactional
     /// operation and returns its slot (with the lock bit set).
+    ///
+    /// The wait between attempts uses bounded exponential backoff
+    /// ([`Backoff::snooze`]): spin-loop hints whose pause doubles per
+    /// retry up to a cap, then thread yields — a tight unpaced spin here
+    /// hammers the lock holder's cache line, and on a host with fewer
+    /// cores than threads it can be precisely what keeps the holder from
+    /// running (the starvation pattern documented in the ROADMAP).
     fn lock_line(&self, line: LineId) -> &AtomicU64 {
         let slot = self.line_versions.get(line.index());
+        let mut backoff = Backoff::new();
         loop {
             let v = slot.load(Ordering::Acquire);
             if v & LOCK_BIT != 0 {
-                std::hint::spin_loop();
+                backoff.snooze();
                 continue;
             }
             if slot
@@ -282,6 +295,7 @@ impl HtmRuntime {
             {
                 return slot;
             }
+            backoff.spin();
         }
     }
 
@@ -290,18 +304,23 @@ impl HtmRuntime {
     /// published write set), mirroring the strong atomicity of real RTM:
     /// if the containing line is locked by an in-flight commit, the read
     /// waits for the commit to finish.
+    /// The wait for an in-flight commit to release the line uses the same
+    /// bounded exponential backoff as [`HtmRuntime::lock_line`]: capped
+    /// doubling spin-loop pauses, then yields.
     pub fn nontx_read(&self, addr: PAddr) -> u64 {
         let line = addr.line();
+        let mut backoff = Backoff::new();
         loop {
             let v1 = self.version_of(line);
             if v1 & LOCK_BIT != 0 {
-                std::hint::spin_loop();
+                backoff.snooze();
                 continue;
             }
             let value = self.mem.read(addr);
             if self.version_of(line) == v1 {
                 return value;
             }
+            backoff.spin();
         }
     }
 

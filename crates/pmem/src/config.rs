@@ -87,6 +87,22 @@ impl CrashModel {
             seed,
         }
     }
+
+    /// A relaxed model between [`CrashModel::strict`] and
+    /// [`CrashModel::adversarial`]: during the run nothing persists without
+    /// an explicit flush-and-drain (no spontaneous evictions), but at the
+    /// crash itself each dirty *word* independently persists with
+    /// probability ½ — the word-granular in-flight loss/leak behaviour of
+    /// Section 5.2 without the mid-run eviction noise, so tests can place
+    /// the crash point deterministically and still face a lossy power
+    /// failure.
+    pub const fn relaxed(seed: u64) -> Self {
+        CrashModel {
+            eviction_probability: 0.0,
+            dirty_word_persist_probability: 0.5,
+            seed,
+        }
+    }
 }
 
 impl Default for CrashModel {
@@ -204,6 +220,10 @@ mod tests {
         assert!(adv.eviction_probability > 0.0);
         assert!(adv.dirty_word_persist_probability > 0.0);
         assert_eq!(adv.seed, 7);
+        let rel = CrashModel::relaxed(9);
+        assert_eq!(rel.eviction_probability, 0.0, "relaxed has no evictions");
+        assert!(rel.dirty_word_persist_probability > 0.0);
+        assert_eq!(rel.seed, 9);
     }
 
     #[test]

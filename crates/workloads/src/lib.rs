@@ -9,6 +9,9 @@
 //!   (Figure 7).
 //! * [`stamp`] — STAMP-like kernels with transaction sizes and contention
 //!   matched to Table 1 (Figure 8).
+//! * [`ycsb`] — YCSB-style key-value mixes (A/B/C read-heavy, E scan) over
+//!   the durable sharded [`crafty_kv::ShardedKv`] store, with zipfian key
+//!   popularity.
 //! * [`driver`] — the engine-generic runner that measures wall-clock
 //!   throughput and feeds the figure harness.
 //! * [`engines`] — constructors for every engine configuration evaluated
@@ -22,9 +25,11 @@ pub mod btree;
 pub mod driver;
 pub mod engines;
 pub mod stamp;
+pub mod ycsb;
 
 pub use bank::{BankWorkload, Contention};
 pub use btree::{BtreeVariant, BtreeWorkload};
 pub use driver::{measure, run_mix, TxnMix, Workload};
 pub use engines::{build_engine, EngineKind};
 pub use stamp::{StampKernel, StampWorkload};
+pub use ycsb::{YcsbKvMix, YcsbMix, YcsbWorkload};

@@ -9,8 +9,11 @@
 //!   RTM the engines run on.
 //! * [`baselines`] — Non-durable, NV-HTM, DudeTM, and the software logging
 //!   engines.
-//! * [`workloads`] / [`stats`] — the paper's benchmarks and the measurement
-//!   and reporting layer.
+//! * [`kv`] ([`crafty_kv`]) — the durable, sharded key-value store built on
+//!   the persistent-transaction interface (the workspace's application
+//!   layer).
+//! * [`workloads`] / [`stats`] — the paper's benchmarks, the YCSB-style KV
+//!   mixes, and the measurement and reporting layer.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the architecture and the
 //! paper-to-module map.
@@ -41,6 +44,7 @@ pub use crafty_baselines as baselines;
 pub use crafty_common as common;
 pub use crafty_core as core;
 pub use crafty_htm as htm;
+pub use crafty_kv as kv;
 pub use crafty_pmem as pmem;
 pub use crafty_stats as stats;
 pub use crafty_workloads as workloads;
@@ -49,9 +53,12 @@ pub use crafty_workloads as workloads;
 pub mod prelude {
     pub use crafty_baselines::{DudeTm, NonDurable, NvHtm};
     pub use crafty_common::{
-        BreakdownSnapshot, CompletionPath, PAddr, PersistentTm, TmThread, TxAbort, TxnOps,
+        BreakdownSnapshot, CompletionPath, PAddr, PersistentTm, TmThread, TxAbort, TxnOps, Zipfian,
     };
     pub use crafty_core::{recover, Crafty, CraftyConfig, CraftyVariant, ThreadingMode};
+    pub use crafty_kv::{DirectOps, KvConfig, ShardedKv};
     pub use crafty_pmem::{CrashModel, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
-    pub use crafty_workloads::{build_engine, measure, EngineKind, Workload};
+    pub use crafty_workloads::{
+        build_engine, measure, EngineKind, Workload, YcsbMix, YcsbWorkload,
+    };
 }

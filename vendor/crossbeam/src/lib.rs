@@ -1,14 +1,23 @@
 //! Offline shim for the subset of `crossbeam` this workspace uses: the
-//! `crossbeam::scope` scoped-thread API, implemented on top of
-//! `std::thread::scope` (stable since Rust 1.63).
+//! `crossbeam::scope` scoped-thread API (on top of `std::thread::scope`,
+//! stable since Rust 1.63), the [`queue::ArrayQueue`] bounded lock-free
+//! queue, and [`utils::Backoff`].
 //!
 //! Differences from the real crate: if a spawned thread panics, the panic
 //! is propagated when the scope unwinds (std semantics) instead of being
 //! returned inside the `Err` variant — the `Result` returned here is always
 //! `Ok`, so `.expect(..)` call sites behave identically in passing runs and
 //! still fail loudly on a child panic.
+//!
+//! Like the real crossbeam, the queue implementation contains `unsafe`
+//! internally (slot ownership is handed off through sequence numbers); the
+//! rest of the workspace stays `#![forbid(unsafe_code)]` and uses it
+//! through the safe API only.
 
 use std::thread::ScopedJoinHandle;
+
+pub mod queue;
+pub mod utils;
 
 /// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
 pub struct Scope<'scope, 'env: 'scope> {

@@ -1,0 +1,352 @@
+//! Bounded lock-free queues; mirrors `crossbeam::queue::ArrayQueue`.
+//!
+//! The implementation is the classic Vyukov bounded MPMC queue with
+//! crossbeam's lap-based stamps: `head` and `tail` pack a slot index in
+//! their low bits and a lap number above it (`one_lap` is a power of two
+//! strictly greater than the capacity, so a slot's push-ready stamp can
+//! never collide with its pop-ready stamp — the subtlety that breaks the
+//! naive `pos + 1` scheme at capacity 1). Producers and consumers claim
+//! slots by CAS on the counters and then transfer the value through the
+//! slot they exclusively own; neither operation takes a lock.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Stamp. `stamp == tail` means the slot is free for the push whose
+    /// packed counter is `tail`; `stamp == tail + 1` means it holds that
+    /// push's value and is ready for the matching pop; the pop then sets
+    /// `stamp = head + one_lap`, the push-ready stamp of the next lap.
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer multi-consumer lock-free queue (API-compatible
+/// subset of `crossbeam::queue::ArrayQueue`).
+pub struct ArrayQueue<T> {
+    slots: Box<[Slot<T>]>,
+    /// Power of two > capacity; laps advance counters by this much.
+    one_lap: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+// SAFETY: values are transferred between threads through slots whose
+// exclusive ownership is established by the stamp protocol below, so the
+// queue is as thread-safe as a channel of `T`.
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        ArrayQueue {
+            slots: (0..capacity)
+                .map(|i| Slot {
+                    stamp: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            one_lap: (capacity + 1).next_power_of_two(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of elements the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn index(&self, counter: usize) -> usize {
+        counter & (self.one_lap - 1)
+    }
+
+    #[inline]
+    fn lap(&self, counter: usize) -> usize {
+        counter & !(self.one_lap - 1)
+    }
+
+    /// The packed counter one position after `counter`.
+    #[inline]
+    fn advance(&self, counter: usize) -> usize {
+        if self.index(counter) + 1 < self.slots.len() {
+            counter + 1
+        } else {
+            // Wrap to index 0 of the next lap.
+            self.lap(counter).wrapping_add(self.one_lap)
+        }
+    }
+
+    /// Whether the queue currently holds no elements.
+    pub fn is_empty(&self) -> bool {
+        // An empty queue has head == tail (checked in this order: if head
+        // catches up to a tail read earlier, no element was in between).
+        let head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::SeqCst);
+        tail == head
+    }
+
+    /// Number of elements currently in the queue (racy under concurrency,
+    /// exact when quiescent).
+    pub fn len(&self) -> usize {
+        loop {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            // Consistent snapshot: tail unchanged across the head read.
+            if self.tail.load(Ordering::SeqCst) == tail {
+                let hix = self.index(head);
+                let tix = self.index(tail);
+                return if hix < tix {
+                    tix - hix
+                } else if hix > tix {
+                    self.slots.len() - hix + tix
+                } else if tail == head {
+                    0
+                } else {
+                    self.slots.len()
+                };
+            }
+        }
+    }
+
+    /// Attempts to enqueue `value`; returns it back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[self.index(tail)];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == tail {
+                let next = self.advance(tail);
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    next,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique owner
+                        // of this position; no other push can claim it and
+                        // no pop touches the slot until the stamp advances.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.stamp.store(tail + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => tail = current,
+                }
+            } else if stamp.wrapping_add(self.one_lap) == tail + 1 {
+                // The slot still holds the value pushed one lap ago: the
+                // queue is full — unless a pop freed it in the meantime.
+                std::sync::atomic::fence(Ordering::SeqCst);
+                let head = self.head.load(Ordering::Relaxed);
+                if head.wrapping_add(self.one_lap) == tail {
+                    return Err(value);
+                }
+                tail = self.tail.load(Ordering::Relaxed);
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue; returns `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[self.index(head)];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == head + 1 {
+                let next = self.advance(head);
+                match self.head.compare_exchange_weak(
+                    head,
+                    next,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique owner
+                        // of this position, whose slot was filled by the
+                        // push that set `stamp = head + 1`.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.stamp
+                            .store(head.wrapping_add(self.one_lap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => head = current,
+                }
+            } else if stamp == head {
+                // The slot is awaiting the push at this very position: the
+                // queue is empty — unless a push landed in the meantime.
+                std::sync::atomic::fence(Ordering::SeqCst);
+                let tail = self.tail.load(Ordering::Relaxed);
+                if tail == head {
+                    return None;
+                }
+                head = self.head.load(Ordering::Relaxed);
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Enqueues `value`, evicting and returning the oldest element if the
+    /// queue is full (mirrors `ArrayQueue::force_push`).
+    pub fn force_push(&self, value: T) -> Option<T> {
+        let mut value = value;
+        let mut evicted = None;
+        loop {
+            match self.push(value) {
+                Ok(()) => return evicted,
+                Err(v) => {
+                    value = v;
+                    if let Some(old) = self.pop() {
+                        // Keep only the first eviction: with further races
+                        // the queue may evict more, and the caller cares
+                        // about "a displaced element", not all of them.
+                        evicted.get_or_insert(old);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn push_pop_round_trip() {
+        let q = ArrayQueue::new(2);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3), "queue of capacity 2 is full");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn force_push_evicts_oldest() {
+        let q = ArrayQueue::new(1);
+        assert_eq!(q.force_push(10), None);
+        assert_eq!(q.force_push(20), Some(10));
+        assert_eq!(q.pop(), Some(20));
+    }
+
+    #[test]
+    fn capacity_one_take_put_slot() {
+        // The HTM descriptor pool's usage pattern: a single-slot queue used
+        // as an atomic take/put cell, cycled many times (laps wrap).
+        let q = ArrayQueue::new(1);
+        assert_eq!(q.pop(), None);
+        for round in 0..1000u64 {
+            q.push(Box::new(round)).unwrap();
+            assert_eq!(q.push(Box::new(round)).map_err(|b| *b), Err(round));
+            let b = q.pop().expect("value present");
+            assert_eq!(*b, round);
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_wraps_correctly() {
+        let q = ArrayQueue::new(3);
+        for round in 0..100 {
+            q.push(round).unwrap();
+            q.push(round + 1).unwrap();
+            assert_eq!(q.pop(), Some(round));
+            assert_eq!(q.pop(), Some(round + 1));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_remaining_values() {
+        use std::sync::Arc;
+        let token = Arc::new(());
+        {
+            let q = ArrayQueue::new(4);
+            q.push(Arc::clone(&token)).unwrap();
+            q.push(Arc::clone(&token)).unwrap();
+            assert_eq!(Arc::strong_count(&token), 3);
+        }
+        assert_eq!(Arc::strong_count(&token), 1, "queued Arcs were dropped");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = ArrayQueue::new(8);
+        let produced = 4 * 2_000u64;
+        let consumed = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        crate::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                s.spawn(move |_| {
+                    for i in 0..2_000u64 {
+                        let mut v = t * 2_000 + i + 1;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = &q;
+                let consumed = &consumed;
+                let sum = &sum;
+                s.spawn(move |_| loop {
+                    if let Some(v) = q.pop() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        if consumed.fetch_add(1, Ordering::Relaxed) + 1 == produced {
+                            break;
+                        }
+                    } else if consumed.load(Ordering::Relaxed) >= produced {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        })
+        .expect("queue stress");
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            produced * (produced + 1) / 2,
+            "every pushed value was popped exactly once"
+        );
+    }
+}

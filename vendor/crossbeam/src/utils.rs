@@ -1,0 +1,96 @@
+//! Spin-wait utilities; mirrors `crossbeam::utils::Backoff`.
+
+/// Exponential backoff for spin loops (API-compatible subset of
+/// `crossbeam_utils::Backoff`).
+///
+/// Each call to [`Backoff::spin`] or [`Backoff::snooze`] busy-waits for an
+/// exponentially growing number of [`std::hint::spin_loop`] hints, capped so
+/// a long wait never turns into an unbounded pause; once the cap is reached,
+/// `snooze` yields the thread instead — on a machine with fewer cores than
+/// spinning threads, descheduling the waiter is what lets the thread being
+/// waited on actually run.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+/// `spin` doubles the pause up to 2^6 hint iterations.
+const SPIN_LIMIT: u32 = 6;
+/// `snooze` keeps doubling up to 2^10, then starts yielding.
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Creates a fresh backoff state.
+    pub fn new() -> Self {
+        Backoff::default()
+    }
+
+    /// Resets the backoff to its initial (shortest) pause.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Backs off with processor hints only, for waits expected to resolve
+    /// quickly (e.g. a lock-holder on another core finishing a short
+    /// critical section). The pause length doubles per call, capped at
+    /// `2^6` hints.
+    pub fn spin(&mut self) {
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step <= SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Backs off, eventually yielding the thread: spins with doubling
+    /// pauses up to `2^10` hints, then calls [`std::thread::yield_now`] on
+    /// every subsequent invocation.
+    pub fn snooze(&mut self) {
+        if self.step <= YIELD_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// True once the backoff has reached its cap — the conventional signal
+    /// to stop spinning and park/yield instead.
+    pub fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_saturates_and_never_completes() {
+        let mut b = Backoff::new();
+        for _ in 0..64 {
+            b.spin();
+        }
+        assert!(!b.is_completed(), "spin alone must not reach the yield cap");
+    }
+
+    #[test]
+    fn snooze_reaches_completion_then_yields() {
+        let mut b = Backoff::new();
+        let mut iterations = 0;
+        while !b.is_completed() {
+            b.snooze();
+            iterations += 1;
+            assert!(iterations < 1000, "snooze must reach the cap quickly");
+        }
+        // Further snoozes are yields; they must not panic or overflow.
+        b.snooze();
+        b.snooze();
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}
