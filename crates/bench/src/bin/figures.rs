@@ -8,31 +8,37 @@
 //!          flushbound kv all   (default: fig6 fig7 table1)
 //!
 //! figures compare --candidate PATH [--baseline BENCH_hotpath.json]
-//!         [--tolerance 0.40] [--engine Crafty] [--reference Non-durable]
-//!         [--threads 1] [--absolute]
+//!         [--suite hotpath|kv] [--tolerance 0.40] [--engine Crafty]
+//!         [--reference Non-durable] [--threads 1] [--absolute]
 //! ```
 //!
 //! The `hotpath` target runs the tracked bank benchmark and writes the
 //! machine-readable `BENCH_hotpath.json` artifact (see
 //! [`crafty_bench::hotpath`]); `--json-out` overrides its output path. The
 //! `flushbound` target stresses the persistence domain (clwb/drain) with no
-//! transactions (see [`crafty_bench::flushbound`]). The `kv` target runs
-//! the YCSB-style mixes over the durable sharded `crafty-kv` store on
-//! Crafty, Non-durable, NV-HTM, and DudeTM, and writes `BENCH_kv.json`
-//! (see [`crafty_bench::kvbench`]; `--json-out` overrides the path when
-//! `kv` is the only JSON-writing target requested).
+//! transactions (see [`crafty_bench::flushbound`]) and writes
+//! `BENCH_flushbound.json`. The `kv` target runs the YCSB-style mixes over
+//! the durable sharded `crafty-kv` store on Crafty, Non-durable, NV-HTM,
+//! and DudeTM, and writes `BENCH_kv.json` (see [`crafty_bench::kvbench`]).
+//! `--json-out` overrides the path of the *single* JSON-writing target
+//! requested (with several in one invocation, hotpath wins and the others
+//! keep their defaults). All three artifacts report the measured
+//! write-amplification ratio (`words_persisted / line_words_persisted`)
+//! of the word-granular persistence pipeline.
 //!
-//! `compare` is the CI perf-regression gate: it reads two hotpath JSON
-//! artifacts (the committed baseline and a fresh candidate run) and fails
-//! (exit 1) if the candidate's Crafty throughput regressed by more than the
+//! `compare` is the CI perf-regression gate: it reads two JSON artifacts
+//! (the committed baseline and a fresh candidate run) and fails (exit 1)
+//! if the candidate's Crafty throughput regressed by more than the
 //! tolerance. By default the compared metric is Crafty's throughput
 //! *normalized to Non-durable in the same artifact*, which cancels
 //! machine-speed differences between the baseline host and the CI runner;
 //! `--absolute` compares raw ops/s instead (only meaningful on the same
-//! host). To intentionally move the baseline, regenerate it
-//! (`cargo run --release -p crafty-bench --bin figures -- hotpath`) and
-//! commit the new `BENCH_hotpath.json` alongside the change that shifted
-//! performance.
+//! host). `--suite kv` gates the KV artifact instead of the hotpath one:
+//! the normalized ratio is checked *per YCSB mix*, and any mix regressing
+//! beyond the tolerance fails the gate. To intentionally move a baseline,
+//! regenerate it (`cargo run --release -p crafty-bench --bin figures --
+//! hotpath`, or `kv --threads 1 --txns 1000` for the KV baseline) and
+//! commit the new JSON alongside the change that shifted performance.
 //!
 //! Every figure is printed as the table of normalized throughputs behind
 //! the paper's plot (one row per thread count, one column per engine,
@@ -44,8 +50,8 @@
 use std::collections::BTreeSet;
 
 use crafty_bench::{
-    render_hotpath_json, render_kv_json, run_breakdowns, run_figure, run_flushbound, run_hotpath,
-    run_kv, writes_per_txn, HarnessConfig,
+    render_flushbound_json, render_hotpath_json, render_kv_json, run_breakdowns, run_figure,
+    run_flushbound, run_hotpath, run_kv, writes_per_txn, HarnessConfig,
 };
 use crafty_pmem::LatencyModel;
 use crafty_stats::{
@@ -177,8 +183,15 @@ fn bank_workloads(max_threads: usize) -> Vec<(String, BankWorkload)> {
 /// The `compare` subcommand: the CI perf-regression gate. Exits the
 /// process — 0 when the candidate is within tolerance of the baseline,
 /// 1 on a regression, 2 on usage or artifact errors.
+///
+/// `--suite hotpath` (the default) checks one metric: the engine's
+/// throughput (normalized to the reference engine unless `--absolute`) at
+/// the given thread count. `--suite kv` checks the same normalized metric
+/// once *per YCSB mix* present in the baseline; any mix regressing beyond
+/// the tolerance fails the gate.
 fn run_compare(args: &[String]) -> ! {
-    let mut baseline = "BENCH_hotpath.json".to_string();
+    let mut suite = "hotpath".to_string();
+    let mut baseline: Option<String> = None;
     let mut candidate: Option<String> = None;
     let mut tolerance = 0.40f64;
     let mut engine = "Crafty".to_string();
@@ -197,7 +210,8 @@ fn run_compare(args: &[String]) -> ! {
                 .clone()
         };
         match arg.as_str() {
-            "--baseline" => baseline = value("--baseline"),
+            "--suite" => suite = value("--suite"),
+            "--baseline" => baseline = Some(value("--baseline")),
             "--candidate" => candidate = Some(value("--candidate")),
             "--tolerance" => {
                 tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
@@ -220,8 +234,19 @@ fn run_compare(args: &[String]) -> ! {
             }
         }
     }
+    if suite != "hotpath" && suite != "kv" {
+        eprintln!("--suite must be `hotpath` or `kv`, got `{suite}`");
+        std::process::exit(2);
+    }
+    let baseline = baseline.unwrap_or_else(|| {
+        if suite == "kv" {
+            "BENCH_kv.json".to_string()
+        } else {
+            "BENCH_hotpath.json".to_string()
+        }
+    });
     let candidate = candidate.unwrap_or_else(|| {
-        eprintln!("compare requires --candidate PATH (a fresh hotpath JSON artifact)");
+        eprintln!("compare requires --candidate PATH (a fresh {suite} JSON artifact)");
         std::process::exit(2);
     });
 
@@ -235,7 +260,9 @@ fn run_compare(args: &[String]) -> ! {
             std::process::exit(2);
         })
     };
-    let ops = |doc: &Json, path: &str, engine: &str| -> f64 {
+    // Looks up one point's ops/s by engine, thread count, and (for the kv
+    // suite) mix label.
+    let ops = |doc: &Json, path: &str, engine: &str, mix: Option<&str>| -> f64 {
         doc.get("points")
             .map(Json::items)
             .unwrap_or(&[])
@@ -243,52 +270,97 @@ fn run_compare(args: &[String]) -> ! {
             .find(|p| {
                 p.get("engine").and_then(Json::as_str) == Some(engine)
                     && p.get("threads").and_then(Json::as_u64) == Some(threads)
+                    && (mix.is_none() || p.get("mix").and_then(Json::as_str) == mix)
             })
             .and_then(|p| p.get("ops_per_sec"))
             .and_then(Json::as_f64)
             .unwrap_or_else(|| {
-                eprintln!("{path}: no `{engine}` point at {threads} thread(s)");
+                let mix_note = mix.map(|m| format!(" for mix {m}")).unwrap_or_default();
+                eprintln!("{path}: no `{engine}` point at {threads} thread(s){mix_note}");
                 std::process::exit(2);
             })
     };
 
     let base_doc = load(&baseline);
     let cand_doc = load(&candidate);
-    let (metric_name, base_metric, cand_metric) = if absolute {
-        (
-            format!("{engine} ops/s at {threads} thread(s)"),
-            ops(&base_doc, &baseline, &engine),
-            ops(&cand_doc, &candidate, &engine),
-        )
+
+    // The (label, mix) cells to gate: one for the hotpath suite, one per
+    // distinct baseline mix for the kv suite.
+    let cells: Vec<(String, Option<String>)> = if suite == "kv" {
+        let mut mixes: Vec<String> = Vec::new();
+        for p in base_doc.get("points").map(Json::items).unwrap_or(&[]) {
+            if let Some(m) = p.get("mix").and_then(Json::as_str) {
+                if !mixes.iter().any(|seen| seen == m) {
+                    mixes.push(m.to_string());
+                }
+            }
+        }
+        if mixes.is_empty() {
+            eprintln!("{baseline}: no kv mixes found in baseline points");
+            std::process::exit(2);
+        }
+        mixes
+            .into_iter()
+            .map(|m| (format!("YCSB-{m}"), Some(m)))
+            .collect()
     } else {
-        // Normalizing to a reference engine measured in the same artifact
-        // cancels host-speed differences between the baseline machine and
-        // the CI runner.
-        (
-            format!("{engine}/{reference} throughput ratio at {threads} thread(s)"),
-            ops(&base_doc, &baseline, &engine) / ops(&base_doc, &baseline, &reference),
-            ops(&cand_doc, &candidate, &engine) / ops(&cand_doc, &candidate, &reference),
-        )
+        vec![("hotpath".to_string(), None)]
     };
 
-    let floor = base_metric * (1.0 - tolerance);
-    println!("perf-regression gate: {metric_name}");
-    println!("  baseline  ({baseline}): {base_metric:.4}");
-    println!("  candidate ({candidate}): {cand_metric:.4}");
-    println!("  floor (tolerance {:.0}%): {floor:.4}", tolerance * 100.0);
-    if cand_metric >= floor {
+    let metric_name = if absolute {
+        format!("{engine} ops/s at {threads} thread(s)")
+    } else {
+        format!("{engine}/{reference} throughput ratio at {threads} thread(s)")
+    };
+    println!("perf-regression gate [{suite}]: {metric_name}");
+    let mut failed = false;
+    for (label, mix) in &cells {
+        let mix = mix.as_deref();
+        let (base_metric, cand_metric) = if absolute {
+            (
+                ops(&base_doc, &baseline, &engine, mix),
+                ops(&cand_doc, &candidate, &engine, mix),
+            )
+        } else {
+            // Normalizing to a reference engine measured in the same
+            // artifact cancels host-speed differences between the baseline
+            // machine and the CI runner.
+            (
+                ops(&base_doc, &baseline, &engine, mix)
+                    / ops(&base_doc, &baseline, &reference, mix),
+                ops(&cand_doc, &candidate, &engine, mix)
+                    / ops(&cand_doc, &candidate, &reference, mix),
+            )
+        };
+        let floor = base_metric * (1.0 - tolerance);
+        let verdict = if cand_metric >= floor {
+            "ok"
+        } else {
+            failed = true;
+            "REGRESSED"
+        };
+        println!(
+            "  {label:<10} baseline {base_metric:>8.4}  candidate {cand_metric:>8.4}  \
+             floor {floor:>8.4}  {verdict}"
+        );
+    }
+    if !failed {
         println!("PASS: candidate is within tolerance of the committed baseline.");
         std::process::exit(0);
     }
     println!(
-        "FAIL: candidate regressed {:.1}% below the baseline (allowed {:.0}%).",
-        (1.0 - cand_metric / base_metric) * 100.0,
+        "FAIL: candidate regressed more than {:.0}% below the baseline.",
         tolerance * 100.0
     );
+    let refresh = if suite == "kv" {
+        "kv --threads 1 --txns 1000"
+    } else {
+        "hotpath"
+    };
     println!(
         "If this shift is intentional, refresh the baseline with\n  \
-         cargo run --release -p crafty-bench --bin figures -- hotpath\n\
-         and commit the regenerated BENCH_hotpath.json with your change."
+         cargo run --release -p crafty-bench --bin figures -- {refresh}\n\
+         and commit the regenerated {baseline} with your change."
     );
     std::process::exit(1);
 }
@@ -396,25 +468,43 @@ fn main() {
                 .map(|(_, c)| c)
                 .sum();
             println!(
-                "{:<20} {:>2} thr {:>12.0} ops/s  {:>8} hw aborts",
-                p.engine, p.threads, p.ops_per_sec, aborts
+                "{:<20} {:>2} thr {:>12.0} ops/s  {:>8} hw aborts  w-amp {:.3}",
+                p.engine, p.threads, p.ops_per_sec, aborts, p.write_amplification
             );
         }
         std::fs::write(path, render_hotpath_json(cfg, &points)).expect("write hotpath json");
         println!("[json written to {path}]");
     }
     if has("flushbound") {
+        // `--json-out` names the hotpath or kv artifact when those targets
+        // run in the same invocation; flushbound then keeps its default.
+        let path = if has("hotpath") || has("kv") {
+            "BENCH_flushbound.json"
+        } else {
+            options
+                .json_out
+                .as_deref()
+                .unwrap_or("BENCH_flushbound.json")
+        };
         println!("\n== flushbound: persistence-domain microbenchmark ==");
         println!(
-            "{:>3}  {:>14}  {:>14}  {:>12}",
-            "thr", "lines/s", "drains/s", "lines total"
+            "{:>3}  {:>14}  {:>14}  {:>12}  {:>12}  {:>6}",
+            "thr", "lines/s", "drains/s", "lines total", "words total", "w-amp"
         );
-        for p in run_flushbound(cfg) {
+        let points = run_flushbound(cfg);
+        for p in &points {
             println!(
-                "{:>3}  {:>14.0}  {:>14.0}  {:>12}",
-                p.threads, p.lines_per_sec, p.drains_per_sec, p.lines_persisted
+                "{:>3}  {:>14.0}  {:>14.0}  {:>12}  {:>12}  {:>6.3}",
+                p.threads,
+                p.lines_per_sec,
+                p.drains_per_sec,
+                p.lines_persisted,
+                p.words_persisted,
+                p.write_amplification
             );
         }
+        std::fs::write(path, render_flushbound_json(cfg, &points)).expect("write flushbound json");
+        println!("[json written to {path}]");
     }
     if has("kv") {
         // `--json-out` names the hotpath artifact when both targets run in
@@ -428,8 +518,8 @@ fn main() {
         let points = run_kv(cfg);
         for p in &points {
             println!(
-                "YCSB-{:<2} {:<14} {:>2} thr {:>12.0} ops/s",
-                p.mix, p.engine, p.threads, p.ops_per_sec
+                "YCSB-{:<2} {:<14} {:>2} thr {:>12.0} ops/s  w-amp {:.3}",
+                p.mix, p.engine, p.threads, p.ops_per_sec, p.write_amplification
             );
         }
         std::fs::write(path, render_kv_json(cfg, &points)).expect("write kv json");

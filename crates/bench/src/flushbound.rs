@@ -17,8 +17,9 @@ use std::time::Instant;
 
 use crafty_common::WORDS_PER_LINE;
 use crafty_pmem::MemorySpace;
+use crafty_stats::Json;
 
-use crate::HarnessConfig;
+use crate::{round2, round4, HarnessConfig};
 
 /// Lines written + flushed per drain by each thread. Chosen to look like a
 /// mid-size transaction's write-back set (cf. Table 1's writes/txn).
@@ -37,10 +38,16 @@ pub struct FlushboundPoint {
     pub batches_per_thread: u64,
     /// Total lines persisted across all threads.
     pub lines_persisted: u64,
+    /// Total words actually copied to the persistent image.
+    pub words_persisted: u64,
     /// Persisted lines per second across all threads.
     pub lines_per_sec: f64,
     /// Drains per second across all threads.
     pub drains_per_sec: f64,
+    /// Measured write amplification (`words_persisted / line_words`);
+    /// each batch stores one word per line, so the word-granular pipeline
+    /// should report 1/8 here.
+    pub write_amplification: f64,
 }
 
 /// Runs the flush-bound microbenchmark at every configured thread count.
@@ -88,9 +95,46 @@ fn run_flushbound_point(cfg: &HarnessConfig, threads: usize) -> FlushboundPoint 
         threads,
         batches_per_thread: batches,
         lines_persisted: stats.lines_persisted,
+        words_persisted: stats.words_persisted,
         lines_per_sec: stats.lines_persisted as f64 / elapsed,
         drains_per_sec: total_drains as f64 / elapsed,
+        write_amplification: stats.write_amplification(),
     }
+}
+
+/// Renders the flush-bound samples as the `flushbound-candidate` JSON
+/// artifact CI uploads, so the persistence domain's raw throughput and
+/// write amplification are inspectable per run alongside the hotpath and
+/// kv artifacts.
+pub fn render_flushbound_json(cfg: &HarnessConfig, points: &[FlushboundPoint]) -> String {
+    let mut arr = Vec::with_capacity(points.len());
+    for p in points {
+        arr.push(
+            Json::object()
+                .with("threads", Json::from(p.threads))
+                .with("batches_per_thread", Json::from(p.batches_per_thread))
+                .with("lines_persisted", Json::UInt(p.lines_persisted))
+                .with("words_persisted", Json::UInt(p.words_persisted))
+                .with("lines_per_sec", Json::Float(round2(p.lines_per_sec)))
+                .with("drains_per_sec", Json::Float(round2(p.drains_per_sec)))
+                .with(
+                    "write_amplification",
+                    Json::Float(round4(p.write_amplification)),
+                ),
+        );
+    }
+    Json::object()
+        .with("benchmark", Json::from("flushbound (clwb/drain, no txns)"))
+        .with(
+            "config",
+            Json::object()
+                .with("batches_per_thread", Json::from(cfg.txns_per_thread))
+                .with("lines_per_batch", Json::from(LINES_PER_BATCH))
+                .with("drain_latency_ns", Json::from(cfg.latency.drain_ns))
+                .with("clwb_word_ns", Json::from(cfg.latency.clwb_word_ns)),
+        )
+        .with("points", Json::Array(arr))
+        .render_pretty()
 }
 
 #[cfg(test)]
@@ -123,6 +167,14 @@ mod tests {
             );
             assert!(p.lines_per_sec > 0.0);
             assert!(p.drains_per_sec > 0.0);
+            // One word stored per line per batch: the word-granular
+            // pipeline persists exactly one word where a whole line would
+            // have cost eight.
+            assert_eq!(p.words_persisted, p.lines_persisted);
+            assert!((p.write_amplification - 0.125).abs() < 1e-12);
         }
+        let json = render_flushbound_json(&cfg, &points);
+        assert!(json.contains("\"write_amplification\": 0.125"));
+        assert!(json.contains("\"lines_per_sec\""));
     }
 }

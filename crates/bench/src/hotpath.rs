@@ -10,7 +10,7 @@ use crafty_common::{CompletionPath, HwTxnOutcome};
 use crafty_stats::Json;
 use crafty_workloads::{BankWorkload, Contention};
 
-use crate::{round2, run_point, HarnessConfig};
+use crate::{round2, round4, run_point, HarnessConfig};
 
 /// One (engine, thread count) sample of the tracked hot-path benchmark.
 #[derive(Clone, Debug)]
@@ -27,6 +27,13 @@ pub struct HotpathPoint {
     pub completions: Vec<(&'static str, u64)>,
     /// Hardware-transaction outcome counts (commit / conflict / …).
     pub hw_outcomes: Vec<(&'static str, u64)>,
+    /// Words actually copied to the persistent image by write-backs.
+    pub words_persisted: u64,
+    /// Words whole-line write-backs would have copied for the same events.
+    pub line_words_persisted: u64,
+    /// Measured write amplification (`words / line_words`; 1.0 = fully
+    /// dirty lines, lower = the word-granular pipeline saved bandwidth).
+    pub write_amplification: f64,
 }
 
 /// Runs the tracked benchmark: the medium-contention bank workload (the
@@ -38,7 +45,7 @@ pub fn run_hotpath(cfg: &HarnessConfig) -> Vec<HotpathPoint> {
     let mut points = Vec::new();
     for &kind in &cfg.engines {
         for &threads in &cfg.thread_counts {
-            let (m, breakdown) = run_point(&workload, kind, threads, cfg);
+            let (m, breakdown, pmem) = run_point(&workload, kind, threads, cfg);
             points.push(HotpathPoint {
                 engine: kind.label().to_string(),
                 threads,
@@ -52,6 +59,9 @@ pub fn run_hotpath(cfg: &HarnessConfig) -> Vec<HotpathPoint> {
                     .iter()
                     .map(|&o| (o.label(), breakdown.hw(o)))
                     .collect(),
+                words_persisted: pmem.words_persisted,
+                line_words_persisted: pmem.line_words_persisted,
+                write_amplification: pmem.write_amplification(),
             });
         }
     }
@@ -76,6 +86,11 @@ pub fn render_hotpath_json(cfg: &HarnessConfig, points: &[HotpathPoint]) -> Stri
                 .with("threads", Json::from(p.threads))
                 .with("transactions", Json::from(p.transactions))
                 .with("ops_per_sec", Json::Float(round2(p.ops_per_sec)))
+                .with("words_persisted", Json::UInt(p.words_persisted))
+                .with(
+                    "write_amplification",
+                    Json::Float(round4(p.write_amplification)),
+                )
                 .with("completions", completions)
                 .with("hw_outcomes", hw),
         );

@@ -3,16 +3,22 @@
 //! Runs the YCSB-style mixes (A/B/C read-heavy, E scan) over the durable
 //! sharded [`crafty_kv`](crafty_workloads::ycsb) store on the four engines
 //! the paper's headline comparison uses — Crafty, Non-durable, NV-HTM, and
-//! DudeTM — and renders the machine-readable artifact CI uploads as the
-//! `kv-candidate` artifact. There is no committed baseline (and therefore
-//! no regression gate) yet; the JSON exists so the first scaling PR can
-//! commit one.
+//! DudeTM — and renders the machine-readable artifact behind the committed
+//! `BENCH_kv.json` baseline. CI reruns the benchmark, uploads the fresh
+//! JSON as the `kv-candidate` artifact, and gates on it with
+//! `figures compare --suite kv` (per-mix Crafty/Non-durable ratio against
+//! the committed baseline, 40% tolerance).
+//!
+//! Each point also reports the measured write amplification of its persist
+//! traffic (`words_persisted / line_words_persisted`): KV updates touch
+//! one or two words of an 8-word line, so this workload is the headline
+//! beneficiary of the word-granular persistence pipeline.
 
 use crafty_common::{CompletionPath, HwTxnOutcome};
 use crafty_stats::Json;
 use crafty_workloads::{EngineKind, YcsbMix, YcsbWorkload};
 
-use crate::{round2, run_point, HarnessConfig};
+use crate::{round2, round4, run_point, HarnessConfig};
 
 /// Engines the KV benchmark compares (legend order).
 pub const KV_ENGINES: [EngineKind; 4] = [
@@ -39,6 +45,15 @@ pub struct KvPoint {
     pub completions: Vec<(&'static str, u64)>,
     /// Hardware-transaction outcome counts (commit / conflict / …).
     pub hw_outcomes: Vec<(&'static str, u64)>,
+    /// Words actually copied to the persistent image by write-backs.
+    pub words_persisted: u64,
+    /// Words whole-line write-backs would have copied for the same events.
+    pub line_words_persisted: u64,
+    /// Measured write amplification (`words / line_words`). Small KV
+    /// values in big tables are the headline beneficiary of the
+    /// word-granular pipeline: most updates touch one or two words of an
+    /// 8-word line.
+    pub write_amplification: f64,
 }
 
 /// Runs every KV mix on every engine at every configured thread count.
@@ -50,7 +65,7 @@ pub fn run_kv(cfg: &HarnessConfig) -> Vec<KvPoint> {
         let workload = YcsbWorkload::paper(mix);
         for kind in KV_ENGINES {
             for &threads in &cfg.thread_counts {
-                let (m, breakdown) = run_point(&workload, kind, threads, cfg);
+                let (m, breakdown, pmem) = run_point(&workload, kind, threads, cfg);
                 points.push(KvPoint {
                     mix: mix.label(),
                     engine: kind.label().to_string(),
@@ -65,6 +80,9 @@ pub fn run_kv(cfg: &HarnessConfig) -> Vec<KvPoint> {
                         .iter()
                         .map(|&o| (o.label(), breakdown.hw(o)))
                         .collect(),
+                    words_persisted: pmem.words_persisted,
+                    line_words_persisted: pmem.line_words_persisted,
+                    write_amplification: pmem.write_amplification(),
                 });
             }
         }
@@ -92,6 +110,11 @@ pub fn render_kv_json(cfg: &HarnessConfig, points: &[KvPoint]) -> String {
                 .with("threads", Json::from(p.threads))
                 .with("transactions", Json::from(p.transactions))
                 .with("ops_per_sec", Json::Float(round2(p.ops_per_sec)))
+                .with("words_persisted", Json::UInt(p.words_persisted))
+                .with(
+                    "write_amplification",
+                    Json::Float(round4(p.write_amplification)),
+                )
                 .with("completions", completions)
                 .with("hw_outcomes", hw),
         );
@@ -134,6 +157,19 @@ mod tests {
         assert_eq!(points.len(), YcsbMix::ALL.len() * KV_ENGINES.len());
         assert!(points.iter().all(|p| p.transactions == 40));
         assert!(points.iter().all(|p| p.ops_per_sec > 0.0));
+        // The headline claim of the word-granular pipeline: KV updates
+        // touch a couple of words per 8-word line, so Crafty's persist
+        // traffic on the write-heavy mix stays well under whole-line cost.
+        let crafty_a = points
+            .iter()
+            .find(|p| p.mix == "A" && p.engine == "Crafty")
+            .expect("Crafty YCSB-A point");
+        assert!(
+            crafty_a.write_amplification < 0.5,
+            "YCSB-A write amplification {} should be below 0.5",
+            crafty_a.write_amplification
+        );
+        assert!(crafty_a.words_persisted > 0);
         let json = render_kv_json(&cfg, &points);
         for engine in ["Crafty", "Non-durable", "NV-HTM", "DudeTM"] {
             assert!(
@@ -145,5 +181,6 @@ mod tests {
             assert!(json.contains(&format!("\"mix\": {mix}")), "{mix}");
         }
         assert!(json.contains("\"zipf_theta\""));
+        assert!(json.contains("\"write_amplification\""));
     }
 }

@@ -16,7 +16,7 @@ pub mod flushbound;
 pub mod hotpath;
 pub mod kvbench;
 
-pub use flushbound::{run_flushbound, FlushboundPoint};
+pub use flushbound::{render_flushbound_json, run_flushbound, FlushboundPoint};
 pub use hotpath::{render_hotpath_json, run_hotpath, HotpathPoint};
 pub use kvbench::{render_kv_json, run_kv, KvPoint, KV_ENGINES};
 
@@ -26,10 +26,16 @@ pub(crate) fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
 
+/// Rounds to four decimals (write-amplification ratios live well below 1,
+/// where two decimals would lose most of the signal).
+pub(crate) fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
 use std::sync::Arc;
 
 use crafty_common::BreakdownSnapshot;
-use crafty_pmem::{LatencyModel, MemorySpace, PmemConfig};
+use crafty_pmem::{LatencyModel, MemorySpace, PmemConfig, PmemStats};
 use crafty_stats::{Figure, Measurement};
 use crafty_workloads::{build_engine, measure, EngineKind, Workload};
 
@@ -109,16 +115,21 @@ impl HarnessConfig {
 }
 
 /// Runs one (workload, engine, thread count) point and returns its
-/// measurement together with the engine's breakdown counters.
+/// measurement together with the engine's breakdown counters and the
+/// memory space's persist-traffic counters for the *measured run only*
+/// (setup and prefill traffic is snapshotted away, so the
+/// `words_persisted`/`line_words_persisted` pair is the steady-state write
+/// amplification of the point).
 pub fn run_point(
     workload: &dyn Workload,
     kind: EngineKind,
     threads: usize,
     cfg: &HarnessConfig,
-) -> (Measurement, BreakdownSnapshot) {
+) -> (Measurement, BreakdownSnapshot, PmemStats) {
     let mem = Arc::new(MemorySpace::new(cfg.pmem_config(threads)));
     let engine = build_engine(kind, &mem, threads);
     let mix = workload.prepare(&mem);
+    let before = mem.stats();
     let m = measure(
         engine.as_ref(),
         mix.as_ref(),
@@ -127,7 +138,8 @@ pub fn run_point(
         cfg.seed,
     );
     let breakdown = engine.breakdown();
-    (m, breakdown)
+    let pmem = mem.stats().since(&before);
+    (m, breakdown, pmem)
 }
 
 /// Regenerates one figure: every engine at every thread count on the given
@@ -136,7 +148,7 @@ pub fn run_figure(workload: &dyn Workload, cfg: &HarnessConfig) -> Figure {
     let mut figure = Figure::new(workload.name());
     for &kind in &cfg.engines {
         for &threads in &cfg.thread_counts {
-            let (m, _) = run_point(workload, kind, threads, cfg);
+            let (m, _, _) = run_point(workload, kind, threads, cfg);
             figure.push(m);
         }
     }
@@ -153,7 +165,7 @@ pub fn run_breakdowns(
     cfg.engines
         .iter()
         .map(|&kind| {
-            let (_, breakdown) = run_point(workload, kind, threads, cfg);
+            let (_, breakdown, _) = run_point(workload, kind, threads, cfg);
             (kind.label().to_string(), breakdown)
         })
         .collect()
@@ -162,7 +174,7 @@ pub fn run_breakdowns(
 /// Average persistent writes per transaction for one workload (one cell of
 /// Table 1), measured on the Crafty engine.
 pub fn writes_per_txn(workload: &dyn Workload, threads: usize, cfg: &HarnessConfig) -> f64 {
-    let (_, breakdown) = run_point(workload, EngineKind::Crafty, threads, cfg);
+    let (_, breakdown, _) = run_point(workload, EngineKind::Crafty, threads, cfg);
     breakdown.writes_per_txn()
 }
 

@@ -281,10 +281,9 @@ impl<'c> CraftyThread<'c> {
                 Err(_) => continue,
             };
 
-            undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
-            engine
-                .recorder
-                .record_flushed_lines(self.entries_buf.len() as u64 / 4 + 1);
+            let flushed_lines =
+                undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
+            engine.recorder.record_flushed_lines(flushed_lines);
             engine.note_sequence(self.tid, log_ts);
 
             // Section 5.2 housekeeping: this append crossed into the other

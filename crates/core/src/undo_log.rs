@@ -16,16 +16,36 @@
 //! both persist. Following the paper, bits are stolen from the first word:
 //!
 //! ```text
-//! meta word:  [63] marker?   [62] wraparound parity   [61] payload bit 0
-//!             [60] present   [47..0] address word index, or marker kind
-//! value word: [63..1] payload bits 63..1              [0] wraparound parity
+//! data entry
+//! meta word:  [63]=0 marker?  [62] wraparound parity   [61] old-value bit 0
+//!             [60] present    [47..0] address word index
+//! value word: [63..1] old-value bits 63..1             [0] wraparound parity
+//!
+//! marker entry
+//! meta word:  [63]=1 marker?  [62] wraparound parity
+//!             [60] present    [47..0] marker kind
+//! value word: [63..1] timestamp (shifted left 1)       [0] wraparound parity
 //! ```
 //!
-//! The payload is the old value (data entries) or the timestamp (markers);
-//! its lowest bit lives in the meta word so that the value word's lowest
-//! bit can carry the wraparound parity. An entry is *fully persisted* iff
-//! its present bit is set and both parity bits match the parity expected
-//! for its position in the log (the lap counter's low bit).
+//! A data entry's old value needs all 64 bits, so its lowest bit lives in
+//! the meta word and the value word's lowest bit carries the wraparound
+//! parity. An entry is *fully persisted* iff its present bit is set and
+//! both parity bits match the parity expected for its position in the log
+//! (the lap counter's low bit).
+//!
+//! A marker's timestamp, by contrast, lives *entirely in the value word*
+//! (shifted past the parity bit — timestamps are clock counts, far below
+//! 2^63). This is deliberate, not cosmetic: the commit phases overwrite a
+//! LOGGED marker with a COMMITTED one **in place**, and both versions
+//! carry the same lap parity, so parity cannot detect a crash that
+//! persists one word of the overwrite but not the other. With the
+//! timestamp split across the words (as data entries do), such a mix would
+//! decode as a valid marker carrying a *frankenstein* timestamp — bits of
+//! the Log-phase timestamp spliced with a bit of the commit timestamp —
+//! which can derail the recovery cut's rollback ordering. Keeping each
+//! field within one word makes every word-granular persistence mix decode
+//! to a legitimate `(kind, ts)` pair whose timestamp is one of the
+//! sequence's real clock draws, either of which orders correctly.
 
 use crafty_common::{PAddr, Timestamp, WORDS_PER_LINE};
 use crafty_htm::{AbortCode, HtmRuntime, HwTxn};
@@ -111,24 +131,33 @@ pub enum SlotState {
     },
 }
 
-/// Encodes an entry into its two log words.
+/// Encodes an entry into its two log words (see the module docs for why
+/// markers keep their whole timestamp in the value word).
 fn encode(entry: Entry, parity: u64) -> (u64, u64) {
     let parity = parity & 1;
-    let (marker_flag, addr_field, payload) = match entry {
+    let (meta_fields, value_payload) = match entry {
         Entry::Data { addr, old_value } => {
             debug_assert!(addr.word() <= ADDR_MASK, "address exceeds 48-bit log field");
-            (0, addr.word(), old_value)
+            let stolen = if old_value & 1 == 1 {
+                STOLEN_PAYLOAD_BIT
+            } else {
+                0
+            };
+            (stolen | (addr.word() & ADDR_MASK), old_value & !1)
         }
-        Entry::Marker { kind, ts } => (MARKER_BIT, kind.code(), ts.raw()),
+        Entry::Marker { kind, ts } => {
+            debug_assert!(
+                ts.raw() < 1 << 63,
+                "timestamp exceeds the 63-bit marker field"
+            );
+            (MARKER_BIT | kind.code(), ts.raw() << 1)
+        }
     };
-    let mut meta = marker_flag | PRESENT_BIT | (addr_field & ADDR_MASK);
+    let mut meta = PRESENT_BIT | meta_fields;
     if parity == 1 {
         meta |= META_PARITY_BIT;
     }
-    if payload & 1 == 1 {
-        meta |= STOLEN_PAYLOAD_BIT;
-    }
-    let mut value = payload & !VALUE_PARITY_BIT;
+    let mut value = value_payload & !VALUE_PARITY_BIT;
     if parity == 1 {
         value |= VALUE_PARITY_BIT;
     }
@@ -145,19 +174,19 @@ pub fn decode(meta: u64, value: u64) -> SlotState {
     if meta_parity != value_parity {
         return SlotState::Torn;
     }
-    let payload = (value & !VALUE_PARITY_BIT) | u64::from(meta & STOLEN_PAYLOAD_BIT != 0);
     let entry = if meta & MARKER_BIT != 0 {
         match MarkerKind::from_code(meta & ADDR_MASK) {
             Some(kind) => Entry::Marker {
                 kind,
-                ts: Timestamp::from_raw(payload),
+                ts: Timestamp::from_raw((value & !VALUE_PARITY_BIT) >> 1),
             },
             None => return SlotState::Torn,
         }
     } else {
+        let old_value = (value & !VALUE_PARITY_BIT) | u64::from(meta & STOLEN_PAYLOAD_BIT != 0);
         Entry::Data {
             addr: PAddr::new(meta & ADDR_MASK),
-            old_value: payload,
+            old_value,
         }
     };
     SlotState::Valid {
@@ -350,28 +379,47 @@ impl UndoLog {
     }
 
     /// Issues CLWBs (no drain) for every line holding entries
-    /// `[first_abs, last_abs]`.
+    /// `[first_abs, last_abs]`, one queue interaction per touched line.
+    /// Returns the number of lines flushed.
     ///
-    /// Entry slots are laid out contiguously, so their addresses ascend
-    /// monotonically except for the single jump back to the region start at
-    /// a wraparound; deduplicating against the previously flushed line is
-    /// therefore as effective as a full set, without allocating one per
-    /// flush. (At the wrap, at most one line is re-requested, and
-    /// [`MemorySpace::clwb`] deduplicates within the queue anyway.)
-    pub fn flush_entries(&self, mem: &MemorySpace, tid: usize, first_abs: u64, last_abs: u64) {
+    /// Entry slots are laid out contiguously, so the touched words form at
+    /// most two contiguous ranges (the tail of the region and, after a
+    /// wraparound, its start). The flush loop walks *lines*, not slot
+    /// words: a line holding four freshly appended entries is enqueued
+    /// once, instead of paying eight per-word queue interactions that the
+    /// queue-side dedup would then have to absorb. The entries' dirty
+    /// words are already recorded in the lines' persistence masks (every
+    /// transactional or `nontx` store marks its word), so the eventual
+    /// drain persists exactly the appended slots.
+    pub fn flush_entries(
+        &self,
+        mem: &MemorySpace,
+        tid: usize,
+        first_abs: u64,
+        last_abs: u64,
+    ) -> u64 {
         debug_assert!(last_abs >= first_abs);
         debug_assert!(last_abs - first_abs < self.geometry.capacity);
-        let mut last_flushed = None;
-        for abs in first_abs..=last_abs {
-            let addr = self.geometry.slot_addr(abs);
-            for a in [addr, addr.add(1)] {
-                let line = a.line();
-                if last_flushed != Some(line) {
-                    mem.clwb(tid, a);
-                    last_flushed = Some(line);
-                }
+        let capacity = self.geometry.capacity;
+        let entries = last_abs - first_abs + 1;
+        let first_slot = first_abs % capacity;
+        let before_wrap = entries.min(capacity - first_slot);
+        let mut lines = 0u64;
+        for (slot, count) in [(first_slot, before_wrap), (0, entries - before_wrap)] {
+            if count == 0 {
+                continue;
+            }
+            let first_word = self.geometry.start.word() + slot * 2;
+            let last_word = first_word + count * 2 - 1;
+            let mut line = PAddr::new(first_word).line().index();
+            let last_line = PAddr::new(last_word).line().index();
+            while line <= last_line {
+                mem.clwb(tid, crafty_common::LineId::new(line).first_word());
+                lines += 1;
+                line += 1;
             }
         }
+        lines
     }
 
     /// Issues a CLWB for the marker entry at `marker_abs`.
@@ -535,6 +583,50 @@ mod tests {
     #[test]
     fn zero_words_decode_as_absent() {
         assert_eq!(decode(0, 0), SlotState::Absent);
+    }
+
+    #[test]
+    fn torn_marker_overwrite_never_yields_a_frankenstein_timestamp() {
+        // The commit phases overwrite a LOGGED marker with a COMMITTED one
+        // in place; both versions carry the same lap parity, so a crash may
+        // persist any combination of the two words undetected. Every such
+        // combination must decode to a marker whose timestamp is one of the
+        // two real clock draws — never a splice of their bits.
+        let log_ts = Timestamp::from_raw(0x1234_5677);
+        let commit_ts = Timestamp::from_raw(0x1234_5842);
+        for parity in [0, 1] {
+            let (m_logged, v_logged) = encode(
+                Entry::Marker {
+                    kind: MarkerKind::Logged,
+                    ts: log_ts,
+                },
+                parity,
+            );
+            let (m_committed, v_committed) = encode(
+                Entry::Marker {
+                    kind: MarkerKind::Committed,
+                    ts: commit_ts,
+                },
+                parity,
+            );
+            for (m, v) in [
+                (m_logged, v_logged),
+                (m_logged, v_committed),
+                (m_committed, v_logged),
+                (m_committed, v_committed),
+            ] {
+                match decode(m, v) {
+                    SlotState::Valid {
+                        entry: Entry::Marker { ts, .. },
+                        ..
+                    } => assert!(
+                        ts == log_ts || ts == commit_ts,
+                        "mixed marker words decoded to a spliced timestamp {ts:?}"
+                    ),
+                    other => panic!("mixed marker words must stay valid markers, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

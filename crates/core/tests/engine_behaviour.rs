@@ -111,7 +111,10 @@ fn contention_exercises_the_validate_path() {
     // gLastRedoTS check fail. Without it a single-core host almost never
     // preempts inside that window and every transaction commits via Redo.
     let mem = Arc::new(MemorySpace::new(
-        PmemConfig::small_for_tests().with_latency(crafty_pmem::LatencyModel { drain_ns: 30_000 }),
+        PmemConfig::small_for_tests().with_latency(crafty_pmem::LatencyModel {
+            drain_ns: 30_000,
+            clwb_word_ns: 0,
+        }),
     ));
     let crafty = Arc::new(Crafty::new(
         Arc::clone(&mem),

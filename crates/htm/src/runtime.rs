@@ -531,6 +531,13 @@ impl<'rt> HwTxn<'rt> {
     /// that later drains this thread's flush queue is guaranteed to cover
     /// it if it observed the commit.
     ///
+    /// Requests are deduplicated per line as they arrive: a transaction
+    /// that writes several words of one line issues a single commit-time
+    /// CLWB for it. Word precision is not lost — each buffered word store
+    /// published at commit marks exactly its word in the line's dirty
+    /// mask, so the eventual drain copies the words this transaction
+    /// wrote, not the whole line.
+    ///
     /// # Errors
     ///
     /// Returns the abort code if the transaction has already aborted.
@@ -538,7 +545,10 @@ impl<'rt> HwTxn<'rt> {
         if let Some(code) = self.failed {
             return Err(code);
         }
-        self.s().flush_requests.push(addr);
+        let s = self.s();
+        if s.flush_lines.insert(addr.line().index()) {
+            s.flush_requests.push(addr);
+        }
         Ok(())
     }
 

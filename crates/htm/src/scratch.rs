@@ -56,8 +56,16 @@ pub struct TxnScratch {
     pub(crate) line_order: Vec<LineId>,
     /// Addresses to receive the commit version.
     pub(crate) version_sinks: Vec<PAddr>,
-    /// CLWBs to enqueue atomically with the commit.
+    /// CLWBs to enqueue atomically with the commit, at most one per line
+    /// (deduplicated incrementally through `flush_lines`).
     pub(crate) flush_requests: Vec<PAddr>,
+    /// Distinct lines already covered by `flush_requests`: a transaction
+    /// that writes several words of one line requests a single commit-time
+    /// CLWB for it, so the commit's critical section performs one
+    /// flush-queue interaction per touched line (the line's dirty-word
+    /// mask, maintained by the memory space, records which words the
+    /// eventual drain must copy).
+    pub(crate) flush_lines: GenSet,
     /// Lines locked so far during a commit attempt (for rollback).
     pub(crate) locked: Vec<LineId>,
     /// The thread's private spurious-abort stream (see
@@ -81,6 +89,7 @@ impl TxnScratch {
             line_order: Vec::with_capacity(INITIAL_CAPACITY),
             version_sinks: Vec::with_capacity(4),
             flush_requests: Vec::with_capacity(INITIAL_CAPACITY),
+            flush_lines: GenSet::new(),
             locked: Vec::with_capacity(INITIAL_CAPACITY),
             zero_rng: SplitMix64::new(rng_seed),
         }
@@ -98,6 +107,7 @@ impl TxnScratch {
         self.line_order.clear();
         self.version_sinks.clear();
         self.flush_requests.clear();
+        self.flush_lines.clear();
         self.locked.clear();
     }
 
@@ -114,6 +124,7 @@ impl TxnScratch {
             + self.line_order.capacity()
             + self.version_sinks.capacity()
             + self.flush_requests.capacity()
+            + self.flush_lines.slot_capacity()
             + self.locked.capacity()
     }
 }

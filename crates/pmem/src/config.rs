@@ -7,35 +7,65 @@ use std::time::Duration;
 /// The paper's methodology (Section 6) emulates non-volatile memory in DRAM
 /// by busy-waiting 300 ns at each drain operation, i.e. at each SFENCE that
 /// follows one or more CLWBs; the appendix repeats every experiment with
-/// 100 ns. [`LatencyModel::busy_wait_ns`] reproduces that; setting it to 0
+/// 100 ns. [`LatencyModel::drain_ns`] reproduces that; setting it to 0
 /// disables the wait (useful in unit tests).
+///
+/// On top of the flat per-drain cost, [`LatencyModel::clwb_word_ns`]
+/// charges for the *words* a drain actually copies into the persistent
+/// image. The persistence pipeline tracks per-line dirty-word masks, so a
+/// drain that persists two words of an 8-word line pays for two words —
+/// write amplification at the persist boundary (the cost HTPM identifies
+/// as dominating HTM-persistence overhead) is charged for what was
+/// written, not for whole lines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LatencyModel {
     /// Nanoseconds of busy-waiting charged to each drain operation.
     pub drain_ns: u64,
+    /// Nanoseconds charged, per word actually copied to the persistent
+    /// image, on top of the flat drain cost (media write bandwidth).
+    pub clwb_word_ns: u64,
 }
 
 impl LatencyModel {
+    /// The per-word media-write cost that accompanies the NVM presets:
+    /// a full 8-word line costs 200 ns of bandwidth on top of the drain's
+    /// round trip, a single-word update 25 ns.
+    pub const NVM_WORD_NS: u64 = 25;
+
     /// The paper's default NVM round-trip latency (300 ns per drain).
     pub const fn nvm_300ns() -> Self {
-        LatencyModel { drain_ns: 300 }
+        LatencyModel {
+            drain_ns: 300,
+            clwb_word_ns: Self::NVM_WORD_NS,
+        }
     }
 
     /// The appendix's optimistic latency (100 ns per drain), modelling an
     /// NVM controller whose buffer is inside the persistence domain.
     pub const fn nvm_100ns() -> Self {
-        LatencyModel { drain_ns: 100 }
+        LatencyModel {
+            drain_ns: 100,
+            clwb_word_ns: Self::NVM_WORD_NS,
+        }
     }
 
     /// No emulated latency; drains are instantaneous. Used by unit tests
     /// and by correctness-only runs (crash/recovery fuzzing).
     pub const fn instant() -> Self {
-        LatencyModel { drain_ns: 0 }
+        LatencyModel {
+            drain_ns: 0,
+            clwb_word_ns: 0,
+        }
     }
 
     /// Returns the drain latency as a [`Duration`].
     pub const fn drain_duration(&self) -> Duration {
         Duration::from_nanos(self.drain_ns)
+    }
+
+    /// Total busy-wait charged to one drain that persisted `words` words.
+    pub const fn drain_cost_ns(&self, words: u64) -> u64 {
+        self.drain_ns + words * self.clwb_word_ns
     }
 }
 
@@ -111,6 +141,26 @@ impl Default for CrashModel {
     }
 }
 
+/// At what granularity write-backs copy data into the persistent image.
+///
+/// [`PersistGranularity::Word`] is the production pipeline: every store
+/// marks exactly its word in the containing line's dirty mask, and a
+/// write-back copies (and charges for) only the masked words.
+/// [`PersistGranularity::Line`] is the whole-line reference model the
+/// original implementation used — every store marks all words of its line —
+/// kept so differential tests can assert the two are observably identical
+/// under every crash model (they must be: a word that was never stored
+/// holds the same value in the volatile view and the persistent image, so
+/// copying it is a no-op).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PersistGranularity {
+    /// Word-granular dirty masks: persist cost follows words written.
+    #[default]
+    Word,
+    /// Whole-line reference mode: every store dirties its full line.
+    Line,
+}
+
 /// Configuration for a [`crate::MemorySpace`].
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct PmemConfig {
@@ -131,6 +181,9 @@ pub struct PmemConfig {
     pub latency: LatencyModel,
     /// Eviction and crash-resolution behaviour.
     pub crash: CrashModel,
+    /// Whether write-backs copy masked words or whole lines (the latter is
+    /// the reference model for differential testing).
+    pub granularity: PersistGranularity,
 }
 
 impl PmemConfig {
@@ -143,6 +196,7 @@ impl PmemConfig {
             flush_queue_capacity: 1 << 10,
             latency: LatencyModel::instant(),
             crash: CrashModel::strict(),
+            granularity: PersistGranularity::Word,
         }
     }
 
@@ -156,6 +210,7 @@ impl PmemConfig {
             flush_queue_capacity: 1 << 12,
             latency: LatencyModel::nvm_300ns(),
             crash: CrashModel::strict(),
+            granularity: PersistGranularity::Word,
         }
     }
 
@@ -183,6 +238,13 @@ impl PmemConfig {
         self
     }
 
+    /// Sets the persistence granularity (builder style). `Line` selects the
+    /// whole-line reference model used by differential tests.
+    pub fn with_granularity(mut self, granularity: PersistGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
     /// Total words in the space (persistent + volatile).
     pub fn total_words(&self) -> u64 {
         self.persistent_words + self.volatile_words
@@ -204,11 +266,27 @@ mod tests {
         assert_eq!(LatencyModel::nvm_300ns().drain_ns, 300);
         assert_eq!(LatencyModel::nvm_100ns().drain_ns, 100);
         assert_eq!(LatencyModel::instant().drain_ns, 0);
+        assert_eq!(LatencyModel::instant().clwb_word_ns, 0);
         assert_eq!(
             LatencyModel::nvm_300ns().drain_duration(),
             Duration::from_nanos(300)
         );
         assert_eq!(LatencyModel::default(), LatencyModel::nvm_300ns());
+        // Per-word media cost: a drain of one full line charges the round
+        // trip plus eight word writes; an empty drain just the round trip.
+        let m = LatencyModel::nvm_300ns();
+        assert_eq!(m.drain_cost_ns(0), 300);
+        assert_eq!(m.drain_cost_ns(8), 300 + 8 * LatencyModel::NVM_WORD_NS);
+    }
+
+    #[test]
+    fn granularity_defaults_to_word_masks() {
+        assert_eq!(
+            PmemConfig::small_for_tests().granularity,
+            PersistGranularity::Word
+        );
+        let reference = PmemConfig::small_for_tests().with_granularity(PersistGranularity::Line);
+        assert_eq!(reference.granularity, PersistGranularity::Line);
     }
 
     #[test]

@@ -28,8 +28,17 @@
 //!   behind it at once). Drains — from the owner or, on the Section 5.2
 //!   forcing paths, from any other thread — claim the pending range with a
 //!   single CAS.
-//! * **Line metadata is sharded and lazily allocated.** Dirty bits and
-//!   dedup stamps live in [`crafty_common::LazyAtomicArray`] segments
+//! * **Persistence is word-granular.** Every store marks exactly its word
+//!   in a per-line dirty-word mask; write-backs copy (and the latency
+//!   model charges for) only the masked words, and the crash models
+//!   resolve only words actually written. [`PmemStats::words_persisted`] /
+//!   [`PmemStats::line_words_persisted`] turn write amplification at the
+//!   persist boundary into a measured number. See the [`space`] module
+//!   docs for the invariant that makes this observably identical to
+//!   whole-line write-back (and [`PersistGranularity::Line`] for the
+//!   reference mode differential tests compare against).
+//! * **Line metadata is sharded and lazily allocated.** Dirty-word masks
+//!   and dedup stamps live in [`crafty_common::LazyAtomicArray`] segments
 //!   materialized on first touch, so very large simulated spaces pay
 //!   metadata proportional to the lines they *touch*, not to their size.
 //! * **The steady-state flush path performs zero heap allocations** once
@@ -65,6 +74,6 @@ pub mod image;
 pub mod space;
 
 pub use alloc::PmemAllocator;
-pub use config::{CrashModel, LatencyModel, PmemConfig};
+pub use config::{CrashModel, LatencyModel, PersistGranularity, PmemConfig};
 pub use image::PersistentImage;
 pub use space::{MemorySpace, PmemStats};

@@ -1,5 +1,6 @@
 //! The simulated memory space: a volatile (cache/DRAM) view over a
-//! persistent image, with explicit flush/drain persist operations.
+//! persistent image, with explicit flush/drain persist operations and a
+//! **word-granular persistence pipeline**.
 //!
 //! # Model
 //!
@@ -18,11 +19,48 @@
 //!   [`CrashModel::eviction_probability`]) — the behaviour that makes
 //!   unlogged in-place updates unsafe.
 //!
-//! A [`MemorySpace::crash`] resolves all remaining dirty lines according to
-//! the crash model (each *word* of a dirty line persists with a configured
+//! A [`MemorySpace::crash`] resolves all remaining dirty words according to
+//! the crash model (each dirty *word* persists with a configured
 //! probability, since the hardware guarantees only word-granularity
 //! persistence, Section 5.2) and returns the [`PersistentImage`] a recovery
 //! observer would see.
+//!
+//! # Word-granular dirty masks
+//!
+//! Crafty's design argument — and the reason HTPM-style systems fight
+//! write amplification at the persist boundary — is that persistence cost
+//! should follow *words written*, not *lines touched*. The pipeline
+//! therefore tracks one lazily-allocated `u64` **dirty-word mask per
+//! persistent line** (bit *i* = word *i* of the line was stored since the
+//! line's last write-back):
+//!
+//! * Every store ([`MemorySpace::write`], [`MemorySpace::compare_exchange`],
+//!   [`MemorySpace::fetch_add`] — and through them every transactional
+//!   publish and `nontx` write in the stack) ORs exactly its word's bit
+//!   into the mask. The mask doubles as the dirty flag: mask ≠ 0 ⇔ dirty.
+//! * A write-back (`persist_line`) atomically takes the mask (`swap(0)`)
+//!   and copies only the masked words into the persistent image. Unmasked
+//!   words are *provably identical* in both views (they have not been
+//!   stored since the last write-back), so the result is observably
+//!   identical to copying the whole line — a property pinned by the
+//!   differential tests in `tests/masked_persistence_differential.rs`
+//!   against the [`crate::PersistGranularity::Line`] reference mode.
+//! * Re-flushing a line that is already pending does not take a second
+//!   queue slot; the new store's bit is simply OR-merged into the line's
+//!   mask, which the eventual drain reads. Dedup therefore *merges masks*.
+//! * The crash models resolve only masked words, so strict / relaxed /
+//!   adversarial crash states are exact over the words actually written.
+//!   Each word's coin is drawn from its own seeded stream (keyed by the
+//!   word index), so crash resolution is independent of mask iteration
+//!   order — which is what lets the word- and line-granular modes produce
+//!   bit-identical crash images for differential testing.
+//! * Latency follows suit: a drain charges
+//!   [`crate::LatencyModel::drain_ns`] plus
+//!   [`crate::LatencyModel::clwb_word_ns`] per word it actually copied,
+//!   and [`PmemStats::words_persisted`] / [`PmemStats::line_words_persisted`]
+//!   report the measured write amplification
+//!   (`words_persisted / line_words_persisted`; 1.0 means every persisted
+//!   line was fully dirty).
 //!
 //! # The sharded, lock-free persistence domain
 //!
@@ -55,11 +93,10 @@
 //!   may complete a CLWB at any point before the fence, so persisting early
 //!   is always legal; the event is counted in
 //!   [`PmemStats::overflow_writebacks`].
-//! * **Sharded, lazily-allocated line metadata.** Dirty bits and dedup
-//!   stamps are [`crafty_common::LazyAtomicArray`] segments materialized on
-//!   first touch, so a multi-gigabyte simulated space no longer pays dense
-//!   up-front metadata proportional to its size (previously
-//!   `line_dirty` was a dense `Box<[AtomicBool]>` over all lines).
+//! * **Sharded, lazily-allocated line metadata.** Dirty-word masks and
+//!   dedup stamps are [`crafty_common::LazyAtomicArray`] segments
+//!   materialized on first touch, so a multi-gigabyte simulated space no
+//!   longer pays dense up-front metadata proportional to its size.
 //!
 //! Concurrency contract: all methods are safe to call from any thread, but
 //! `clwb(tid, ..)` calls for one `tid` must come from a single thread at a
@@ -71,9 +108,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use crafty_common::{LazyAtomicArray, LineId, PAddr, SplitMix64, WORDS_PER_LINE};
+use crafty_common::{mix64, LazyAtomicArray, LineId, PAddr, SplitMix64, WORDS_PER_LINE};
 
-use crate::config::{CrashModel, PmemConfig};
+use crate::config::{CrashModel, PersistGranularity, PmemConfig};
 use crate::image::PersistentImage;
 
 /// Counters describing the persist traffic a run generated.
@@ -90,6 +127,44 @@ pub struct PmemStats {
     /// Number of lines written back immediately because the issuing
     /// thread's flush queue was full (legal early CLWB completion).
     pub overflow_writebacks: u64,
+    /// Number of words actually copied into the persistent image by
+    /// write-backs (drains, evictions, and overflow write-backs): the
+    /// numerator of the write-amplification ratio.
+    pub words_persisted: u64,
+    /// Number of words whole-line write-backs would have copied for the
+    /// same events (the in-bounds line width, normally 8, per write-back):
+    /// the denominator of the write-amplification ratio.
+    pub line_words_persisted: u64,
+}
+
+impl PmemStats {
+    /// The traffic accumulated since an `earlier` snapshot of the same
+    /// space (component-wise difference) — e.g. the steady-state portion
+    /// of a benchmark, excluding setup/prefill persists.
+    pub fn since(&self, earlier: &PmemStats) -> PmemStats {
+        PmemStats {
+            drains: self.drains - earlier.drains,
+            flushes: self.flushes - earlier.flushes,
+            lines_persisted: self.lines_persisted - earlier.lines_persisted,
+            evictions: self.evictions - earlier.evictions,
+            overflow_writebacks: self.overflow_writebacks - earlier.overflow_writebacks,
+            words_persisted: self.words_persisted - earlier.words_persisted,
+            line_words_persisted: self.line_words_persisted - earlier.line_words_persisted,
+        }
+    }
+
+    /// Measured write amplification of the persist traffic:
+    /// `words_persisted / line_words_persisted`, i.e. the fraction of
+    /// whole-line write-back bandwidth the word-granular pipeline actually
+    /// used. 1.0 means every persisted line was fully dirty; a KV-style
+    /// workload updating one or two words per 8-word line sits well below
+    /// 0.5. Returns 1.0 when nothing was persisted.
+    pub fn write_amplification(&self) -> f64 {
+        if self.line_words_persisted == 0 {
+            return 1.0;
+        }
+        self.words_persisted as f64 / self.line_words_persisted as f64
+    }
 }
 
 #[derive(Default)]
@@ -99,6 +174,8 @@ struct StatCells {
     lines_persisted: AtomicU64,
     evictions: AtomicU64,
     overflow_writebacks: AtomicU64,
+    words_persisted: AtomicU64,
+    line_words_persisted: AtomicU64,
 }
 
 /// One thread slot's pending-flush state. See the module docs for the
@@ -161,8 +238,11 @@ pub struct MemorySpace {
     cfg: PmemConfig,
     volatile_view: Box<[AtomicU64]>,
     persistent_image: Box<[AtomicU64]>,
-    /// Dirty flag per persistent line (0 = clean), lazily sharded.
-    line_dirty: LazyAtomicArray,
+    /// Dirty-word mask per persistent line (bit `i` = word `i` stored since
+    /// the line's last write-back; 0 = clean), lazily sharded. Doubles as
+    /// the dirty flag. In [`PersistGranularity::Line`] reference mode every
+    /// store sets all bits of its line.
+    line_masks: LazyAtomicArray,
     flush_queues: Box<[FlushQueue]>,
     /// Reservation cursors (word indices). Plain atomics: reservations are
     /// rare (setup-time) but formerly shared a mutex with the store hot
@@ -200,7 +280,7 @@ impl MemorySpace {
         MemorySpace {
             volatile_view: (0..total).map(|_| AtomicU64::new(0)).collect(),
             persistent_image: (0..persistent).map(|_| AtomicU64::new(0)).collect(),
-            line_dirty: LazyAtomicArray::new(lines),
+            line_masks: LazyAtomicArray::new(lines),
             flush_queues: (0..cfg.max_threads)
                 .map(|_| FlushQueue::new(queue_capacity, lines))
                 .collect(),
@@ -272,10 +352,34 @@ impl MemorySpace {
         self.volatile_view[addr.word() as usize].load(Ordering::Acquire)
     }
 
+    /// The dirty-mask contribution of a store to `addr`: its word's bit in
+    /// word-granular mode, the full line in the whole-line reference mode.
+    #[inline]
+    fn store_mask(&self, addr: PAddr) -> u64 {
+        match self.cfg.granularity {
+            PersistGranularity::Word => 1 << (addr.word() % WORDS_PER_LINE),
+            PersistGranularity::Line => (1 << WORDS_PER_LINE) - 1,
+        }
+    }
+
+    /// Marks `addr`'s word dirty in its line's mask. Must happen *after*
+    /// the data store: a concurrent write-back that swaps the mask out
+    /// before this OR lands re-dirties the word, so the next write-back or
+    /// crash still covers the new value (the OR-after-store order makes the
+    /// unmasked ⇒ views-identical invariant race-free; the reverse order
+    /// could persist a stale value and then drop the bit).
+    #[inline]
+    fn mark_written(&self, addr: PAddr) {
+        self.line_masks
+            .get(addr.line().index())
+            .fetch_or(self.store_mask(addr), Ordering::AcqRel);
+    }
+
     /// Writes `value` to the word at `addr` in the volatile view.
     ///
-    /// If `addr` is persistent the containing line becomes dirty and may be
-    /// spontaneously evicted to the persistent image, per the crash model.
+    /// If `addr` is persistent its word is marked in the containing line's
+    /// dirty mask and the line may be spontaneously evicted to the
+    /// persistent image, per the crash model.
     ///
     /// # Panics
     ///
@@ -285,10 +389,8 @@ impl MemorySpace {
         self.check_bounds(addr);
         self.volatile_view[addr.word() as usize].store(value, Ordering::Release);
         if self.is_persistent(addr) {
+            self.mark_written(addr);
             let line = addr.line();
-            self.line_dirty
-                .get(line.index())
-                .store(1, Ordering::Release);
             let p = self.cfg.crash.eviction_probability;
             if p > 0.0 && self.evict_chance(line, p) {
                 self.persist_line(line);
@@ -338,9 +440,7 @@ impl MemorySpace {
             Ordering::Acquire,
         );
         if r.is_ok() && self.is_persistent(addr) {
-            self.line_dirty
-                .get(addr.line().index())
-                .store(1, Ordering::Release);
+            self.mark_written(addr);
         }
         r
     }
@@ -354,9 +454,7 @@ impl MemorySpace {
         self.check_bounds(addr);
         let old = self.volatile_view[addr.word() as usize].fetch_add(delta, Ordering::AcqRel);
         if self.is_persistent(addr) {
-            self.line_dirty
-                .get(addr.line().index())
-                .store(1, Ordering::Release);
+            self.mark_written(addr);
         }
         old
     }
@@ -409,11 +507,15 @@ impl MemorySpace {
         if pos - q.done.load(Ordering::Acquire) >= q.slots.len() as u64 {
             // Ring full: complete the write-back immediately. CLWB may
             // finish at any point before the fence on real hardware, so an
-            // early write-back is always legal; it is just not deduplicated.
-            self.persist_line(line);
+            // early write-back is always legal; it is just not
+            // deduplicated, and — unlike an asynchronous eviction — the
+            // issuing thread is stalled on the full buffer, so it pays the
+            // per-word media-write cost here instead of at a later drain.
+            let words = self.persist_line(line);
             self.stats
                 .overflow_writebacks
                 .fetch_add(1, Ordering::Relaxed);
+            self.busy_wait_ns(words * self.cfg.latency.clwb_word_ns);
             return;
         }
         q.slot(pos).store(line.index(), Ordering::Release);
@@ -438,6 +540,7 @@ impl MemorySpace {
     pub fn drain(&self, tid: usize) -> u64 {
         let q = &self.flush_queues[tid];
         let mut count = 0u64;
+        let mut words = 0u64;
         let target = q.tail.load(Ordering::Acquire);
         loop {
             let claim = q.claim.load(Ordering::Acquire);
@@ -460,7 +563,7 @@ impl MemorySpace {
             std::sync::atomic::fence(Ordering::SeqCst);
             for pos in claim..target {
                 let line = LineId::new(q.slot(pos).load(Ordering::Acquire));
-                self.persist_line(line);
+                words += self.persist_line(line);
             }
             count = target - claim;
             // Both retirement waits yield rather than pure-spin: the drain
@@ -484,7 +587,7 @@ impl MemorySpace {
         self.stats
             .lines_persisted
             .fetch_add(count, Ordering::Relaxed);
-        self.emulate_drain_latency();
+        self.emulate_drain_latency(words);
         count
     }
 
@@ -501,8 +604,7 @@ impl MemorySpace {
         self.flush_queues[tid].pending() as usize
     }
 
-    fn emulate_drain_latency(&self) {
-        let ns = self.cfg.latency.drain_ns;
+    fn busy_wait_ns(&self, ns: u64) {
         if ns == 0 {
             return;
         }
@@ -512,20 +614,52 @@ impl MemorySpace {
         }
     }
 
-    /// Copies the current volatile contents of `line` into the persistent
-    /// image and clears its dirty bit. This is what a completed write-back
-    /// does; it is also invoked by spontaneous evictions.
-    fn persist_line(&self, line: LineId) {
-        for addr in line.words() {
+    /// Busy-waits the cost of one drain that copied `words` words: the flat
+    /// SFENCE round trip plus the per-word media-write cost.
+    fn emulate_drain_latency(&self, words: u64) {
+        self.busy_wait_ns(self.cfg.latency.drain_cost_ns(words));
+    }
+
+    /// Completes a write-back of `line`: atomically takes the line's
+    /// dirty-word mask and copies exactly the masked words from the
+    /// volatile view into the persistent image. Returns the number of
+    /// words copied (0 for a clean line — its views are already
+    /// identical). Invoked by drains, spontaneous evictions, and ring
+    /// overflows; updates the word-granular persist counters.
+    ///
+    /// Taking the mask with a `swap(0)` *before* copying means a store
+    /// racing this write-back either lands its value in time to be copied
+    /// or re-ORs its bit after the swap and stays dirty — no combination
+    /// loses a word (see `mark_written`).
+    fn persist_line(&self, line: LineId) -> u64 {
+        let Some(slot) = self.line_masks.peek(line.index()) else {
+            return 0; // untouched segment: the whole line is clean
+        };
+        let mask = slot.swap(0, Ordering::AcqRel);
+        if mask == 0 {
+            return 0;
+        }
+        let mut words = 0u64;
+        let mut line_words = 0u64;
+        for (i, addr) in line.words().enumerate() {
             if addr.word() >= self.cfg.persistent_words {
                 break;
             }
+            line_words += 1;
+            if mask & (1 << i) == 0 {
+                continue;
+            }
             let v = self.volatile_view[addr.word() as usize].load(Ordering::Acquire);
             self.persistent_image[addr.word() as usize].store(v, Ordering::Release);
+            words += 1;
         }
-        if let Some(dirty) = self.line_dirty.peek(line.index()) {
-            dirty.store(0, Ordering::Release);
-        }
+        self.stats
+            .words_persisted
+            .fetch_add(words, Ordering::Relaxed);
+        self.stats
+            .line_words_persisted
+            .fetch_add(line_words, Ordering::Relaxed);
+        words
     }
 
     /// Reads the *persistent image* (not the volatile view) at `addr`.
@@ -543,36 +677,49 @@ impl MemorySpace {
     /// Simulates a crash / power failure and returns the memory a recovery
     /// observer would find after restart.
     ///
-    /// Lines already written back are present exactly. Every still-dirty
-    /// line is resolved word by word: each word keeps its persisted value or
-    /// takes its latest volatile value with
-    /// [`CrashModel::dirty_word_persist_probability`]. The volatile region
-    /// is lost entirely.
+    /// Words already written back are present exactly. Every still-dirty
+    /// (masked) word is resolved individually: it keeps its persisted value
+    /// or takes its latest volatile value with
+    /// [`CrashModel::dirty_word_persist_probability`]. Only masked words
+    /// are considered — clean words hold the same value in both views, so
+    /// the crash state is exact over the words actually written. The
+    /// volatile region is lost entirely.
     pub fn crash(&self) -> PersistentImage {
         self.crash_with(self.cfg.crash)
     }
 
     /// Like [`MemorySpace::crash`], with an explicit crash model (e.g. to
     /// sweep the persist probability in property tests).
+    ///
+    /// Each dirty word's persist coin comes from its own seeded stream,
+    /// keyed by `(model.seed, word index)`: the resolution of one word is
+    /// independent of how many other words are dirty or in which order the
+    /// masks are walked, so two spaces that differ only in persist
+    /// granularity resolve identical crash states for the words they both
+    /// consider dirty.
     pub fn crash_with(&self, model: CrashModel) -> PersistentImage {
-        let mut rng = SplitMix64::new(model.seed ^ 0xC2A5_11FE);
         let words = self.cfg.persistent_words;
         let mut image = vec![0u64; words as usize];
         for w in 0..words {
             image[w as usize] = self.persistent_image[w as usize].load(Ordering::Acquire);
         }
         let p = model.dirty_word_persist_probability;
-        for line_idx in 0..self.line_dirty.len() {
+        for line_idx in 0..self.line_masks.len() {
             // Unallocated metadata segments mean every line in them is
             // clean; `load_or_zero` never materializes them.
-            if self.line_dirty.load_or_zero(line_idx) == 0 {
+            let mask = self.line_masks.load_or_zero(line_idx);
+            if mask == 0 {
                 continue;
             }
-            for addr in LineId::new(line_idx).words() {
+            for (i, addr) in LineId::new(line_idx).words().enumerate() {
                 if addr.word() >= words {
                     break;
                 }
-                if rng.chance(p) {
+                if mask & (1 << i) == 0 {
+                    continue;
+                }
+                let mut coin = SplitMix64::new(model.seed ^ 0xC2A5_11FE ^ mix64(addr.word()));
+                if coin.chance(p) {
                     image[addr.word() as usize] =
                         self.volatile_view[addr.word() as usize].load(Ordering::Acquire);
                 }
@@ -635,6 +782,8 @@ impl MemorySpace {
             lines_persisted: self.stats.lines_persisted.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             overflow_writebacks: self.stats.overflow_writebacks.load(Ordering::Relaxed),
+            words_persisted: self.stats.words_persisted.load(Ordering::Relaxed),
+            line_words_persisted: self.stats.line_words_persisted.load(Ordering::Relaxed),
         }
     }
 }
@@ -901,16 +1050,99 @@ mod tests {
         assert_eq!(s.drains, 2);
         assert_eq!(s.lines_persisted, 1);
         assert_eq!(s.overflow_writebacks, 0);
+        // One word of an 8-word line was written, so the word-granular
+        // pipeline copied exactly one word where whole lines would have
+        // copied eight.
+        assert_eq!(s.words_persisted, 1);
+        assert_eq!(s.line_words_persisted, 8);
+        assert!((s.write_amplification() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_amplification_is_full_in_line_reference_mode() {
+        let cfg = PmemConfig::small_for_tests().with_granularity(PersistGranularity::Line);
+        let m = MemorySpace::new(cfg);
+        let a = PAddr::new(64);
+        m.write(a, 1);
+        m.persist(0, a);
+        let s = m.stats();
+        assert_eq!(s.words_persisted, 8);
+        assert_eq!(s.line_words_persisted, 8);
+        assert_eq!(s.write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn masked_writeback_covers_unflushed_words_of_the_line() {
+        // The mask lives on the line, not in the queue: a word written
+        // after its line was enqueued is still covered by the drain.
+        let m = space();
+        m.write(PAddr::new(64), 1);
+        m.clwb(0, PAddr::new(64));
+        m.write(PAddr::new(65), 2); // same line, after the flush
+        m.drain(0);
+        assert_eq!(m.read_persisted(PAddr::new(64)), 1);
+        assert_eq!(m.read_persisted(PAddr::new(65)), 2);
+        assert_eq!(m.stats().words_persisted, 2);
     }
 
     #[test]
     fn drain_latency_is_charged() {
-        let cfg = PmemConfig::small_for_tests().with_latency(LatencyModel { drain_ns: 200_000 });
+        let cfg = PmemConfig::small_for_tests().with_latency(LatencyModel {
+            drain_ns: 200_000,
+            clwb_word_ns: 0,
+        });
         let m = MemorySpace::new(cfg);
         m.write(PAddr::new(64), 1);
         m.clwb(0, PAddr::new(64));
         let start = Instant::now();
         m.drain(0);
         assert!(start.elapsed().as_nanos() >= 200_000);
+    }
+
+    #[test]
+    fn overflow_writebacks_charge_the_per_word_cost() {
+        // A full ring completes the write-back synchronously, so the
+        // issuing thread must pay the same per-word media cost a drain
+        // would — overflow must never be a cheaper way to persist.
+        let cfg = PmemConfig::small_for_tests()
+            .with_flush_queue_capacity(2)
+            .with_latency(LatencyModel {
+                drain_ns: 0,
+                clwb_word_ns: 50_000,
+            });
+        let m = MemorySpace::new(cfg);
+        // Fill the 2-slot ring, then overflow with a third dirty line.
+        for l in 0..3 {
+            m.write(PAddr::new(64 + l * WORDS_PER_LINE), l + 1);
+            if l < 2 {
+                m.clwb(0, PAddr::new(64 + l * WORDS_PER_LINE));
+            }
+        }
+        let start = Instant::now();
+        m.clwb(0, PAddr::new(64 + 2 * WORDS_PER_LINE));
+        assert!(m.stats().overflow_writebacks >= 1);
+        assert!(
+            start.elapsed().as_nanos() >= 50_000,
+            "the overflowed line's dirty word must be charged"
+        );
+    }
+
+    #[test]
+    fn per_word_latency_is_charged_for_persisted_words() {
+        let cfg = PmemConfig::small_for_tests().with_latency(LatencyModel {
+            drain_ns: 0,
+            clwb_word_ns: 50_000,
+        });
+        let m = MemorySpace::new(cfg);
+        for i in 0..4 {
+            m.write(PAddr::new(64 + i), i);
+        }
+        m.clwb(0, PAddr::new(64));
+        let start = Instant::now();
+        m.drain(0);
+        assert!(
+            start.elapsed().as_nanos() >= 4 * 50_000,
+            "four dirty words must each be charged"
+        );
     }
 }

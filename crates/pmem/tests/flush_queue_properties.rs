@@ -185,6 +185,57 @@ fn foreign_drains_race_owner_drains_exactly() {
     }
 }
 
+/// The dedup path merges dirty-word masks instead of taking a second ring
+/// slot: re-flushing a still-pending line after writing another of its
+/// words leaves exactly one queue entry, and the single write-back covers
+/// both words (the line's mask accumulated the second bit).
+#[test]
+fn dedup_merges_masks_instead_of_requeueing() {
+    let mem = MemorySpace::new(PmemConfig::small_for_tests());
+    let a = line_addr(8); // word 0 of line 8
+    let b = a.add(3); // word 3, same line
+    mem.write(a, 11);
+    mem.clwb(0, a);
+    mem.write(b, 22);
+    mem.clwb(0, b); // stamp hit: mask-merge, no second slot
+    assert_eq!(
+        mem.pending_flushes(0),
+        1,
+        "the re-flush must be absorbed by the dedup stamp"
+    );
+    assert_eq!(mem.drain(0), 1, "one line persisted");
+    assert_eq!(mem.read_persisted(a), 11);
+    assert_eq!(mem.read_persisted(b), 22);
+    let stats = mem.stats();
+    assert_eq!(stats.lines_persisted, 1);
+    assert_eq!(
+        stats.words_persisted, 2,
+        "exactly the two written words are copied — merged, not whole-line"
+    );
+    assert_eq!(stats.line_words_persisted, 8);
+}
+
+/// Word counters stay exact across drains, evictionless re-dirtying, and
+/// queue-side dedup: every copied word is counted once.
+#[test]
+fn word_counters_track_exactly_what_was_copied() {
+    let mem = MemorySpace::new(PmemConfig::small_for_tests());
+    // Fully dirty line: 8 words.
+    for i in 0..WORDS_PER_LINE {
+        mem.write(line_addr(8).add(i), i + 1);
+    }
+    mem.clwb(0, line_addr(8));
+    mem.drain(0);
+    // Re-dirty one word of the now-clean line: 1 more word.
+    mem.write(line_addr(8).add(5), 99);
+    mem.clwb(0, line_addr(8));
+    mem.drain(0);
+    let stats = mem.stats();
+    assert_eq!(stats.words_persisted, WORDS_PER_LINE + 1);
+    assert_eq!(stats.line_words_persisted, 2 * WORDS_PER_LINE);
+    assert_eq!(stats.lines_persisted, 2);
+}
+
 /// With a deliberately tiny ring, overflowing flushes complete immediately
 /// instead of being dropped, and a final drain leaves everything durable.
 #[test]
