@@ -10,6 +10,10 @@
 //! figures compare --candidate PATH [--baseline BENCH_hotpath.json]
 //!         [--suite hotpath|kv] [--tolerance 0.40] [--engine Crafty]
 //!         [--reference Non-durable] [--threads 1] [--absolute]
+//!
+//! figures --help   prints the full usage, including the kv (YCSB A/B/C/E
+//!                  plus the batched A+gc group-commit mode) and flushbound
+//!                  suites and the compare perf-gate subcommand
 //! ```
 //!
 //! The `hotpath` target runs the tracked bank benchmark and writes the
@@ -17,14 +21,17 @@
 //! [`crafty_bench::hotpath`]); `--json-out` overrides its output path. The
 //! `flushbound` target stresses the persistence domain (clwb/drain) with no
 //! transactions (see [`crafty_bench::flushbound`]) and writes
-//! `BENCH_flushbound.json`. The `kv` target runs the YCSB-style mixes over
-//! the durable sharded `crafty-kv` store on Crafty, Non-durable, NV-HTM,
+//! `BENCH_flushbound.json`. The `kv` target runs the YCSB-style mixes —
+//! A/B/C/E plus the batched-update `A+gc` group-commit mode — over the
+//! durable sharded `crafty-kv` store on Crafty, Non-durable, NV-HTM,
 //! and DudeTM, and writes `BENCH_kv.json` (see [`crafty_bench::kvbench`]).
 //! `--json-out` overrides the path of the *single* JSON-writing target
 //! requested (with several in one invocation, hotpath wins and the others
 //! keep their defaults). All three artifacts report the measured
 //! write-amplification ratio (`words_persisted / line_words_persisted`)
-//! of the word-granular persistence pipeline.
+//! of the word-granular persistence pipeline and the drain-coalescing
+//! counters (`flush_ranges`, `lines_per_range`) of the batched drain
+//! pipeline.
 //!
 //! `compare` is the CI perf-regression gate: it reads two JSON artifacts
 //! (the committed baseline and a fresh candidate run) and fails (exit 1)
@@ -68,6 +75,42 @@ struct Options {
     json_out: Option<String>,
 }
 
+/// Prints the CLI usage (also the `--help` output). Kept in sync with the
+/// module docs above; covers every target, including the kv and flushbound
+/// suites and the `compare` perf-gate subcommand.
+fn print_usage() {
+    println!(
+        "\
+figures — regenerate the paper's tables/figures and the benchmark artifacts
+
+USAGE:
+  figures [targets...] [--paper] [--latency-100] [--threads a,b,c] [--txns N]
+          [--csv DIR] [--json-out PATH]
+  figures compare --candidate PATH [--baseline PATH] [--suite hotpath|kv]
+          [--tolerance 0.40] [--engine Crafty] [--reference Non-durable]
+          [--threads 1] [--absolute]
+
+TARGETS (default: fig6 fig7 table1):
+  fig6 fig7 fig8     paper figures (bank / B-tree / STAMP throughput)
+  table1             average persistent writes per transaction
+  breakdowns         per-engine completion/abort breakdowns (Figures 9-21)
+  fig22 fig23 fig24  appendix reruns at 100 ns drain latency
+  hotpath            tracked bank benchmark -> BENCH_hotpath.json
+  flushbound         clwb/drain microbenchmark (no txns) -> BENCH_flushbound.json
+  kv                 YCSB mixes (A/B/C/E + batched A+gc) over crafty-kv
+                     -> BENCH_kv.json
+  all                everything above
+
+The hotpath/flushbound/kv artifacts carry throughput, the measured
+write-amplification ratio (words_persisted / line_words_persisted), and the
+drain-coalescing counters (flush_ranges, lines_per_range). `compare` is the
+CI perf-regression gate: it checks a fresh candidate artifact against the
+committed baseline (per YCSB mix with --suite kv) and exits non-zero on a
+regression; to move a baseline intentionally, regenerate it and commit the
+new JSON with the change."
+    );
+}
+
 fn parse_args() -> Options {
     let mut targets = BTreeSet::new();
     let mut paper = false;
@@ -79,6 +122,10 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" | "help" => {
+                print_usage();
+                std::process::exit(0);
+            }
             "--json-out" => json_out = Some(args.next().expect("--json-out needs a path")),
             "--paper" => paper = true,
             "--latency-100" => latency100 = true,
@@ -100,7 +147,7 @@ fn parse_args() -> Options {
             }
             "--csv" => csv_dir = Some(args.next().expect("--csv needs a directory")),
             other if other.starts_with("--") => {
-                eprintln!("unknown flag {other}");
+                eprintln!("unknown flag {other} (see `figures --help`)");
                 std::process::exit(2);
             }
             target => {
@@ -468,8 +515,16 @@ fn main() {
                 .map(|(_, c)| c)
                 .sum();
             println!(
-                "{:<20} {:>2} thr {:>12.0} ops/s  {:>8} hw aborts  w-amp {:.3}",
-                p.engine, p.threads, p.ops_per_sec, aborts, p.write_amplification
+                "{:<20} {:>2} thr {:>12.0} ops/s  {:>8} hw aborts  w-amp {:.3}  \
+                 {:>7} ranges / {:>7} lines ({:.2}/rng)",
+                p.engine,
+                p.threads,
+                p.ops_per_sec,
+                aborts,
+                p.write_amplification,
+                p.flush_ranges,
+                p.lines_persisted,
+                p.lines_per_range
             );
         }
         std::fs::write(path, render_hotpath_json(cfg, &points)).expect("write hotpath json");
@@ -488,19 +543,28 @@ fn main() {
         };
         println!("\n== flushbound: persistence-domain microbenchmark ==");
         println!(
-            "{:>3}  {:>14}  {:>14}  {:>12}  {:>12}  {:>6}",
-            "thr", "lines/s", "drains/s", "lines total", "words total", "w-amp"
+            "{:>3}  {:>14}  {:>14}  {:>12}  {:>12}  {:>6}  {:>10}  {:>9}",
+            "thr",
+            "lines/s",
+            "drains/s",
+            "lines total",
+            "words total",
+            "w-amp",
+            "ranges",
+            "lines/rng"
         );
         let points = run_flushbound(cfg);
         for p in &points {
             println!(
-                "{:>3}  {:>14.0}  {:>14.0}  {:>12}  {:>12}  {:>6.3}",
+                "{:>3}  {:>14.0}  {:>14.0}  {:>12}  {:>12}  {:>6.3}  {:>10}  {:>9.2}",
                 p.threads,
                 p.lines_per_sec,
                 p.drains_per_sec,
                 p.lines_persisted,
                 p.words_persisted,
-                p.write_amplification
+                p.write_amplification,
+                p.flush_ranges,
+                p.lines_per_range
             );
         }
         std::fs::write(path, render_flushbound_json(cfg, &points)).expect("write flushbound json");
@@ -518,8 +582,16 @@ fn main() {
         let points = run_kv(cfg);
         for p in &points {
             println!(
-                "YCSB-{:<2} {:<14} {:>2} thr {:>12.0} ops/s  w-amp {:.3}",
-                p.mix, p.engine, p.threads, p.ops_per_sec, p.write_amplification
+                "YCSB-{:<4} {:<14} {:>2} thr {:>12.0} ops/s  w-amp {:.3}  \
+                 {:>6} ranges / {:>6} lines ({:.2}/rng)",
+                p.mix,
+                p.engine,
+                p.threads,
+                p.ops_per_sec,
+                p.write_amplification,
+                p.flush_ranges,
+                p.lines_persisted,
+                p.lines_per_range
             );
         }
         std::fs::write(path, render_kv_json(cfg, &points)).expect("write kv json");

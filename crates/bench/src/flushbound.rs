@@ -11,6 +11,11 @@
 //! per-flush `Vec::contains` scan and the queue mutex; with the sharded
 //! domain it is bounded by the drain latency model and raw store
 //! throughput.
+//!
+//! Each batch's lines are adjacent, which makes this the cleanest probe
+//! of the batched drain pipeline too: every drain should coalesce its
+//! [`LINES_PER_BATCH`] lines into a single ranged flush, so the reported
+//! `flush_ranges` is the drain count and `lines_per_range` ≈ 16.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +53,13 @@ pub struct FlushboundPoint {
     /// each batch stores one word per line, so the word-granular pipeline
     /// should report 1/8 here.
     pub write_amplification: f64,
+    /// Ranged flushes the drains issued. Each batch's lines are adjacent,
+    /// so the coalescing pipeline should issue one range per drain —
+    /// `flush_ranges` ≪ `lines_persisted`.
+    pub flush_ranges: u64,
+    /// Average adjacent-line run length (`range_lines / flush_ranges`);
+    /// should approach [`LINES_PER_BATCH`] here.
+    pub lines_per_range: f64,
 }
 
 /// Runs the flush-bound microbenchmark at every configured thread count.
@@ -99,6 +111,8 @@ fn run_flushbound_point(cfg: &HarnessConfig, threads: usize) -> FlushboundPoint 
         lines_per_sec: stats.lines_persisted as f64 / elapsed,
         drains_per_sec: total_drains as f64 / elapsed,
         write_amplification: stats.write_amplification(),
+        flush_ranges: stats.flush_ranges,
+        lines_per_range: stats.lines_per_range(),
     }
 }
 
@@ -120,7 +134,9 @@ pub fn render_flushbound_json(cfg: &HarnessConfig, points: &[FlushboundPoint]) -
                 .with(
                     "write_amplification",
                     Json::Float(round4(p.write_amplification)),
-                ),
+                )
+                .with("flush_ranges", Json::UInt(p.flush_ranges))
+                .with("lines_per_range", Json::Float(round4(p.lines_per_range))),
         );
     }
     Json::object()
@@ -172,9 +188,19 @@ mod tests {
             // have cost eight.
             assert_eq!(p.words_persisted, p.lines_persisted);
             assert!((p.write_amplification - 0.125).abs() < 1e-12);
+            // Each batch's 16 lines are adjacent: exactly one ranged flush
+            // per drain, so coalescing divides the flush count by 16.
+            assert_eq!(
+                p.flush_ranges,
+                p.threads as u64 * p.batches_per_thread,
+                "{} threads: adjacent batches must coalesce to one range per drain",
+                p.threads
+            );
+            assert!((p.lines_per_range - LINES_PER_BATCH as f64).abs() < 1e-12);
         }
         let json = render_flushbound_json(&cfg, &points);
         assert!(json.contains("\"write_amplification\": 0.125"));
         assert!(json.contains("\"lines_per_sec\""));
+        assert!(json.contains("\"flush_ranges\""));
     }
 }

@@ -34,6 +34,13 @@ pub struct HotpathPoint {
     /// Measured write amplification (`words / line_words`; 1.0 = fully
     /// dirty lines, lower = the word-granular pipeline saved bandwidth).
     pub write_amplification: f64,
+    /// Lines written back by drains.
+    pub lines_persisted: u64,
+    /// Ranged flushes the drains issued; `< lines_persisted` means the
+    /// coalescing pipeline found adjacent runs.
+    pub flush_ranges: u64,
+    /// Average adjacent-line run length (`range_lines / flush_ranges`).
+    pub lines_per_range: f64,
 }
 
 /// Runs the tracked benchmark: the medium-contention bank workload (the
@@ -62,6 +69,9 @@ pub fn run_hotpath(cfg: &HarnessConfig) -> Vec<HotpathPoint> {
                 words_persisted: pmem.words_persisted,
                 line_words_persisted: pmem.line_words_persisted,
                 write_amplification: pmem.write_amplification(),
+                lines_persisted: pmem.lines_persisted,
+                flush_ranges: pmem.flush_ranges,
+                lines_per_range: pmem.lines_per_range(),
             });
         }
     }
@@ -91,6 +101,9 @@ pub fn render_hotpath_json(cfg: &HarnessConfig, points: &[HotpathPoint]) -> Stri
                     "write_amplification",
                     Json::Float(round4(p.write_amplification)),
                 )
+                .with("lines_persisted", Json::UInt(p.lines_persisted))
+                .with("flush_ranges", Json::UInt(p.flush_ranges))
+                .with("lines_per_range", Json::Float(round4(p.lines_per_range)))
                 .with("completions", completions)
                 .with("hw_outcomes", hw),
         );

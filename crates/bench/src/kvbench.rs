@@ -12,7 +12,15 @@
 //! Each point also reports the measured write amplification of its persist
 //! traffic (`words_persisted / line_words_persisted`): KV updates touch
 //! one or two words of an 8-word line, so this workload is the headline
-//! beneficiary of the word-granular persistence pipeline.
+//! beneficiary of the word-granular persistence pipeline. Alongside it,
+//! `flush_ranges` / `lines_per_range` report how well the batched drain
+//! pipeline coalesced adjacent lines into ranged flushes.
+//!
+//! The `A+gc` mix is the batched-update mode: workload A's traffic with
+//! every 8 consecutive transactions sharing one drain barrier through the
+//! engines' group-commit path (`ShardedKv::apply_batch` exposes the same
+//! layer to applications). The A → A+gc delta measures the per-transaction
+//! durability-ack cost.
 
 use crafty_common::{CompletionPath, HwTxnOutcome};
 use crafty_stats::Json;
@@ -54,6 +62,14 @@ pub struct KvPoint {
     /// word-granular pipeline: most updates touch one or two words of an
     /// 8-word line.
     pub write_amplification: f64,
+    /// Lines written back by drains.
+    pub lines_persisted: u64,
+    /// Ranged flushes the drains issued; `< lines_persisted` means the
+    /// coalescing pipeline found adjacent runs (undo-log entries are the
+    /// main source — a transaction's sequence occupies consecutive lines).
+    pub flush_ranges: u64,
+    /// Average adjacent-line run length (`range_lines / flush_ranges`).
+    pub lines_per_range: f64,
 }
 
 /// Runs every KV mix on every engine at every configured thread count.
@@ -83,6 +99,9 @@ pub fn run_kv(cfg: &HarnessConfig) -> Vec<KvPoint> {
                     words_persisted: pmem.words_persisted,
                     line_words_persisted: pmem.line_words_persisted,
                     write_amplification: pmem.write_amplification(),
+                    lines_persisted: pmem.lines_persisted,
+                    flush_ranges: pmem.flush_ranges,
+                    lines_per_range: pmem.lines_per_range(),
                 });
             }
         }
@@ -115,6 +134,9 @@ pub fn render_kv_json(cfg: &HarnessConfig, points: &[KvPoint]) -> String {
                     "write_amplification",
                     Json::Float(round4(p.write_amplification)),
                 )
+                .with("lines_persisted", Json::UInt(p.lines_persisted))
+                .with("flush_ranges", Json::UInt(p.flush_ranges))
+                .with("lines_per_range", Json::Float(round4(p.lines_per_range)))
                 .with("completions", completions)
                 .with("hw_outcomes", hw),
         );
@@ -170,6 +192,25 @@ mod tests {
             crafty_a.write_amplification
         );
         assert!(crafty_a.words_persisted > 0);
+        // The batched-update mode runs on every engine (group commit on
+        // Crafty, graceful per-txn fallback elsewhere).
+        let crafty_gc = points
+            .iter()
+            .find(|p| p.mix == "A+gc" && p.engine == "Crafty")
+            .expect("Crafty YCSB-A+gc point");
+        assert_eq!(crafty_gc.transactions, 40);
+        // Coalescing is measurably active on the batched mode: deferral
+        // accumulates several transactions' undo sequences and markers —
+        // consecutive lines of the circular log — into one claimed range,
+        // so drains must find runs longer than one line. (Plain A's
+        // single-update sequences often fit one line each, drained alone.)
+        assert!(
+            crafty_gc.flush_ranges < crafty_gc.lines_persisted,
+            "coalescing inactive under group commit: {} ranges for {} lines",
+            crafty_gc.flush_ranges,
+            crafty_gc.lines_persisted
+        );
+        assert!(crafty_gc.lines_per_range > 1.0);
         let json = render_kv_json(&cfg, &points);
         for engine in ["Crafty", "Non-durable", "NV-HTM", "DudeTM"] {
             assert!(
@@ -177,10 +218,11 @@ mod tests {
                 "{engine}"
             );
         }
-        for mix in ["\"A\"", "\"B\"", "\"C\"", "\"E\""] {
+        for mix in ["\"A\"", "\"B\"", "\"C\"", "\"E\"", "\"A+gc\""] {
             assert!(json.contains(&format!("\"mix\": {mix}")), "{mix}");
         }
         assert!(json.contains("\"zipf_theta\""));
         assert!(json.contains("\"write_amplification\""));
+        assert!(json.contains("\"flush_ranges\""));
     }
 }

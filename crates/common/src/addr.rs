@@ -1,6 +1,6 @@
 //! Word-granular addresses into the simulated memory space.
 //!
-//! The simulated memory ([`crafty-pmem`]'s `MemorySpace`) is an array of
+//! The simulated memory (`crafty-pmem`'s `MemorySpace`) is an array of
 //! 64-bit words. All persistent accesses in the paper's implementation are
 //! 8-byte aligned stores, so a word index loses no generality and keeps the
 //! undo-log entry format (`<addr, oldValue>` pairs of 8-byte words) simple.

@@ -3,7 +3,7 @@
 //! Because Crafty's Log and Validate phases execute the same body twice,
 //! the implementation "logs allocations during the Log phase and reuses the
 //! allocated memory at corresponding malloc calls during the Validate
-//! phase. Similarly, [it] logs free calls during the Log phase, and either
+//! phase. Similarly, \[it\] logs free calls during the Log phase, and either
 //! performs the logged frees after completing the Redo phase or allows the
 //! Validate phase to perform free calls and then discards logged frees"
 //! (Section 6). [`AllocLog`] implements exactly that bookkeeping.

@@ -18,12 +18,19 @@
 //! * the **recovery observer** (Section 5), which the paper's artifact
 //!   leaves unimplemented;
 //! * the ablation variants **Crafty-NoRedo** and **Crafty-NoValidate**
-//!   used in the evaluation.
+//!   used in the evaluation;
+//! * **group commit**: durability-deferred execution
+//!   ([`crafty_common::TmThread::execute_deferred`]) that lets a group of
+//!   transactions share one drain barrier
+//!   ([`crafty_common::TmThread::flush_deferred`]) — each transaction
+//!   still logs, persists its undo entries before any in-place write, and
+//!   marks COMMITTED individually; only the durability *acknowledgement*
+//!   is batched.
 //!
 //! The engine runs on the simulated substrates in [`crafty_pmem`]
 //! (DRAM-emulated NVM with an explicit crash model) and [`crafty_htm`]
-//! (an RTM-like software HTM); see `DESIGN.md` for the substitution
-//! rationale.
+//! (an RTM-like software HTM); see `ARCHITECTURE.md` at the repository
+//! root for the substitution rationale.
 //!
 //! # Quick start
 //!

@@ -71,6 +71,13 @@ enum CommitOutcome {
 pub struct CraftyThread<'c> {
     engine: &'c Crafty,
     tid: usize,
+    /// True while executing a durability-deferred transaction
+    /// ([`TmThread::execute_deferred`]): the begin/commit SFENCE drains
+    /// that would make the *previous* transaction's commit durable are
+    /// skipped, so a group of transactions shares one drain barrier. The
+    /// mandatory drains — undo entries durable before any in-place write —
+    /// are unaffected.
+    deferred_mode: bool,
     alloc_log: AllocLog,
     /// All writes of the current transaction in program order (persistent
     /// and volatile), captured by the Log phase. Reused across
@@ -105,6 +112,7 @@ impl<'c> CraftyThread<'c> {
         CraftyThread {
             engine,
             tid,
+            deferred_mode: false,
             alloc_log: AllocLog::new(),
             undo_buf: Vec::new(),
             redo_buf: Vec::new(),
@@ -198,7 +206,17 @@ impl<'c> CraftyThread<'c> {
             // Allocations recorded by a previous failed attempt would leak;
             // hand them back before re-executing the body.
             self.alloc_log.release_allocations(&engine.allocator);
-            let mut txn = engine.htm.begin(self.tid);
+            // Deferred mode: the previous transaction's commit write-backs
+            // stay pending here and ride this transaction's pre-Redo drain
+            // (or the group's flush_deferred barrier) instead of paying
+            // their own fence at begin. The Log phase publishes no new
+            // in-place values (its writes are rolled back before commit),
+            // so nothing that needs a durable undo entry can persist early.
+            let mut txn = if self.deferred_mode {
+                engine.htm.begin_deferred(self.tid)
+            } else {
+                engine.htm.begin(self.tid)
+            };
             match txn.read(engine.sgl_addr) {
                 Ok(0) => {}
                 Ok(_) => {
@@ -566,9 +584,13 @@ impl<'c> CraftyThread<'c> {
                 undo_log.commit_marker_nontx(&engine.htm, seq.marker_abs, commit_ts);
                 undo_log.flush_marker(&engine.mem, self.tid, seq.marker_abs);
                 // Outside hardware transactions there is no later fence to
-                // piggyback on, so complete the write-backs here.
-                engine.mem.drain(self.tid);
-                engine.recorder.record_drain();
+                // piggyback on, so complete the write-backs here — unless
+                // the transaction is durability-deferred, in which case the
+                // group's shared drain barrier covers them.
+                if !self.deferred_mode {
+                    engine.mem.drain(self.tid);
+                    engine.recorder.record_drain();
+                }
                 engine.note_sequence(self.tid, commit_ts);
                 self.finish(CompletionPath::Redo, &seq, hw_attempts)
             }
@@ -667,9 +689,12 @@ impl<'c> CraftyThread<'c> {
             undo_log.commit_marker_nontx(&engine.htm, info.marker_abs, commit_ts);
             undo_log.flush_marker(&engine.mem, self.tid, info.marker_abs);
             // Outside hardware transactions there is no later fence to
-            // piggyback on, so complete the write-backs before returning.
-            engine.mem.drain(self.tid);
-            engine.recorder.record_drain();
+            // piggyback on, so complete the write-backs before returning —
+            // unless durability is deferred to the group's shared drain.
+            if !self.deferred_mode {
+                engine.mem.drain(self.tid);
+                engine.recorder.record_drain();
+            }
             engine.note_sequence(self.tid, commit_ts);
 
             self.alloc_log.apply_frees(&engine.allocator);
@@ -688,6 +713,34 @@ impl TmThread for CraftyThread<'_> {
         match self.engine.cfg.mode {
             ThreadingMode::ThreadSafe => self.execute_thread_safe(body),
             ThreadingMode::ThreadUnsafe => self.execute_thread_unsafe(body),
+        }
+    }
+
+    fn execute_deferred(&mut self, body: &mut TxnBody<'_>) -> TxnReport {
+        // Group commit: run the transaction with the begin/commit SFENCE
+        // drains relaxed. The transaction still logs, persists its undo
+        // entries before any in-place write (the pre-Redo drain is
+        // unconditional), and marks COMMITTED; only the drain that would
+        // ack *durability* is left to the shared barrier. The flag must
+        // not survive a panicking body (a caller catching the unwind and
+        // reusing the handle would silently keep deferring), so the reset
+        // sits on the unwind path too.
+        self.deferred_mode = true;
+        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(body)));
+        self.deferred_mode = false;
+        match report {
+            Ok(report) => report,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    fn flush_deferred(&mut self) {
+        // The shared drain barrier: one drain of this thread's queue covers
+        // every deferred transaction's data write-backs and COMMITTED
+        // markers — all were enqueued atomically with their commits.
+        if self.engine.mem.pending_flushes(self.tid) > 0 {
+            self.engine.mem.drain(self.tid);
+            self.engine.recorder.record_drain();
         }
     }
 }

@@ -113,7 +113,7 @@ fn contention_exercises_the_validate_path() {
     let mem = Arc::new(MemorySpace::new(
         PmemConfig::small_for_tests().with_latency(crafty_pmem::LatencyModel {
             drain_ns: 30_000,
-            clwb_word_ns: 0,
+            ..crafty_pmem::LatencyModel::instant()
         }),
     ));
     let crafty = Arc::new(Crafty::new(

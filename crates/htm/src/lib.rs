@@ -5,7 +5,8 @@
 //! interface with the properties Crafty relies on: buffered (contained)
 //! transactional writes, conflict detection, capacity and spurious aborts,
 //! explicit aborts with codes, and SFENCE semantics at transaction
-//! boundaries. See `DESIGN.md` ("Substitutions") for the fidelity argument.
+//! boundaries. See `ARCHITECTURE.md` at the repository root for the
+//! fidelity argument behind this substitution.
 //!
 //! # Hot-path design: reusable per-thread descriptors
 //!

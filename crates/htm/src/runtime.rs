@@ -171,6 +171,29 @@ impl HtmRuntime {
             self.mem.drain(tid);
             self.recorder.record_drain();
         }
+        self.begin_inner(tid, false)
+    }
+
+    /// Begins a hardware transaction **without** the begin/commit SFENCE
+    /// drains: the issuing thread's outstanding CLWBs stay pending across
+    /// the whole transaction.
+    ///
+    /// This is the group-commit relaxation. The engine's durability drains
+    /// are deliberately deferred — Crafty's Log phase uses it for a
+    /// durability-deferred transaction, so the previous transaction's
+    /// commit write-backs are drained by this transaction's mandatory
+    /// pre-Redo drain (or by the group's final
+    /// [`crafty_common::TmThread::flush_deferred`] barrier) instead of
+    /// paying their own fence here. It is only a *latency* relaxation:
+    /// everything enqueued stays pending and is covered by the next drain
+    /// of this thread's queue, from whichever thread issues it. Callers
+    /// that need a transaction's undo entries durable before acting on
+    /// them must still drain explicitly before doing so.
+    pub fn begin_deferred(&self, tid: usize) -> HwTxn<'_> {
+        self.begin_inner(tid, true)
+    }
+
+    fn begin_inner(&self, tid: usize, deferred_fence: bool) -> HwTxn<'_> {
         let mut scratch = self.checkout_scratch(tid);
         let doomed_after = {
             let p = self.cfg.zero_abort_probability;
@@ -193,6 +216,7 @@ impl HtmRuntime {
             failed: None,
             finished: false,
             doomed_after,
+            deferred_fence,
         }
     }
 
@@ -305,8 +329,8 @@ impl HtmRuntime {
     /// if the containing line is locked by an in-flight commit, the read
     /// waits for the commit to finish.
     /// The wait for an in-flight commit to release the line uses the same
-    /// bounded exponential backoff as [`HtmRuntime::lock_line`]: capped
-    /// doubling spin-loop pauses, then yields.
+    /// bounded exponential backoff as the internal line-locking path:
+    /// capped doubling spin-loop pauses, then yields.
     pub fn nontx_read(&self, addr: PAddr) -> u64 {
         let line = addr.line();
         let mut backoff = Backoff::new();
@@ -365,6 +389,10 @@ pub struct HwTxn<'rt> {
     failed: Option<AbortCode>,
     finished: bool,
     doomed_after: Option<u32>,
+    /// True for transactions begun with [`HtmRuntime::begin_deferred`]:
+    /// neither begin nor commit drains the thread's pending flushes (the
+    /// group-commit relaxation).
+    deferred_fence: bool,
 }
 
 impl std::fmt::Debug for HwTxn<'_> {
@@ -643,7 +671,9 @@ impl<'rt> HwTxn<'rt> {
         // were normally already drained at begin), then enqueue the
         // commit-time flush requests — still inside the critical section so
         // that the enqueue is atomic with the publication of the writes.
-        if self.rt.mem.pending_flushes(self.tid) > 0 {
+        // Durability-deferred transactions skip the fence: their pending
+        // flushes are covered by the group's shared drain barrier instead.
+        if !self.deferred_fence && self.rt.mem.pending_flushes(self.tid) > 0 {
             self.rt.mem.drain(self.tid);
             self.rt.recorder.record_drain();
         }

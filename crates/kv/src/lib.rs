@@ -59,6 +59,16 @@
 //! without touching data. [`DirectOps`] adapts raw memory access to the
 //! `TxnOps` interface for setup-time prefill and post-recovery inspection.
 //!
+//! **Group commit.** [`GroupCommit`] lets K logically independent store
+//! transactions share one drain barrier: each transaction commits, logs,
+//! and marks COMMITTED individually, but durability is acknowledged once,
+//! when the shared drain covers their write-backs.
+//! [`ShardedKv::apply_batch`] is the store-level convenience (a batch of
+//! puts under one barrier); the YCSB `A+gc` benchmark mix measures the
+//! saving. A crash before the barrier may lose transactions — each one
+//! atomically, never partially (see the [`group`] module docs for the
+//! contract, and `tests/kv_crash_recovery.rs` for the pinning tests).
+//!
 //! # Example
 //!
 //! ```
@@ -86,7 +96,9 @@
 #![warn(missing_docs)]
 
 pub mod direct;
+pub mod group;
 pub mod store;
 
 pub use direct::DirectOps;
+pub use group::GroupCommit;
 pub use store::{KvConfig, KvStats, ShardedKv, KEY_MAX};

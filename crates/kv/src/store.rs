@@ -17,10 +17,11 @@
 //! is the pair `[tag, value]` at offset `2·i`. `tag = 0` is an empty slot,
 //! `tag = 1` a tombstone, and any other tag stores key `tag − 2`.
 
-use crafty_common::{mix64, PAddr, TxAbort, TxnOps, WORDS_PER_LINE};
+use crafty_common::{mix64, PAddr, TmThread, TxAbort, TxnOps, WORDS_PER_LINE};
 use crafty_pmem::MemorySpace;
 
 use crate::direct::DirectOps;
+use crate::group::GroupCommit;
 
 /// Root-block magic ("CraftyKV" in spirit): identifies an initialized
 /// store when [`ShardedKv::open`] attaches to a rebooted space.
@@ -158,6 +159,38 @@ pub struct KvStats {
 /// the persistent state they read through `ops`), so engines may re-execute
 /// them freely. The handle itself is plain addresses — clone it, share it
 /// across threads, rebuild it with [`ShardedKv::open`] after a reboot.
+///
+/// # Example: create → put → crash → open → get
+///
+/// The store's whole life cycle, including surviving a power failure.
+/// Reservation order is deterministic, so the second life replays the same
+/// constructors (engine first, store second) and reattaches in place:
+///
+/// ```
+/// use std::sync::Arc;
+/// use crafty_common::PersistentTm;
+/// use crafty_core::{Crafty, CraftyConfig};
+/// use crafty_kv::{KvConfig, ShardedKv};
+/// use crafty_pmem::{MemorySpace, PmemConfig};
+///
+/// // First life: create the store and commit a put through the engine.
+/// let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+/// let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+/// let kv = ShardedKv::create(&mem, &KvConfig::small_for_tests());
+/// let mut thread = crafty.register_thread(0);
+/// thread.execute(&mut |ops| kv.put(ops, 7, 700).map(|_| ()));
+/// crafty.quiesce(); // pin the tail: quiesced work survives any crash
+///
+/// // Power failure.
+/// let image = mem.crash();
+///
+/// // Second life: boot the surviving image, replay the reservation
+/// // sequence, reattach, read.
+/// let rebooted = Arc::new(MemorySpace::boot(&image, *mem.config()));
+/// let _crafty2 = Crafty::new(Arc::clone(&rebooted), CraftyConfig::small_for_tests());
+/// let kv2 = ShardedKv::open(&rebooted, &KvConfig::small_for_tests());
+/// assert_eq!(kv2.get_direct(&rebooted, 7), Some(700));
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct ShardedKv {
     root: PAddr,
@@ -431,6 +464,33 @@ impl ShardedKv {
                 Ok(None)
             }
         }
+    }
+
+    /// Applies a batch of `key → value` updates under **group commit**:
+    /// each update runs as its own persistent transaction (one
+    /// [`ShardedKv::put`], visible and COMMITTED individually, exactly as
+    /// if issued through [`crafty_common::TmThread::execute`]), but all of
+    /// them share a single drain barrier — durability for the whole batch
+    /// is acknowledged once, when the shared drain covers their
+    /// write-backs. Returns the number of transactions the barrier
+    /// covered (`updates.len()`).
+    ///
+    /// Crash semantics: a crash before the barrier may lose a suffix of
+    /// the batch, but each lost update atomically — recovery never leaves
+    /// a half-applied put. Use the plain per-transaction path when every
+    /// individual update must be durable before the next begins.
+    ///
+    /// On engines without a durability-deferral fast path the batch
+    /// degrades gracefully to per-transaction execution.
+    pub fn apply_batch(&self, thread: &mut dyn TmThread, updates: &[(u64, u64)]) -> u64 {
+        let mut group = GroupCommit::new(thread);
+        for &(key, value) in updates {
+            group.execute(&mut |ops| {
+                self.put(ops, key, value)?;
+                Ok(())
+            });
+        }
+        group.commit()
     }
 
     /// Removes `key`; returns its value if it was present.

@@ -45,6 +45,46 @@ fn put_get_remove_round_trip_on_nondurable() {
 }
 
 #[test]
+fn apply_batch_group_commits_and_is_durable_after_the_barrier() {
+    let mem = small_space();
+    let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+    let kv = ShardedKv::create(&mem, &KvConfig::small_for_tests());
+    let mut t = crafty.register_thread(0);
+
+    let updates: Vec<(u64, u64)> = (0..24).map(|k| (k, k * 100 + 1)).collect();
+    assert_eq!(kv.apply_batch(&mut *t, &updates), 24);
+    // Every update is visible and — the barrier has run — durable: a crash
+    // right now keeps the whole batch (rolling back at most the thread's
+    // latest sequence, which group commit leaves as the last put).
+    let mut read = Vec::new();
+    t.execute(&mut |ops| {
+        read.clear();
+        for &(k, _) in &updates {
+            read.push(kv.get(ops, k)?);
+        }
+        Ok(())
+    });
+    assert_eq!(
+        read,
+        updates.iter().map(|&(_, v)| Some(v)).collect::<Vec<_>>()
+    );
+    assert!(kv.check_integrity(&mem).is_ok());
+
+    // Re-batching over existing keys updates in place.
+    let overwrite: Vec<(u64, u64)> = (0..24).map(|k| (k, k + 7)).collect();
+    kv.apply_batch(&mut *t, &overwrite);
+    assert_eq!(kv.get_direct(&mem, 3), Some(10));
+
+    // apply_batch degrades gracefully on engines without a deferral path.
+    let mem2 = small_space();
+    let nd = NonDurable::new(Arc::clone(&mem2), 1 << 12);
+    let kv2 = ShardedKv::create(&mem2, &KvConfig::small_for_tests());
+    let mut t2 = nd.register_thread(0);
+    assert_eq!(kv2.apply_batch(&mut *t2, &updates), 24);
+    assert_eq!(kv2.get_direct(&mem2, 5), Some(501));
+}
+
+#[test]
 fn grows_through_incremental_resizes() {
     let mem = small_space();
     let engine = NonDurable::new(Arc::clone(&mem), 1 << 12);

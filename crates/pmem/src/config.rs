@@ -10,17 +10,29 @@ use std::time::Duration;
 /// 100 ns. [`LatencyModel::drain_ns`] reproduces that; setting it to 0
 /// disables the wait (useful in unit tests).
 ///
-/// On top of the flat per-drain cost, [`LatencyModel::clwb_word_ns`]
-/// charges for the *words* a drain actually copies into the persistent
-/// image. The persistence pipeline tracks per-line dirty-word masks, so a
-/// drain that persists two words of an 8-word line pays for two words —
-/// write amplification at the persist boundary (the cost HTPM identifies
-/// as dominating HTM-persistence overhead) is charged for what was
-/// written, not for whole lines.
+/// On top of the flat per-drain cost, the write-back traffic itself is
+/// charged through **ranged flushes**: a drain coalesces the claimed lines
+/// into maximal runs of adjacent line ids and pays
+/// [`LatencyModel::clwb_range`] once per run — a per-run base
+/// ([`LatencyModel::clwb_range_ns`], the flush instruction issue /
+/// controller round trip a ranged CLWB amortizes across its lines), a
+/// per-line component ([`LatencyModel::clwb_line_ns`], tag checks and
+/// write-combining per covered line), and a per-word component
+/// ([`LatencyModel::clwb_word_ns`], media write bandwidth for the words the
+/// dirty-word masks actually copied). Adjacent lines therefore share one
+/// base charge, and — as in the word-granular pipeline underneath — write
+/// amplification at the persist boundary (the cost HTPM identifies as
+/// dominating HTM-persistence overhead) is charged for what was written,
+/// not for whole lines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LatencyModel {
     /// Nanoseconds of busy-waiting charged to each drain operation.
     pub drain_ns: u64,
+    /// Nanoseconds charged once per ranged flush a drain issues (the
+    /// per-instruction base cost adjacent lines amortize).
+    pub clwb_range_ns: u64,
+    /// Nanoseconds charged per line a ranged flush covers.
+    pub clwb_line_ns: u64,
     /// Nanoseconds charged, per word actually copied to the persistent
     /// image, on top of the flat drain cost (media write bandwidth).
     pub clwb_word_ns: u64,
@@ -32,10 +44,20 @@ impl LatencyModel {
     /// round trip, a single-word update 25 ns.
     pub const NVM_WORD_NS: u64 = 25;
 
+    /// The per-ranged-flush base cost of the NVM presets. A drain that
+    /// coalesces eight adjacent lines into one range pays this once; the
+    /// per-line reference mode pays it eight times.
+    pub const NVM_RANGE_NS: u64 = 60;
+
+    /// The per-covered-line cost of the NVM presets.
+    pub const NVM_LINE_NS: u64 = 10;
+
     /// The paper's default NVM round-trip latency (300 ns per drain).
     pub const fn nvm_300ns() -> Self {
         LatencyModel {
             drain_ns: 300,
+            clwb_range_ns: Self::NVM_RANGE_NS,
+            clwb_line_ns: Self::NVM_LINE_NS,
             clwb_word_ns: Self::NVM_WORD_NS,
         }
     }
@@ -45,6 +67,8 @@ impl LatencyModel {
     pub const fn nvm_100ns() -> Self {
         LatencyModel {
             drain_ns: 100,
+            clwb_range_ns: Self::NVM_RANGE_NS,
+            clwb_line_ns: Self::NVM_LINE_NS,
             clwb_word_ns: Self::NVM_WORD_NS,
         }
     }
@@ -54,6 +78,8 @@ impl LatencyModel {
     pub const fn instant() -> Self {
         LatencyModel {
             drain_ns: 0,
+            clwb_range_ns: 0,
+            clwb_line_ns: 0,
             clwb_word_ns: 0,
         }
     }
@@ -63,9 +89,14 @@ impl LatencyModel {
         Duration::from_nanos(self.drain_ns)
     }
 
-    /// Total busy-wait charged to one drain that persisted `words` words.
-    pub const fn drain_cost_ns(&self, words: u64) -> u64 {
-        self.drain_ns + words * self.clwb_word_ns
+    /// Cost of one ranged flush covering `lines` adjacent cache lines of
+    /// which `words` words were actually copied: one base charge plus the
+    /// per-line and per-word components. This is the unit a drain charges
+    /// per coalesced run (and an overflow write-back charges with
+    /// `lines = 1`); the flat [`LatencyModel::drain_ns`] comes on top, once
+    /// per drain.
+    pub const fn clwb_range(&self, lines: u64, words: u64) -> u64 {
+        self.clwb_range_ns + lines * self.clwb_line_ns + words * self.clwb_word_ns
     }
 }
 
@@ -83,6 +114,18 @@ impl Default for LatencyModel {
 /// entirely, partially (at word granularity), or not at all. These are the
 /// behaviours undo logging has to defend against, so the simulator makes
 /// them explicit and seedable.
+///
+/// Three presets cover the useful points of the space (see
+/// `ARCHITECTURE.md` for the full table of what each may lose):
+///
+/// * [`CrashModel::strict`] — nothing persists without an explicit
+///   flush-and-drain; fully deterministic.
+/// * [`CrashModel::relaxed`] — deterministic during the run (no
+///   evictions), but each dirty *word* independently persists with
+///   probability ½ at the crash itself: place the crash point exactly,
+///   still face a lossy power failure.
+/// * [`CrashModel::adversarial`] — spontaneous evictions mid-run *and*
+///   the word lottery at the crash; the full fuzzing adversary.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct CrashModel {
     /// Probability that any individual store immediately writes its line
@@ -161,6 +204,33 @@ pub enum PersistGranularity {
     Line,
 }
 
+/// How a drain issues the write-backs of the range it claimed.
+///
+/// [`DrainCoalescing::Ranged`] is the production pipeline: the claimed
+/// lines are sorted and coalesced into maximal runs of *adjacent* line ids,
+/// each run persisted as one ranged flush charged via
+/// [`LatencyModel::clwb_range`] (one base cost per run). The runs exactly
+/// partition the claimed range — no line is flushed twice and none is
+/// skipped — a property pinned by the partition property tests in
+/// `tests/flush_queue_properties.rs`.
+///
+/// [`DrainCoalescing::PerLine`] is the pre-coalescing reference mode:
+/// write-backs happen one line at a time in enqueue order, each charged as
+/// a single-line range. Differential tests assert the two modes produce
+/// bit-identical persistent and crash images under every crash model (they
+/// must: both persist exactly the claimed lines' masked words, and crash
+/// resolution is keyed per word, independent of write-back order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DrainCoalescing {
+    /// Sort the claimed lines and issue one ranged flush per maximal run
+    /// of adjacent lines (production).
+    #[default]
+    Ranged,
+    /// One single-line flush per claimed position, in enqueue order (the
+    /// reference mode differential tests compare against).
+    PerLine,
+}
+
 /// Configuration for a [`crate::MemorySpace`].
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct PmemConfig {
@@ -184,6 +254,10 @@ pub struct PmemConfig {
     /// Whether write-backs copy masked words or whole lines (the latter is
     /// the reference model for differential testing).
     pub granularity: PersistGranularity,
+    /// Whether drains coalesce adjacent claimed lines into ranged flushes
+    /// or write back one line at a time (the latter is the reference mode
+    /// for differential testing).
+    pub coalescing: DrainCoalescing,
 }
 
 impl PmemConfig {
@@ -197,6 +271,7 @@ impl PmemConfig {
             latency: LatencyModel::instant(),
             crash: CrashModel::strict(),
             granularity: PersistGranularity::Word,
+            coalescing: DrainCoalescing::Ranged,
         }
     }
 
@@ -211,6 +286,7 @@ impl PmemConfig {
             latency: LatencyModel::nvm_300ns(),
             crash: CrashModel::strict(),
             granularity: PersistGranularity::Word,
+            coalescing: DrainCoalescing::Ranged,
         }
     }
 
@@ -245,6 +321,13 @@ impl PmemConfig {
         self
     }
 
+    /// Sets the drain coalescing mode (builder style). `PerLine` selects
+    /// the one-line-at-a-time reference mode used by differential tests.
+    pub fn with_coalescing(mut self, coalescing: DrainCoalescing) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+
     /// Total words in the space (persistent + volatile).
     pub fn total_words(&self) -> u64 {
         self.persistent_words + self.volatile_words
@@ -267,16 +350,35 @@ mod tests {
         assert_eq!(LatencyModel::nvm_100ns().drain_ns, 100);
         assert_eq!(LatencyModel::instant().drain_ns, 0);
         assert_eq!(LatencyModel::instant().clwb_word_ns, 0);
+        assert_eq!(LatencyModel::instant().clwb_range_ns, 0);
+        assert_eq!(LatencyModel::instant().clwb_line_ns, 0);
         assert_eq!(
             LatencyModel::nvm_300ns().drain_duration(),
             Duration::from_nanos(300)
         );
         assert_eq!(LatencyModel::default(), LatencyModel::nvm_300ns());
-        // Per-word media cost: a drain of one full line charges the round
-        // trip plus eight word writes; an empty drain just the round trip.
+    }
+
+    #[test]
+    fn ranged_flush_cost_amortizes_the_base_across_adjacent_lines() {
         let m = LatencyModel::nvm_300ns();
-        assert_eq!(m.drain_cost_ns(0), 300);
-        assert_eq!(m.drain_cost_ns(8), 300 + 8 * LatencyModel::NVM_WORD_NS);
+        // One run of 8 adjacent lines pays the base once...
+        let coalesced = m.clwb_range(8, 8);
+        // ...where 8 single-line flushes of the same traffic pay it 8 times.
+        let per_line = 8 * m.clwb_range(1, 1);
+        assert_eq!(
+            coalesced,
+            LatencyModel::NVM_RANGE_NS
+                + 8 * LatencyModel::NVM_LINE_NS
+                + 8 * LatencyModel::NVM_WORD_NS
+        );
+        assert_eq!(per_line - coalesced, 7 * LatencyModel::NVM_RANGE_NS);
+        // An empty range (all claimed lines already clean) still pays its
+        // base and line components — the flush instruction was issued.
+        assert_eq!(
+            m.clwb_range(1, 0),
+            LatencyModel::NVM_RANGE_NS + LatencyModel::NVM_LINE_NS
+        );
     }
 
     #[test]
@@ -287,6 +389,16 @@ mod tests {
         );
         let reference = PmemConfig::small_for_tests().with_granularity(PersistGranularity::Line);
         assert_eq!(reference.granularity, PersistGranularity::Line);
+    }
+
+    #[test]
+    fn coalescing_defaults_to_ranged() {
+        assert_eq!(
+            PmemConfig::small_for_tests().coalescing,
+            DrainCoalescing::Ranged
+        );
+        let reference = PmemConfig::small_for_tests().with_coalescing(DrainCoalescing::PerLine);
+        assert_eq!(reference.coalescing, DrainCoalescing::PerLine);
     }
 
     #[test]

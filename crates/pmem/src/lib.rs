@@ -37,6 +37,15 @@
 //!   docs for the invariant that makes this observably identical to
 //!   whole-line write-back (and [`PersistGranularity::Line`] for the
 //!   reference mode differential tests compare against).
+//! * **Drains are batched: adjacent CLWBs coalesce into ranged flushes.**
+//!   A drain sorts the lines it claimed and writes them back as maximal
+//!   runs of adjacent line ids, charging one
+//!   [`LatencyModel::clwb_range`] (per-run base + per-line + per-word)
+//!   per run — consecutive undo-log lines share one flush base cost
+//!   instead of paying it per line. [`PmemStats::flush_ranges`] /
+//!   [`PmemStats::range_lines`] measure the coalescing;
+//!   [`DrainCoalescing::PerLine`] keeps the one-line-at-a-time reference
+//!   mode the differential tests pin against.
 //! * **Line metadata is sharded and lazily allocated.** Dirty-word masks
 //!   and dedup stamps live in [`crafty_common::LazyAtomicArray`] segments
 //!   materialized on first touch, so very large simulated spaces pay
@@ -74,6 +83,6 @@ pub mod image;
 pub mod space;
 
 pub use alloc::PmemAllocator;
-pub use config::{CrashModel, LatencyModel, PersistGranularity, PmemConfig};
+pub use config::{CrashModel, DrainCoalescing, LatencyModel, PersistGranularity, PmemConfig};
 pub use image::PersistentImage;
 pub use space::{MemorySpace, PmemStats};

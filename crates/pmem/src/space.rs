@@ -55,12 +55,46 @@
 //!   order — which is what lets the word- and line-granular modes produce
 //!   bit-identical crash images for differential testing.
 //! * Latency follows suit: a drain charges
-//!   [`crate::LatencyModel::drain_ns`] plus
-//!   [`crate::LatencyModel::clwb_word_ns`] per word it actually copied,
-//!   and [`PmemStats::words_persisted`] / [`PmemStats::line_words_persisted`]
+//!   [`crate::LatencyModel::drain_ns`] plus one
+//!   [`crate::LatencyModel::clwb_range`] per coalesced run it issues (see
+//!   "Batched drains" below), whose per-word component covers only the
+//!   words actually copied, and
+//!   [`PmemStats::words_persisted`] / [`PmemStats::line_words_persisted`]
 //!   report the measured write amplification
 //!   (`words_persisted / line_words_persisted`; 1.0 means every persisted
 //!   line was fully dirty).
+//!
+//! # Batched drains: ranged CLWB coalescing
+//!
+//! A drain claims its pending range with one CAS exactly as before, but the
+//! write-back of the claimed lines is *batched*: the claimed line ids are
+//! snapshotted into a reusable per-thread scratch buffer, sorted, and
+//! coalesced into **maximal runs of adjacent lines**. For each run the
+//! drain first performs all of the run's masked word copies, then charges a
+//! single ranged-flush cost ([`crate::LatencyModel::clwb_range`]: a per-run
+//! base, a per-line component, and the per-word media cost) — so a
+//! transaction whose undo-log entries span four adjacent lines pays one
+//! flush base instead of four. [`PmemStats::flush_ranges`] and
+//! [`PmemStats::range_lines`] make the coalescing efficiency measurable
+//! (`flush_ranges < lines_persisted` means runs longer than one line were
+//! found; [`PmemStats::lines_per_range`] is the average run length).
+//!
+//! Two properties keep this a pure optimization:
+//!
+//! * **The runs exactly partition the claimed range.** Every claimed
+//!   position's line is persisted exactly once; sorting changes only the
+//!   *order* of the masked copies, and crash resolution is keyed per word
+//!   (independent of write-back order), so the persistent and crash-visible
+//!   images are bit-identical to the per-line reference mode
+//!   ([`crate::DrainCoalescing::PerLine`], which preserves the
+//!   pre-coalescing one-line-at-a-time enqueue-order write-back). Both are
+//!   pinned by `tests/flush_queue_properties.rs` (partition property) and
+//!   `tests/masked_persistence_differential.rs` (image equivalence), the
+//!   same way `Word` ≡ `Line` granularity is pinned.
+//! * **The scratch is allocation-free in steady state.** It is grown once
+//!   to the flush-queue capacity (the upper bound of any claimed range) on
+//!   a thread's first drain, so the commit path's zero-allocation guarantee
+//!   holds through the batched pipeline.
 //!
 //! # The sharded, lock-free persistence domain
 //!
@@ -110,7 +144,7 @@ use std::time::Instant;
 
 use crafty_common::{mix64, LazyAtomicArray, LineId, PAddr, SplitMix64, WORDS_PER_LINE};
 
-use crate::config::{CrashModel, PersistGranularity, PmemConfig};
+use crate::config::{CrashModel, DrainCoalescing, PersistGranularity, PmemConfig};
 use crate::image::PersistentImage;
 
 /// Counters describing the persist traffic a run generated.
@@ -135,6 +169,15 @@ pub struct PmemStats {
     /// same events (the in-bounds line width, normally 8, per write-back):
     /// the denominator of the write-amplification ratio.
     pub line_words_persisted: u64,
+    /// Number of ranged flushes issued by drains: one per maximal run of
+    /// adjacent claimed lines in [`crate::DrainCoalescing::Ranged`] mode,
+    /// one per claimed line in the `PerLine` reference mode. The gap
+    /// between this and [`PmemStats::lines_persisted`] is the coalescing
+    /// win — every run longer than one line saved a flush base cost.
+    pub flush_ranges: u64,
+    /// Number of distinct lines those ranged flushes covered.
+    /// `range_lines / flush_ranges` is the average run length.
+    pub range_lines: u64,
 }
 
 impl PmemStats {
@@ -150,7 +193,22 @@ impl PmemStats {
             overflow_writebacks: self.overflow_writebacks - earlier.overflow_writebacks,
             words_persisted: self.words_persisted - earlier.words_persisted,
             line_words_persisted: self.line_words_persisted - earlier.line_words_persisted,
+            flush_ranges: self.flush_ranges - earlier.flush_ranges,
+            range_lines: self.range_lines - earlier.range_lines,
         }
+    }
+
+    /// Average number of adjacent lines each of the drains' ranged flushes
+    /// covered (`range_lines / flush_ranges`): the measured coalescing
+    /// efficiency. 1.0 means no two claimed lines were ever adjacent (or
+    /// the `PerLine` reference mode is active); higher is better — each
+    /// extra line in a run rode an already-paid flush base cost. Returns
+    /// 1.0 when no ranged flush was issued.
+    pub fn lines_per_range(&self) -> f64 {
+        if self.flush_ranges == 0 {
+            return 1.0;
+        }
+        self.range_lines as f64 / self.flush_ranges as f64
     }
 
     /// Measured write amplification of the persist traffic:
@@ -176,6 +234,8 @@ struct StatCells {
     overflow_writebacks: AtomicU64,
     words_persisted: AtomicU64,
     line_words_persisted: AtomicU64,
+    flush_ranges: AtomicU64,
+    range_lines: AtomicU64,
 }
 
 /// One thread slot's pending-flush state. See the module docs for the
@@ -234,6 +294,30 @@ impl FlushQueue {
 /// persistence-domain design. Flush queues are indexed by the
 /// caller-supplied thread id; enqueues are single-writer per id, drains may
 /// come from any thread.
+///
+/// # Example: reserve → write → drain
+///
+/// The canonical persist operation — a store reaches the persistent image
+/// only after its line is flushed (CLWB) *and* the flush is drained
+/// (SFENCE):
+///
+/// ```
+/// use crafty_pmem::{MemorySpace, PmemConfig};
+///
+/// let mem = MemorySpace::new(PmemConfig::small_for_tests());
+/// let slot = mem.reserve_persistent(1); // line-aligned reservation
+/// mem.write(slot, 42);
+///
+/// // Written but neither flushed nor drained: not durable yet.
+/// assert_eq!(mem.read(slot), 42);
+/// assert_eq!(mem.read_persisted(slot), 0);
+///
+/// mem.clwb(0, slot);     // request the write-back on thread 0's queue
+/// assert_eq!(mem.read_persisted(slot), 0); // still pending
+/// mem.drain(0);          // SFENCE: complete thread 0's flushes
+/// assert_eq!(mem.read_persisted(slot), 42);
+/// assert_eq!(mem.crash().read(slot), 42); // survives a power failure
+/// ```
 pub struct MemorySpace {
     cfg: PmemConfig,
     volatile_view: Box<[AtomicU64]>,
@@ -515,7 +599,7 @@ impl MemorySpace {
             self.stats
                 .overflow_writebacks
                 .fetch_add(1, Ordering::Relaxed);
-            self.busy_wait_ns(words * self.cfg.latency.clwb_word_ns);
+            self.busy_wait_ns(self.cfg.latency.clwb_range(1, words));
             return;
         }
         q.slot(pos).store(line.index(), Ordering::Release);
@@ -534,13 +618,17 @@ impl MemorySpace {
     /// durably retired, even if a concurrent drain claimed part of the
     /// range.
     ///
+    /// In the default [`crate::DrainCoalescing::Ranged`] mode the claimed
+    /// lines are written back as coalesced ranged flushes — see the module
+    /// docs ("Batched drains") for the pipeline and the latency accounting.
+    ///
     /// # Panics
     ///
     /// Panics if `tid >= max_threads`.
     pub fn drain(&self, tid: usize) -> u64 {
         let q = &self.flush_queues[tid];
         let mut count = 0u64;
-        let mut words = 0u64;
+        let mut cost_ns = 0u64;
         let target = q.tail.load(Ordering::Acquire);
         loop {
             let claim = q.claim.load(Ordering::Acquire);
@@ -561,10 +649,10 @@ impl MemorySpace {
             // has its preceding data store visible to the persist loads
             // below.
             std::sync::atomic::fence(Ordering::SeqCst);
-            for pos in claim..target {
-                let line = LineId::new(q.slot(pos).load(Ordering::Acquire));
-                words += self.persist_line(line);
-            }
+            cost_ns = match self.cfg.coalescing {
+                DrainCoalescing::Ranged => self.persist_claimed_ranged(q, claim, target),
+                DrainCoalescing::PerLine => self.persist_claimed_per_line(q, claim, target),
+            };
             count = target - claim;
             // Both retirement waits yield rather than pure-spin: the drain
             // being waited on needs a core to finish persisting, and on a
@@ -587,8 +675,95 @@ impl MemorySpace {
         self.stats
             .lines_persisted
             .fetch_add(count, Ordering::Relaxed);
-        self.emulate_drain_latency(words);
+        self.busy_wait_ns(self.cfg.latency.drain_ns + cost_ns);
         count
+    }
+
+    /// Reference write-back: persists the claimed positions one line at a
+    /// time in enqueue order, each charged as a single-line ranged flush.
+    /// Returns the accumulated flush cost in nanoseconds (charged by the
+    /// caller after retirement, alongside the flat drain cost).
+    fn persist_claimed_per_line(&self, q: &FlushQueue, claim: u64, target: u64) -> u64 {
+        let mut cost_ns = 0u64;
+        for pos in claim..target {
+            let line = LineId::new(q.slot(pos).load(Ordering::Acquire));
+            let words = self.persist_line(line);
+            cost_ns += self.cfg.latency.clwb_range(1, words);
+        }
+        self.note_ranges(target - claim, target - claim);
+        cost_ns
+    }
+
+    /// Batched write-back (the production pipeline): snapshots the claimed
+    /// positions' line ids into a reusable thread-local scratch buffer,
+    /// sorts them, and walks maximal runs of adjacent line ids — performing
+    /// every run's masked word copies, then charging one
+    /// [`crate::LatencyModel::clwb_range`] for the whole run. The runs
+    /// exactly partition the claimed range: each position's line is
+    /// persisted exactly once (duplicate ids, which the dedup stamps make
+    /// impossible within one claimed range, would be skipped defensively).
+    /// Returns the accumulated flush cost in nanoseconds.
+    fn persist_claimed_ranged(&self, q: &FlushQueue, claim: u64, target: u64) -> u64 {
+        thread_local! {
+            /// Per-thread drain scratch: claimed line ids awaiting the
+            /// coalescing sort. Grown once to the queue capacity (the upper
+            /// bound of any claimed range), so steady-state drains stay
+            /// allocation-free — the guarantee the counting-allocator tests
+            /// enforce across the whole commit path.
+            static DRAIN_SCRATCH: std::cell::RefCell<Vec<u64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        DRAIN_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            let want = q.slots.len();
+            if scratch.capacity() < want {
+                scratch.reserve_exact(want);
+            }
+            for pos in claim..target {
+                scratch.push(q.slot(pos).load(Ordering::Acquire));
+            }
+            scratch.sort_unstable();
+            let mut cost_ns = 0u64;
+            let mut ranges = 0u64;
+            let mut lines = 0u64;
+            let mut i = 0usize;
+            while i < scratch.len() {
+                let mut prev = scratch[i];
+                let mut run_lines = 1u64;
+                let mut run_words = self.persist_line(LineId::new(prev));
+                i += 1;
+                while i < scratch.len() {
+                    let id = scratch[i];
+                    if id == prev {
+                        i += 1; // defensive: never persist a line twice
+                        continue;
+                    }
+                    if id != prev + 1 {
+                        break;
+                    }
+                    run_words += self.persist_line(LineId::new(id));
+                    run_lines += 1;
+                    prev = id;
+                    i += 1;
+                }
+                cost_ns += self.cfg.latency.clwb_range(run_lines, run_words);
+                ranges += 1;
+                lines += run_lines;
+            }
+            self.note_ranges(ranges, lines);
+            cost_ns
+        })
+    }
+
+    /// Records that a drain issued `ranges` ranged flushes covering `lines`
+    /// distinct lines.
+    fn note_ranges(&self, ranges: u64, lines: u64) {
+        if ranges == 0 {
+            return;
+        }
+        self.stats.flush_ranges.fetch_add(ranges, Ordering::Relaxed);
+        self.stats.range_lines.fetch_add(lines, Ordering::Relaxed);
     }
 
     /// Convenience: flush the line of `addr` and drain immediately (a full
@@ -612,12 +787,6 @@ impl MemorySpace {
         while (start.elapsed().as_nanos() as u64) < ns {
             std::hint::spin_loop();
         }
-    }
-
-    /// Busy-waits the cost of one drain that copied `words` words: the flat
-    /// SFENCE round trip plus the per-word media-write cost.
-    fn emulate_drain_latency(&self, words: u64) {
-        self.busy_wait_ns(self.cfg.latency.drain_cost_ns(words));
     }
 
     /// Completes a write-back of `line`: atomically takes the line's
@@ -784,6 +953,8 @@ impl MemorySpace {
             overflow_writebacks: self.stats.overflow_writebacks.load(Ordering::Relaxed),
             words_persisted: self.stats.words_persisted.load(Ordering::Relaxed),
             line_words_persisted: self.stats.line_words_persisted.load(Ordering::Relaxed),
+            flush_ranges: self.stats.flush_ranges.load(Ordering::Relaxed),
+            range_lines: self.stats.range_lines.load(Ordering::Relaxed),
         }
     }
 }
@@ -1089,7 +1260,7 @@ mod tests {
     fn drain_latency_is_charged() {
         let cfg = PmemConfig::small_for_tests().with_latency(LatencyModel {
             drain_ns: 200_000,
-            clwb_word_ns: 0,
+            ..LatencyModel::instant()
         });
         let m = MemorySpace::new(cfg);
         m.write(PAddr::new(64), 1);
@@ -1107,8 +1278,8 @@ mod tests {
         let cfg = PmemConfig::small_for_tests()
             .with_flush_queue_capacity(2)
             .with_latency(LatencyModel {
-                drain_ns: 0,
                 clwb_word_ns: 50_000,
+                ..LatencyModel::instant()
             });
         let m = MemorySpace::new(cfg);
         // Fill the 2-slot ring, then overflow with a third dirty line.
@@ -1128,10 +1299,90 @@ mod tests {
     }
 
     #[test]
+    fn adjacent_lines_coalesce_into_one_ranged_flush() {
+        let m = space();
+        // Four adjacent lines plus one far-away line: two runs.
+        for l in 0..4 {
+            let a = PAddr::new(64 + l * WORDS_PER_LINE);
+            m.write(a, l + 1);
+            m.clwb(0, a);
+        }
+        let far = PAddr::new(64 + 100 * WORDS_PER_LINE);
+        m.write(far, 99);
+        m.clwb(0, far);
+        assert_eq!(m.drain(0), 5);
+        let s = m.stats();
+        assert_eq!(s.lines_persisted, 5);
+        assert_eq!(s.flush_ranges, 2, "one run of 4 adjacent lines + 1 far");
+        assert_eq!(s.range_lines, 5);
+        assert!((s.lines_per_range() - 2.5).abs() < 1e-12);
+        for l in 0..4 {
+            assert_eq!(m.read_persisted(PAddr::new(64 + l * WORDS_PER_LINE)), l + 1);
+        }
+        assert_eq!(m.read_persisted(far), 99);
+    }
+
+    #[test]
+    fn coalescing_ignores_enqueue_order() {
+        let m = space();
+        // Enqueue adjacent lines out of order; the sort still finds the run.
+        for l in [3u64, 0, 2, 1] {
+            let a = PAddr::new(64 + l * WORDS_PER_LINE);
+            m.write(a, l + 1);
+            m.clwb(0, a);
+        }
+        m.drain(0);
+        let s = m.stats();
+        assert_eq!(s.flush_ranges, 1);
+        assert_eq!(s.range_lines, 4);
+    }
+
+    #[test]
+    fn per_line_reference_mode_issues_one_range_per_line() {
+        let cfg = PmemConfig::small_for_tests().with_coalescing(DrainCoalescing::PerLine);
+        let m = MemorySpace::new(cfg);
+        for l in 0..4 {
+            let a = PAddr::new(64 + l * WORDS_PER_LINE);
+            m.write(a, l + 1);
+            m.clwb(0, a);
+        }
+        assert_eq!(m.drain(0), 4);
+        let s = m.stats();
+        assert_eq!(s.flush_ranges, 4, "reference mode never coalesces");
+        assert_eq!(s.range_lines, 4);
+        assert_eq!(s.lines_per_range(), 1.0);
+        for l in 0..4 {
+            assert_eq!(m.read_persisted(PAddr::new(64 + l * WORDS_PER_LINE)), l + 1);
+        }
+    }
+
+    #[test]
+    fn ranged_flush_base_cost_is_charged_per_run() {
+        let cfg = PmemConfig::small_for_tests().with_latency(LatencyModel {
+            clwb_range_ns: 200_000,
+            ..LatencyModel::instant()
+        });
+        let m = MemorySpace::new(cfg);
+        // Two adjacent dirty lines: one run, so exactly one base charge.
+        for l in 0..2 {
+            let a = PAddr::new(64 + l * WORDS_PER_LINE);
+            m.write(a, 1);
+            m.clwb(0, a);
+        }
+        let start = Instant::now();
+        m.drain(0);
+        assert!(
+            start.elapsed().as_nanos() >= 200_000,
+            "the coalesced run must pay its flush base cost"
+        );
+        assert_eq!(m.stats().flush_ranges, 1);
+    }
+
+    #[test]
     fn per_word_latency_is_charged_for_persisted_words() {
         let cfg = PmemConfig::small_for_tests().with_latency(LatencyModel {
-            drain_ns: 0,
             clwb_word_ns: 50_000,
+            ..LatencyModel::instant()
         });
         let m = MemorySpace::new(cfg);
         for i in 0..4 {

@@ -74,6 +74,111 @@ proptest! {
     }
 }
 
+/// Counts the maximal runs of adjacent line ids in a pending set — the
+/// reference partition the coalescing drain must reproduce exactly.
+fn expected_runs(pending: &HashSet<u64>) -> u64 {
+    let mut lines: Vec<u64> = pending.iter().copied().collect();
+    lines.sort_unstable();
+    let mut runs = 0u64;
+    let mut prev = None;
+    for &l in &lines {
+        if prev != Some(l - 1) {
+            runs += 1;
+        }
+        prev = Some(l);
+    }
+    runs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The coalesced run boundaries exactly partition each drain's claimed
+    /// range: `range_lines` advances by exactly the distinct pending lines
+    /// (no line skipped, none flushed twice — a double-flushed line would
+    /// appear in two runs and overcount), and `flush_ranges` advances by
+    /// exactly the number of maximal adjacent runs in the pending set,
+    /// under random interleaved enqueues (with duplicates) and a tiny ring
+    /// that forces overflow write-backs.
+    #[test]
+    fn coalesced_runs_partition_the_claimed_range(
+        seed: u64,
+        ops in 1usize..400,
+        capacity_pow in 2u32..6,
+    ) {
+        let capacity = 1usize << capacity_pow;
+        let mem = MemorySpace::new(
+            PmemConfig::small_for_tests().with_flush_queue_capacity(capacity),
+        );
+        let mut rng = crafty_common::SplitMix64::new(seed);
+        let mut pending: HashSet<u64> = HashSet::new();
+        for step in 0..ops {
+            let raw = rng.next_u64();
+            if raw.is_multiple_of(7) {
+                let before = mem.stats();
+                let drained = mem.drain(0);
+                let after = mem.stats();
+                prop_assert_eq!(drained as usize, pending.len());
+                prop_assert_eq!(
+                    after.range_lines - before.range_lines,
+                    pending.len() as u64,
+                    "step {}: every claimed line in exactly one run",
+                    step
+                );
+                prop_assert_eq!(
+                    after.flush_ranges - before.flush_ranges,
+                    expected_runs(&pending),
+                    "step {}: run count must match the maximal-adjacent partition",
+                    step
+                );
+                for &line in &pending {
+                    prop_assert_eq!(
+                        mem.read_persisted(line_addr(line)),
+                        mem.read(line_addr(line)),
+                        "step {}: line {} skipped by the coalesced drain",
+                        step, line
+                    );
+                }
+                pending.clear();
+            } else {
+                // A small, clustered domain (adjacent lines are common) so
+                // runs of every length appear.
+                let line = 8 + raw % 24;
+                mem.write(line_addr(line), line * 1_000 + step as u64);
+                if pending.contains(&line) {
+                    mem.clwb(0, line_addr(line)); // dedup: mask merge only
+                } else if pending.len() >= capacity {
+                    // Ring full: the clwb completes as an overflow
+                    // write-back and never becomes pending.
+                    let before = mem.stats();
+                    mem.clwb(0, line_addr(line));
+                    prop_assert_eq!(
+                        mem.stats().overflow_writebacks,
+                        before.overflow_writebacks + 1
+                    );
+                    prop_assert_eq!(
+                        mem.read_persisted(line_addr(line)),
+                        mem.read(line_addr(line))
+                    );
+                } else {
+                    mem.clwb(0, line_addr(line));
+                    pending.insert(line);
+                }
+            }
+            prop_assert_eq!(mem.pending_flushes(0), pending.len());
+        }
+        // Final drain: whatever is left still partitions exactly.
+        let before = mem.stats();
+        mem.drain(0);
+        let after = mem.stats();
+        prop_assert_eq!(after.range_lines - before.range_lines, pending.len() as u64);
+        prop_assert_eq!(
+            after.flush_ranges - before.flush_ranges,
+            expected_runs(&pending)
+        );
+    }
+}
+
 /// Multi-thread stress: each thread owns a disjoint line range and runs
 /// write-batch → clwb (with duplicates) → drain cycles. Afterwards every
 /// written value is persisted, and `lines_persisted` equals the exact
@@ -123,6 +228,14 @@ fn concurrent_clwb_drain_cycles_lose_nothing_and_double_persist_nothing() {
         threads as u64 * batches * lines_per_batch * 2,
         "every clwb call is counted, deduplicated or not"
     );
+    // Each batch's 8 lines are adjacent, so every drain coalesces them
+    // into exactly one ranged flush — also under concurrency.
+    assert_eq!(
+        stats.flush_ranges,
+        threads as u64 * batches,
+        "adjacent batches must coalesce into one range per drain"
+    );
+    assert_eq!(stats.range_lines, stats.lines_persisted);
 }
 
 /// A foreign thread draining an owner's queue (the Section 5.2 forcing

@@ -1,5 +1,6 @@
 //! Differential property tests: word-granular (masked) persistence is
-//! observably identical to whole-line persistence.
+//! observably identical to whole-line persistence, and coalesced (ranged)
+//! drains are observably identical to per-line enqueue-order drains.
 //!
 //! The production pipeline ([`PersistGranularity::Word`]) copies only the
 //! words of a line that were actually stored since its last write-back,
@@ -8,11 +9,20 @@
 //! dirty-masked holds the same value in the volatile view and the
 //! persistent image*, so skipping it changes nothing an observer can see.
 //!
+//! The batched drain pipeline adds a second relaxation with the same
+//! shape: a drain sorts its claimed lines and writes them back as maximal
+//! adjacent runs, so the *order* of the masked copies changes. Because
+//! crash resolution is keyed per word and each line's mask is taken
+//! atomically, order cannot be observed either — pinned here against the
+//! [`DrainCoalescing::PerLine`] reference mode, alone and composed with
+//! the granularity relaxation.
+//!
 //! These tests drive identical randomized write/clwb/drain/evict/crash
-//! schedules against two spaces that differ **only** in granularity — the
-//! masked pipeline vs the [`PersistGranularity::Line`] reference mode
-//! (every store dirties its whole line, write-backs copy whole lines,
-//! crashes resolve whole lines) — and assert:
+//! schedules against two spaces that differ **only** in the relaxation
+//! under test — e.g. the masked pipeline vs the
+//! [`PersistGranularity::Line`] reference mode (every store dirties its
+//! whole line, write-backs copy whole lines, crashes resolve whole lines)
+//! — and assert:
 //!
 //! * the persistent images agree word-for-word at every drain point, and
 //! * the crash-visible images are bit-identical under the strict, relaxed,
@@ -26,7 +36,7 @@
 //! lines at the same schedule steps.
 
 use crafty_common::{PAddr, SplitMix64, WORDS_PER_LINE};
-use crafty_pmem::{CrashModel, MemorySpace, PersistGranularity, PmemConfig};
+use crafty_pmem::{CrashModel, DrainCoalescing, MemorySpace, PersistGranularity, PmemConfig};
 use proptest::prelude::*;
 
 /// The word domain the schedules operate on: a handful of lines so that
@@ -35,14 +45,37 @@ use proptest::prelude::*;
 const FIRST_WORD: u64 = 64;
 const DOMAIN_WORDS: u64 = 12 * WORDS_PER_LINE;
 
-fn paired_spaces(crash: CrashModel, queue_capacity: usize) -> (MemorySpace, MemorySpace) {
+/// Which pipeline relaxation a differential pair isolates: the production
+/// space always runs the full pipeline (word masks + ranged coalescing);
+/// the reference space selectively disables one (or both) dimensions.
+#[derive(Clone, Copy)]
+enum Reference {
+    /// Whole-line granularity, coalescing kept: isolates the word masks.
+    WholeLine,
+    /// Per-line drains, word masks kept: isolates the coalescing.
+    PerLineDrain,
+    /// Both reference modes at once: whole-line, one-line-at-a-time
+    /// enqueue-order write-back — the original pipeline.
+    Original,
+}
+
+fn paired_spaces(
+    crash: CrashModel,
+    queue_capacity: usize,
+    reference: Reference,
+) -> (MemorySpace, MemorySpace) {
     let cfg = PmemConfig::small_for_tests()
         .with_crash(crash)
         .with_flush_queue_capacity(queue_capacity);
-    (
-        MemorySpace::new(cfg), // granularity defaults to Word
-        MemorySpace::new(cfg.with_granularity(PersistGranularity::Line)),
-    )
+    let reference_cfg = match reference {
+        Reference::WholeLine => cfg.with_granularity(PersistGranularity::Line),
+        Reference::PerLineDrain => cfg.with_coalescing(DrainCoalescing::PerLine),
+        Reference::Original => cfg
+            .with_granularity(PersistGranularity::Line)
+            .with_coalescing(DrainCoalescing::PerLine),
+    };
+    // The production space: Word granularity + Ranged coalescing defaults.
+    (MemorySpace::new(cfg), MemorySpace::new(reference_cfg))
 }
 
 /// One schedule step, derived from a raw random draw.
@@ -85,7 +118,17 @@ fn assert_images_agree(word: &MemorySpace, line: &MemorySpace, step: usize) {
 /// Runs one schedule on both spaces and checks agreement at every drain
 /// and under every crash model at the end.
 fn run_differential(seed: u64, ops: usize, crash: CrashModel, queue_capacity: usize) {
-    let (word, line) = paired_spaces(crash, queue_capacity);
+    run_differential_against(seed, ops, crash, queue_capacity, Reference::WholeLine);
+}
+
+fn run_differential_against(
+    seed: u64,
+    ops: usize,
+    crash: CrashModel,
+    queue_capacity: usize,
+    reference: Reference,
+) {
+    let (word, line) = paired_spaces(crash, queue_capacity, reference);
     let mut rng = SplitMix64::new(seed);
     for step in 0..ops {
         match decode_op(rng.next_u64(), step) {
@@ -160,5 +203,47 @@ proptest! {
     #[test]
     fn masked_equals_whole_line_under_ring_overflow(seed: u64, ops in 1usize..300) {
         run_differential(seed, ops, CrashModel::strict(), 4);
+    }
+
+    /// Coalesced (ranged) drains vs the per-line enqueue-order reference:
+    /// sorting the claimed lines into adjacent runs changes only the
+    /// write-back order, so persistent images at every drain and crash
+    /// images under every model must be bit-identical.
+    #[test]
+    fn coalesced_equals_per_line_under_strict(seed: u64, ops in 1usize..300) {
+        run_differential_against(seed, ops, CrashModel::strict(), 1 << 10,
+            Reference::PerLineDrain);
+    }
+
+    /// Coalesced vs per-line under the relaxed (word-lossy crash) model.
+    #[test]
+    fn coalesced_equals_per_line_under_relaxed(seed: u64, ops in 1usize..300) {
+        run_differential_against(seed, ops, CrashModel::relaxed(seed ^ 0x77), 1 << 10,
+            Reference::PerLineDrain);
+    }
+
+    /// Coalesced vs per-line under the adversarial model (mid-run
+    /// evictions AND a word-lossy crash).
+    #[test]
+    fn coalesced_equals_per_line_under_adversarial(seed: u64, ops in 1usize..300) {
+        run_differential_against(seed, ops, CrashModel::adversarial(seed ^ 0xC4), 1 << 10,
+            Reference::PerLineDrain);
+    }
+
+    /// Coalesced vs per-line with a tiny ring: overflow write-backs and
+    /// short claimed ranges interleave with coalesced drains.
+    #[test]
+    fn coalesced_equals_per_line_under_ring_overflow(seed: u64, ops in 1usize..300) {
+        run_differential_against(seed, ops, CrashModel::strict(), 4,
+            Reference::PerLineDrain);
+    }
+
+    /// The full production pipeline (word masks + ranged coalescing) vs
+    /// the original whole-line, per-line-drain pipeline: both relaxations
+    /// composed must still be observably identical.
+    #[test]
+    fn full_pipeline_equals_original_under_adversarial(seed: u64, ops in 1usize..300) {
+        run_differential_against(seed, ops, CrashModel::adversarial(seed ^ 0x9A), 1 << 10,
+            Reference::Original);
     }
 }

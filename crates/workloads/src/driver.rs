@@ -31,6 +31,18 @@ pub trait TxnMix: Send + Sync {
     fn verify(&self, _mem: &MemorySpace) -> Result<(), String> {
         Ok(())
     }
+
+    /// Size of the durability groups the driver should run this mix in.
+    /// `1` (the default) executes every transaction immediately durable
+    /// via [`TmThread::execute`](crafty_common::TmThread::execute); `G > 1`
+    /// runs each consecutive window of `G` transactions under group commit
+    /// ([`TmThread::execute_deferred`](crafty_common::TmThread::execute_deferred)
+    /// plus one
+    /// [`TmThread::flush_deferred`](crafty_common::TmThread::flush_deferred)
+    /// barrier per window), so the window shares one drain.
+    fn durability_group(&self) -> u64 {
+        1
+    }
 }
 
 /// A benchmark: prepares persistent state and produces its transaction mix.
@@ -44,6 +56,11 @@ pub trait Workload {
 
 /// Runs `txns_per_thread` transactions on each of `threads` worker threads
 /// and returns the wall-clock time of the measured region.
+///
+/// Honors the mix's [`TxnMix::durability_group`]: with a group size above
+/// one, each window of that many consecutive transactions runs under group
+/// commit (deferred durability, one shared drain barrier per window, plus
+/// a final barrier for a trailing partial window).
 pub fn run_mix(
     engine: &dyn PersistentTm,
     mix: &dyn TxnMix,
@@ -51,6 +68,7 @@ pub fn run_mix(
     txns_per_thread: u64,
     seed: u64,
 ) -> Duration {
+    let group = mix.durability_group().max(1);
     let start = Instant::now();
     crossbeam::scope(|s| {
         for tid in 0..threads {
@@ -58,7 +76,17 @@ pub fn run_mix(
                 let mut handle = engine.register_thread(tid);
                 let mut rng = SplitMix64::new(seed ^ (tid as u64 + 1).wrapping_mul(0x9E37));
                 for i in 0..txns_per_thread {
-                    handle.execute(&mut |ops| mix.run_txn(tid, i, &mut rng, ops));
+                    if group <= 1 {
+                        handle.execute(&mut |ops| mix.run_txn(tid, i, &mut rng, ops));
+                    } else {
+                        handle.execute_deferred(&mut |ops| mix.run_txn(tid, i, &mut rng, ops));
+                        if (i + 1) % group == 0 {
+                            handle.flush_deferred();
+                        }
+                    }
+                }
+                if group > 1 {
+                    handle.flush_deferred();
                 }
             });
         }

@@ -32,4 +32,4 @@ pub use btree::{BtreeVariant, BtreeWorkload};
 pub use driver::{measure, run_mix, TxnMix, Workload};
 pub use engines::{build_engine, EngineKind};
 pub use stamp::{StampKernel, StampWorkload};
-pub use ycsb::{YcsbKvMix, YcsbMix, YcsbWorkload};
+pub use ycsb::{YcsbKvMix, YcsbMix, YcsbWorkload, YCSB_BATCH_GROUP};

@@ -17,7 +17,7 @@
 //! | genome     | ≈2                | low–moderate              |
 //! | intruder   | ≈1.8              | high (shared queue)       |
 //!
-//! `DESIGN.md` records this substitution.
+//! `ARCHITECTURE.md` records this substitution.
 
 use std::sync::Arc;
 

@@ -15,8 +15,9 @@
 //! * [`workloads`] / [`stats`] — the paper's benchmarks, the YCSB-style KV
 //!   mixes, and the measurement and reporting layer.
 //!
-//! See `README.md` for a tour and `DESIGN.md` for the architecture and the
-//! paper-to-module map.
+//! See `README.md` for the quickstart and benchmark guide, and
+//! `ARCHITECTURE.md` for the crate layers, the life of a transaction, and
+//! the crash-model table.
 //!
 //! # Quick start
 //!
@@ -56,7 +57,7 @@ pub mod prelude {
         BreakdownSnapshot, CompletionPath, PAddr, PersistentTm, TmThread, TxAbort, TxnOps, Zipfian,
     };
     pub use crafty_core::{recover, Crafty, CraftyConfig, CraftyVariant, ThreadingMode};
-    pub use crafty_kv::{DirectOps, KvConfig, ShardedKv};
+    pub use crafty_kv::{DirectOps, GroupCommit, KvConfig, ShardedKv};
     pub use crafty_pmem::{CrashModel, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
     pub use crafty_workloads::{
         build_engine, measure, EngineKind, Workload, YcsbMix, YcsbWorkload,
