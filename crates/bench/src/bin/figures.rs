@@ -11,9 +11,13 @@
 //!         [--suite hotpath|kv] [--tolerance 0.40] [--engine Crafty]
 //!         [--reference Non-durable] [--threads 1] [--absolute]
 //!
+//! figures torture [--suite bank|kv|storm|recovery|all] [--seed N]
+//!         [--txns N] [--steps N] [--crash-step N]
+//!
 //! figures --help   prints the full usage, including the kv (YCSB A/B/C/E
 //!                  plus the batched A+gc group-commit mode) and flushbound
-//!                  suites and the compare perf-gate subcommand
+//!                  suites, the compare perf-gate subcommand, and the
+//!                  torture fault-injection subcommand
 //! ```
 //!
 //! The `hotpath` target runs the tracked bank benchmark and writes the
@@ -46,6 +50,17 @@
 //! regenerate it (`cargo run --release -p crafty-bench --bin figures --
 //! hotpath`, or `kv --threads 1 --txns 1000` for the KV baseline) and
 //! commit the new JSON alongside the change that shifted performance.
+//!
+//! `torture` drives the deterministic fault-injection harness
+//! (`crafty-torture`): it enumerates crash points over the suites'
+//! workloads (exhaustively with `--steps 0`, the default; via seeded
+//! stratified sampling with `--steps N`), audits every crash image
+//! (recovery, clean logs, idempotence, prefix-of-commit-order state), and
+//! exits non-zero when any invariant is violated. Every reported failure
+//! carries a `(seed, step)` pair; replay it exactly with
+//! `figures -- torture --suite S --seed SEED --crash-step STEP`. The bank
+//! suite also self-tests the auditor by injecting a violation and
+//! requiring it to be caught.
 //!
 //! Every figure is printed as the table of normalized throughputs behind
 //! the paper's plot (one row per thread count, one column per engine,
@@ -89,6 +104,8 @@ USAGE:
   figures compare --candidate PATH [--baseline PATH] [--suite hotpath|kv]
           [--tolerance 0.40] [--engine Crafty] [--reference Non-durable]
           [--threads 1] [--absolute]
+  figures torture [--suite bank|kv|storm|recovery|all] [--seed N] [--txns N]
+          [--steps N] [--crash-step N]
 
 TARGETS (default: fig6 fig7 table1):
   fig6 fig7 fig8     paper figures (bank / B-tree / STAMP throughput)
@@ -107,7 +124,15 @@ drain-coalescing counters (flush_ranges, lines_per_range). `compare` is the
 CI perf-regression gate: it checks a fresh candidate artifact against the
 committed baseline (per YCSB mix with --suite kv) and exits non-zero on a
 regression; to move a baseline intentionally, regenerate it and commit the
-new JSON with the change."
+new JSON with the change.
+
+`torture` runs the deterministic fault-injection harness: crash-point
+enumeration over a bank and a KV workload with a full recovery audit per
+crash image, a crash-during-recovery convergence sweep, and an abort-storm
+liveness/durability check. --steps 0 (default) enumerates every
+persistence step of the workload; --steps N samples N stratified points.
+Failures print a (seed, step) pair — replay one exactly with
+  figures -- torture --suite S --seed SEED --crash-step STEP"
     );
 }
 
@@ -412,10 +437,136 @@ fn run_compare(args: &[String]) -> ! {
     std::process::exit(1);
 }
 
+/// The `torture` subcommand: the deterministic fault-injection harness.
+/// Exits the process — 0 when every audited crash image satisfied every
+/// invariant (and the auditor self-test caught its injected violation),
+/// 1 on any violation, 2 on usage errors.
+fn run_torture(args: &[String]) -> ! {
+    use crafty_torture::{
+        injected_violation_is_caught, run_bank_torture, run_kv_torture, run_recovery_torture,
+        run_storm_torture, TortureConfig, TortureReport,
+    };
+
+    let mut suite = "all".to_string();
+    let mut cfg = TortureConfig::quick(1);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} needs a number, got `{v}`");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--suite" => suite = value("--suite"),
+            "--seed" => cfg.seed = parse("--seed", value("--seed")),
+            "--txns" => cfg.txns = parse("--txns", value("--txns")),
+            "--steps" => cfg.max_crash_points = parse("--steps", value("--steps")),
+            "--crash-step" => {
+                cfg.crash_step = Some(parse("--crash-step", value("--crash-step")));
+            }
+            other => {
+                eprintln!("unknown torture flag {other} (see `figures --help`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let known = ["bank", "kv", "storm", "recovery", "all"];
+    if !known.contains(&suite.as_str()) {
+        eprintln!("--suite must be one of {known:?}, got `{suite}`");
+        std::process::exit(2);
+    }
+    let wants = |s: &str| suite == s || suite == "all";
+
+    println!(
+        "torture harness — seed {}, {} txns, {} crash points{}",
+        cfg.seed,
+        cfg.txns,
+        if cfg.max_crash_points == 0 {
+            "exhaustive".to_string()
+        } else {
+            format!("{} sampled", cfg.max_crash_points)
+        },
+        cfg.crash_step
+            .map(|s| format!(", pinned to step {s}"))
+            .unwrap_or_default(),
+    );
+    let mut failed = false;
+    let show = |report: &TortureReport| -> bool {
+        if report.total_steps == 0 {
+            // The storm suite audits liveness + durability, not crash points.
+            println!(
+                "\n[{}] liveness + durability audit (no crash-point enumeration, seed {})",
+                report.suite, report.seed,
+            );
+        } else {
+            println!(
+                "\n[{}] {} crash points audited (steps {}..={} of the run, seed {})",
+                report.suite,
+                report.crash_points_tested,
+                report.setup_steps + 1,
+                report.total_steps,
+                report.seed,
+            );
+        }
+        if report.ok() {
+            println!("  ok — every crash image satisfied every invariant");
+        } else {
+            for f in &report.failures {
+                println!("  VIOLATION {f}");
+                println!(
+                    "    replay: figures -- torture --suite {} --seed {} --txns {} \
+                     --crash-step {}",
+                    report.suite, f.seed, cfg.txns, f.step
+                );
+            }
+        }
+        !report.ok()
+    };
+
+    if wants("bank") {
+        failed |= show(&run_bank_torture(&cfg));
+        match injected_violation_is_caught(&cfg) {
+            Ok(f) => println!("  self-test: injected violation was caught — {f}"),
+            Err(e) => {
+                failed = true;
+                println!("  SELF-TEST FAILED: {e}");
+            }
+        }
+    }
+    if wants("kv") {
+        failed |= show(&run_kv_torture(&cfg));
+    }
+    if wants("recovery") {
+        failed |= show(&run_recovery_torture(&cfg));
+    }
+    if wants("storm") {
+        failed |= show(&run_storm_torture(&cfg));
+    }
+
+    if failed {
+        println!("\nFAIL: the torture harness found invariant violations.");
+        std::process::exit(1);
+    }
+    println!("\nPASS: no invariant violations found.");
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("compare") {
         run_compare(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("torture") {
+        run_torture(&argv[1..]);
     }
     let options = parse_args();
     let cfg = &options.cfg;

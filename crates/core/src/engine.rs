@@ -252,7 +252,7 @@ impl Crafty {
                         .and_then(|info| {
                             shared
                                 .undo_log
-                                .commit_marker_txn(&mut txn, info.marker_abs, ts)?;
+                                .commit_marker_txn(&mut txn, info.marker_abs, 0, ts)?;
                             Ok(info)
                         });
                 let info = match appended {
@@ -316,7 +316,7 @@ impl Crafty {
                 .and_then(|info| {
                     shared
                         .undo_log
-                        .commit_marker_txn(&mut txn, info.marker_abs, ts)?;
+                        .commit_marker_txn(&mut txn, info.marker_abs, 0, ts)?;
                     Ok(info)
                 });
             let info = match appended {

@@ -74,6 +74,9 @@ pub mod undo_log;
 pub use alloc_log::AllocLog;
 pub use config::{CraftyConfig, CraftyVariant, ThreadingMode};
 pub use engine::Crafty;
-pub use recovery::{logs_are_clean, recover, RecoveryError, RecoveryReport, Sequence};
+pub use recovery::{
+    logs_are_clean, parse_sequences, recover, recover_interrupted, InterruptedRecovery,
+    RecoveryError, RecoveryReport, Sequence,
+};
 pub use thread::CraftyThread;
 pub use undo_log::{Entry, LogDirectory, LogGeometry, MarkerKind, SlotState, UndoLog};

@@ -5,19 +5,23 @@
 //!
 //! 1. Read the persistent log directory to find every thread's circular
 //!    undo log.
-//! 2. Parse each log into *fully persisted sequences* — runs of persisted
-//!    `<addr, oldValue>` entries concluded by a persisted LOGGED/COMMITTED
-//!    marker and preceded by a persisted marker (or the start of a
-//!    never-wrapped log). Wraparound parity bits distinguish the current
-//!    lap from stale entries, and per-word parity detects torn entries
-//!    (Section 5.2).
+//! 2. Parse each log into *fully persisted sequences*: every
+//!    LOGGED/COMMITTED marker records its sequence's entry count, and a
+//!    sequence is accepted only when all of those slots hold current-lap
+//!    `<addr, oldValue>` entries. Wraparound parity codes distinguish the
+//!    current lap from stale or torn slots (Section 5.2), and the count
+//!    rejects sequences that lost entries to the crash — those were never
+//!    drained, so their in-place writes never started (see
+//!    [`parse_sequences`]).
 //! 3. Roll back the *latest* sequence of every thread (its writes may have
 //!    only partially persisted because Crafty flushes without draining),
 //!    plus — to reach a globally consistent cut — every sequence whose
 //!    timestamp is at or after the earliest timestamp being rolled back.
 //!    Rollback applies old values in reverse timestamp order, entries in
 //!    reverse order within a sequence (Section 5.1).
-//! 4. Zero the log regions so the restarted program begins with clean logs.
+//! 4. Zero the log regions so the restarted program begins with clean
+//!    logs, bracketed by a persistent phase word so that a crash *during*
+//!    recovery itself converges on re-run (see [`recover_interrupted`]).
 //!
 //! The paper's artifact implements the logging needed for recovery but not
 //! recovery itself ("we have not implemented the actual recovery logic,
@@ -30,7 +34,12 @@ use std::fmt;
 use crafty_common::{PAddr, Timestamp};
 use crafty_pmem::PersistentImage;
 
-use crate::undo_log::{decode, Entry, LogDirectory, LogGeometry, SlotState};
+use crate::undo_log::{decode, Entry, LogDirectory, LogGeometry, SlotState, RECOVERY_FLAG_WORD};
+
+/// Value of the directory's recovery phase word while log zeroing is in
+/// flight. Set only after a recovery pass has applied its *entire*
+/// rollback, cleared again once every log slot is zeroed.
+const FLAG_ZEROING: u64 = 1;
 
 /// A fully persisted sequence reconstructed from a thread's log.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -79,73 +88,120 @@ impl fmt::Display for RecoveryError {
 
 impl Error for RecoveryError {}
 
+/// Decodes every slot of one log from the image.
+fn slot_states(image: &PersistentImage, geometry: &LogGeometry) -> Vec<SlotState> {
+    (0..geometry.capacity)
+        .map(|s| geometry.read_slot(image, s))
+        .collect()
+}
+
 /// Parses one thread's circular log from a crashed image into its fully
 /// persisted sequences, oldest first.
+///
+/// Every marker records the number of data entries its sequence appended,
+/// so each sequence is checked independently: anchor at the marker and
+/// walk backward exactly that many slots (flipping the expected lap parity
+/// when the walk wraps past slot 0). The sequence is accepted only if
+/// every one of those slots holds a current-lap data entry. Any hole
+/// (dropped line), torn word, or stale-lap slot means the append never
+/// fully persisted — Crafty drains a sequence's undo entries before
+/// performing any of its in-place writes, so such a transaction never
+/// modified program data and discarding it is the correct recovery. This
+/// also covers circular-wraparound truncation: a partially overwritten old
+/// sequence fails its count check because its leading slots now carry the
+/// newer lap.
+///
+/// Per-thread timestamps are strictly increasing in append order, so the
+/// accepted sequences are returned sorted by timestamp and the last one is
+/// the thread's latest.
 pub fn parse_sequences(image: &PersistentImage, geometry: &LogGeometry) -> Vec<Sequence> {
     let capacity = geometry.capacity;
     if capacity == 0 {
         return Vec::new();
     }
-    let states: Vec<SlotState> = (0..capacity)
-        .map(|s| geometry.read_slot(image, s))
-        .collect();
-
-    // Current-lap parity: the parity of the first fully persisted slot.
-    let Some(current_parity) = states.iter().find_map(|s| match s {
-        SlotState::Valid { parity, .. } => Some(*parity),
-        _ => None,
-    }) else {
-        return Vec::new();
-    };
-
-    // The append head: the first slot that is absent or carries the other
-    // lap's parity. Slots at and after it (wrapping) were appended before
-    // the slots preceding it.
-    let head = (0..capacity)
-        .find(|&i| match states[i as usize] {
-            SlotState::Absent => true,
-            SlotState::Torn => false,
-            SlotState::Valid { parity, .. } => parity != current_parity,
-        })
-        .unwrap_or(capacity);
-
-    let order: Vec<u64> = (head..capacity).chain(0..head).collect();
-
-    let mut sequences = Vec::new();
-    let mut pending: Vec<(PAddr, u64)> = Vec::new();
-    let mut group_broken = false;
-    // Whether the entries accumulated so far are preceded by a persisted
-    // marker (or by virgin log space). The oldest visible group after a
-    // wraparound lost its predecessor, so it starts out unanchored.
-    let mut anchored = false;
-    for &slot in &order {
-        match states[slot as usize] {
-            SlotState::Absent => {
-                pending.clear();
-                group_broken = false;
-                anchored = true;
-            }
-            SlotState::Torn => {
-                group_broken = true;
-            }
-            SlotState::Valid { entry, .. } => match entry {
-                Entry::Data { addr, old_value } => pending.push((addr, old_value)),
-                Entry::Marker { ts, .. } => {
-                    if anchored && !group_broken {
-                        sequences.push(Sequence {
-                            ts,
-                            entries: std::mem::take(&mut pending),
-                        });
-                    } else {
-                        pending.clear();
-                    }
-                    group_broken = false;
-                    anchored = true;
-                }
+    let states = slot_states(image, geometry);
+    let mut sequences: Vec<Sequence> = Vec::new();
+    for (slot, state) in states.iter().enumerate() {
+        let SlotState::Valid {
+            parity,
+            entry: Entry::Marker {
+                ts, data_entries, ..
             },
+        } = *state
+        else {
+            continue;
+        };
+        if data_entries >= capacity {
+            // Cannot fit in this log at all: a corrupt count.
+            continue;
+        }
+        let mut entries: Vec<(PAddr, u64)> = Vec::with_capacity(data_entries as usize);
+        let mut expected_parity = parity;
+        let mut at = slot as u64;
+        let complete = (0..data_entries).all(|_| {
+            if at == 0 {
+                at = capacity - 1;
+                expected_parity ^= 1;
+            } else {
+                at -= 1;
+            }
+            match states[at as usize] {
+                SlotState::Valid {
+                    parity: p,
+                    entry: Entry::Data { addr, old_value },
+                } if p == expected_parity => {
+                    entries.push((addr, old_value));
+                    true
+                }
+                _ => false,
+            }
+        });
+        if complete {
+            entries.reverse();
+            sequences.push(Sequence { ts, entries });
         }
     }
+    sequences.sort_by_key(|s| s.ts);
     sequences
+}
+
+/// Outcome of a budget-limited recovery pass (see [`recover_interrupted`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InterruptedRecovery {
+    /// What the pass did within its budget. `entries_rolled_back` counts
+    /// only undo entries actually applied; `sequences_rolled_back` counts
+    /// sequences whose entries were *all* applied.
+    pub report: RecoveryReport,
+    /// Total image writes performed (rollback entries plus log-zeroing
+    /// words).
+    pub writes_applied: u64,
+    /// True when the pass finished without exhausting its budget — i.e.
+    /// this was a complete recovery.
+    pub completed: bool,
+}
+
+/// An image writer that stops after a fixed number of writes, emulating a
+/// power failure partway through recovery itself. Writes past the budget
+/// are silently skipped (after a real crash they simply never happened).
+struct BudgetedWriter<'a> {
+    image: &'a mut PersistentImage,
+    remaining: u64,
+    applied: u64,
+    skipped: bool,
+}
+
+impl BudgetedWriter<'_> {
+    /// Performs the write if budget remains; returns whether it happened.
+    fn write(&mut self, addr: PAddr, value: u64) -> bool {
+        if self.remaining == 0 {
+            self.skipped = true;
+            return false;
+        }
+        self.remaining -= 1;
+        self.applied += 1;
+        self.image.write(addr, value);
+        true
+    }
 }
 
 /// Runs the recovery observer over a crashed image. `directory_addr` is the
@@ -160,14 +216,61 @@ pub fn recover(
     image: &mut PersistentImage,
     directory_addr: PAddr,
 ) -> Result<RecoveryReport, RecoveryError> {
+    let run = recover_interrupted(image, directory_addr, u64::MAX)?;
+    debug_assert!(run.completed, "an unbounded recovery always completes");
+    Ok(run.report)
+}
+
+/// Like [`recover`], but performs at most `write_budget` image writes and
+/// then stops — emulating a crash *during recovery*. Re-running recovery
+/// on the resulting image always converges to the image an uninterrupted
+/// recovery produces, via a two-phase protocol around the directory's
+/// persistent recovery phase word:
+///
+/// * **Rollback phase** (phase word clear): while any rollback write is
+///   still outstanding the logs are untouched, so a re-run re-parses the
+///   *same* sequences and re-applies the *same* rollback from the top —
+///   old-value writes are idempotent and applied newest-first, so the
+///   final value of every address is the oldest logged old value either
+///   way.
+/// * **Zeroing phase** (phase word set): the phase word is set only once
+///   the rollback is fully applied, and cleared only after every log slot
+///   is zeroed. A pass that finds it set does *not* re-parse the logs —
+///   a half-zeroed log can present a rolled-back sequence stripped of the
+///   older sequence that shared its addresses, and re-applying it would
+///   clobber the completed rollback. Instead the pass only finishes the
+///   zeroing and clears the phase word.
+///
+/// The re-run's timestamp cut therefore never moves below the interrupted
+/// run's cut, and no sequence that survived the first cut is ever rolled
+/// back by a later pass.
+///
+/// # Errors
+///
+/// Returns [`RecoveryError::MissingDirectory`] if no directory is persisted
+/// at `directory_addr`.
+pub fn recover_interrupted(
+    image: &mut PersistentImage,
+    directory_addr: PAddr,
+    write_budget: u64,
+) -> Result<InterruptedRecovery, RecoveryError> {
     let directory = LogDirectory::load(image, directory_addr)
         .ok_or(RecoveryError::MissingDirectory { at: directory_addr })?;
+    let flag_addr = directory_addr.add(RECOVERY_FLAG_WORD);
+    let resuming = image.read(flag_addr) == FLAG_ZEROING;
 
-    let per_thread: Vec<Vec<Sequence>> = directory
-        .logs
-        .iter()
-        .map(|g| parse_sequences(image, g))
-        .collect();
+    // With the phase word set, a previous pass already applied its whole
+    // rollback and died zeroing the logs; the half-zeroed content must not
+    // be parsed (let alone rolled back) again.
+    let per_thread: Vec<Vec<Sequence>> = if resuming {
+        Vec::new()
+    } else {
+        directory
+            .logs
+            .iter()
+            .map(|g| parse_sequences(image, g))
+            .collect()
+    };
     let sequences_found = per_thread.iter().map(Vec::len).sum();
 
     // The timestamp cut: the earliest timestamp among each thread's latest
@@ -184,6 +287,12 @@ pub fn recover(
         entries_rolled_back: 0,
         cutoff_ts: cutoff,
     };
+    let mut writer = BudgetedWriter {
+        image,
+        remaining: write_budget,
+        applied: 0,
+        skipped: false,
+    };
 
     if let Some(cutoff) = cutoff {
         let mut to_roll_back: Vec<&Sequence> = per_thread
@@ -194,23 +303,51 @@ pub fn recover(
         // Reverse timestamp order: newest first (Section 5.1).
         to_roll_back.sort_by_key(|s| std::cmp::Reverse(s.ts));
         for seq in to_roll_back {
+            let mut whole_sequence = true;
             for &(addr, old_value) in seq.entries.iter().rev() {
-                image.write(addr, old_value);
-                report.entries_rolled_back += 1;
+                if writer.write(addr, old_value) {
+                    report.entries_rolled_back += 1;
+                } else {
+                    whole_sequence = false;
+                }
             }
-            report.sequences_rolled_back += 1;
+            if whole_sequence {
+                report.sequences_rolled_back += 1;
+            }
         }
+    }
+
+    // Enter the zeroing phase. The budgeted writer skips this (and every
+    // later write) if the budget died mid-rollback, so a set phase word
+    // always means the rollback above landed completely.
+    if !resuming {
+        writer.write(flag_addr, FLAG_ZEROING);
     }
 
     // Start the next run with clean logs so stale entries cannot be
-    // confused with new ones after the clock restarts.
+    // confused with new ones after the clock restarts. Each slot's meta
+    // word is cleared before its value word: a slot with a zero meta word
+    // already decodes as absent, so no intermediate state ever presents a
+    // torn slot.
     for g in &directory.logs {
-        for w in 0..g.words() {
-            image.write(g.start.add(w), 0);
+        for slot in 0..g.capacity {
+            let a = g.slot_addr(slot);
+            writer.write(a, 0);
+            writer.write(a.add(1), 0);
         }
     }
 
-    Ok(report)
+    // Leave the zeroing phase: from here a fresh pass may parse (the now
+    // empty) logs again.
+    writer.write(flag_addr, 0);
+
+    let completed = !writer.skipped;
+    let writes_applied = writer.applied;
+    Ok(InterruptedRecovery {
+        report,
+        writes_applied,
+        completed,
+    })
 }
 
 /// Convenience wrapper: checks whether the image still decodes every log
@@ -467,5 +604,96 @@ mod tests {
         // A second recovery over the cleaned image is a no-op.
         let report = recover(&mut image, f.dir_addr).expect("recover");
         assert_eq!(report.sequences_found, 0);
+    }
+
+    /// Builds a two-thread fixture with committed-and-persisted work plus a
+    /// partially persisted latest transaction, crashes, and returns the
+    /// fixture and the two data addresses.
+    fn interrupted_setup() -> (Fixture, PAddr, PAddr, PersistentImage) {
+        let f = fixture(2, 16);
+        let x = PAddr::new(2048);
+        let y = PAddr::new(2056);
+        // Thread 0: x: 0 -> 1 at ts 2 (persisted), then x: 1 -> 2 at ts 8
+        // (data write never flushed).
+        persist_sequence(&f, 0, &[(x, 0)], 2);
+        f.mem.write(x, 1);
+        f.mem.persist(0, x);
+        persist_sequence(&f, 0, &[(x, 1)], 8);
+        f.mem.write(x, 2);
+        // Thread 1: y: 0 -> 7 at ts 5 (persisted).
+        persist_sequence(&f, 1, &[(y, 0)], 5);
+        f.mem.write(y, 7);
+        f.mem.persist(0, y);
+        let image = f.mem.crash();
+        (f, x, y, image)
+    }
+
+    /// Satellite: recovery is idempotent — a second `recover` over an
+    /// already-recovered image is a complete no-op (no sequences, no
+    /// rollback, same bytes).
+    #[test]
+    fn recovery_is_idempotent() {
+        let (f, _, _, mut image) = interrupted_setup();
+        let first = recover(&mut image, f.dir_addr).expect("first recovery");
+        assert!(first.sequences_rolled_back > 0, "fixture must roll back");
+        let once = image.clone();
+        let second = recover(&mut image, f.dir_addr).expect("second recovery");
+        assert_eq!(second.sequences_found, 0);
+        assert_eq!(second.sequences_rolled_back, 0);
+        assert_eq!(second.entries_rolled_back, 0);
+        assert_eq!(second.cutoff_ts, None);
+        assert_eq!(image, once, "second recovery must not change the image");
+    }
+
+    /// Crash *during* recovery at every possible write count: re-running
+    /// recovery on the interrupted image always converges to the image a
+    /// single uninterrupted recovery produces.
+    #[test]
+    fn interrupted_recovery_converges_from_every_budget() {
+        let (f, x, y, pristine) = interrupted_setup();
+        // Reference: what a full recovery produces.
+        let mut reference = pristine.clone();
+        let full = recover_interrupted(&mut reference, f.dir_addr, u64::MAX).expect("full");
+        assert!(full.completed);
+        assert_eq!(reference.read(x), 1, "ts-2 survives, ts-8/ts-5 roll back");
+        assert_eq!(reference.read(y), 0);
+        for budget in 0..full.writes_applied + 2 {
+            let mut image = pristine.clone();
+            let run = recover_interrupted(&mut image, f.dir_addr, budget).expect("bounded");
+            assert_eq!(run.writes_applied, budget.min(full.writes_applied));
+            assert_eq!(run.completed, budget >= full.writes_applied);
+            // Second (uninterrupted) recovery over the partial image.
+            let rerun = recover(&mut image, f.dir_addr).expect("re-recovery");
+            assert_eq!(
+                image, reference,
+                "budget {budget}: re-recovery must converge to the full-recovery image"
+            );
+            // The re-run's cut never drops below the first run's cut: no
+            // transaction that survived the first cut is rolled back later.
+            if let (Some(a), Some(b)) = (rerun.cutoff_ts, full.report.cutoff_ts) {
+                assert!(a >= b, "budget {budget}: cutoff regressed");
+            }
+            assert!(logs_are_clean(&image, f.dir_addr));
+            // And a third pass is a no-op.
+            let third = recover(&mut image, f.dir_addr).expect("third");
+            assert_eq!(third.sequences_found, 0);
+        }
+    }
+
+    /// A budget that covers only part of the rollback applies exactly that
+    /// many entry writes and reports the truncation.
+    #[test]
+    fn interrupted_recovery_reports_partial_rollback() {
+        let (f, _, _, pristine) = interrupted_setup();
+        let mut image = pristine.clone();
+        let run = recover_interrupted(&mut image, f.dir_addr, 1).expect("bounded");
+        assert!(!run.completed);
+        assert_eq!(run.writes_applied, 1);
+        assert_eq!(run.report.entries_rolled_back, 1);
+        assert!(run.report.sequences_rolled_back <= 1);
+        assert!(
+            !logs_are_clean(&image, f.dir_addr),
+            "zeroing cannot have finished on a 1-write budget"
+        );
     }
 }

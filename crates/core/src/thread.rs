@@ -392,7 +392,7 @@ impl<'c> CraftyThread<'c> {
                 continue;
             }
             if undo_log
-                .commit_marker_txn(&mut txn, seq.marker_abs, commit_ts)
+                .commit_marker_txn(&mut txn, seq.marker_abs, seq.persistent_writes, commit_ts)
                 .is_err()
             {
                 continue;
@@ -474,7 +474,7 @@ impl<'c> CraftyThread<'c> {
                 continue;
             }
             if undo_log
-                .commit_marker_txn(&mut txn, seq.marker_abs, commit_ts)
+                .commit_marker_txn(&mut txn, seq.marker_abs, seq.persistent_writes, commit_ts)
                 .is_err()
             {
                 continue;
@@ -581,7 +581,12 @@ impl<'c> CraftyThread<'c> {
                     }
                 }
                 let commit_ts = engine.timestamp();
-                undo_log.commit_marker_nontx(&engine.htm, seq.marker_abs, commit_ts);
+                undo_log.commit_marker_nontx(
+                    &engine.htm,
+                    seq.marker_abs,
+                    seq.persistent_writes,
+                    commit_ts,
+                );
                 undo_log.flush_marker(&engine.mem, self.tid, seq.marker_abs);
                 // Outside hardware transactions there is no later fence to
                 // piggyback on, so complete the write-backs here — unless
@@ -686,7 +691,12 @@ impl<'c> CraftyThread<'c> {
                 let version = engine.htm.nontx_commit_version();
                 engine.htm.nontx_write(engine.g_last_redo_ts_addr, version);
             }
-            undo_log.commit_marker_nontx(&engine.htm, info.marker_abs, commit_ts);
+            undo_log.commit_marker_nontx(
+                &engine.htm,
+                info.marker_abs,
+                info.data_entries,
+                commit_ts,
+            );
             undo_log.flush_marker(&engine.mem, self.tid, info.marker_abs);
             // Outside hardware transactions there is no later fence to
             // piggyback on, so complete the write-backs before returning —

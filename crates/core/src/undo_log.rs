@@ -18,20 +18,43 @@
 //! ```text
 //! data entry
 //! meta word:  [63]=0 marker?  [62] wraparound parity   [61] old-value bit 0
-//!             [60] present    [47..0] address word index
-//! value word: [63..1] old-value bits 63..1             [0] wraparound parity
+//!             [60] present    [59] old-value bit 1     [47..0] address word index
+//! value word: [63..2] old-value bits 63..2   [1..0] parity code (01 or 10)
 //!
 //! marker entry
-//! meta word:  [63]=1 marker?  [62] wraparound parity
+//! meta word:  [63]=1 marker?  [62] wraparound parity   [59..48] entry count
 //!             [60] present    [47..0] marker kind
-//! value word: [63..1] timestamp (shifted left 1)       [0] wraparound parity
+//! value word: [63..2] timestamp (shifted left 2)  [1..0] parity code (01 or 10)
 //! ```
 //!
-//! A data entry's old value needs all 64 bits, so its lowest bit lives in
-//! the meta word and the value word's lowest bit carries the wraparound
-//! parity. An entry is *fully persisted* iff its present bit is set and
-//! both parity bits match the parity expected for its position in the log
-//! (the lap counter's low bit).
+//! A data entry's old value needs all 64 bits, so its two lowest bits live
+//! in the meta word and the value word's two lowest bits carry a
+//! *wraparound parity code*: `01` on even laps, `10` on odd laps. An entry
+//! is *fully persisted* iff its present bit is set, the meta parity bit
+//! matches the lap, and the value word's code matches the meta parity.
+//!
+//! The code is two bits rather than one on purpose. The meta word's zero
+//! state is covered by the present bit, but a value word that never
+//! persisted reads as all zeros, and a single parity *bit* equal to the
+//! even-lap value would accept that zero word as fully persisted —
+//! decoding a half-persisted entry into a frankenstein `<addr, garbage>`
+//! pair that rollback would then write into live data. Neither code value
+//! is zero, so a missing value word decodes as `Torn` on every lap, and a
+//! stale word from the previous lap carries the other code and is equally
+//! rejected.
+//!
+//! A marker also records **how many data entries its sequence appended**
+//! (meta bits 59..48, so a sequence is limited to 4095 entries). The count
+//! makes every sequence self-describing: recovery anchors at a marker and
+//! walks backward exactly `count` slots, and accepts the sequence only if
+//! every one of them holds a current-lap data entry. A sequence that lost
+//! *any* slot to the crash — a dropped line, a torn word, a stale lap —
+//! was never drained, so by Crafty's ordering (undo entries are drained
+//! before any in-place write) its in-place writes never started and the
+//! whole sequence is safely discarded. Without the count, a marker whose
+//! leading entries were dropped is indistinguishable from a complete
+//! shorter sequence, and rolling back the surviving suffix would write
+//! transient in-transaction values over live data.
 //!
 //! A marker's timestamp, by contrast, lives *entirely in the value word*
 //! (shifted past the parity bit — timestamps are clock counts, far below
@@ -55,14 +78,31 @@ use crafty_pmem::{MemorySpace, PersistentImage};
 const MARKER_BIT: u64 = 1 << 63;
 /// Bit 62 of the meta word: wraparound parity.
 const META_PARITY_BIT: u64 = 1 << 62;
-/// Bit 61 of the meta word: bit 0 of the payload.
-const STOLEN_PAYLOAD_BIT: u64 = 1 << 61;
+/// Bit 61 of the meta word: bit 0 of a data entry's old value.
+const STOLEN_PAYLOAD_BIT0: u64 = 1 << 61;
 /// Bit 60 of the meta word: the slot has been written at least once.
 const PRESENT_BIT: u64 = 1 << 60;
+/// Bit 59 of the meta word: bit 1 of a data entry's old value.
+const STOLEN_PAYLOAD_BIT1: u64 = 1 << 59;
 /// Low 48 bits of the meta word: address word index or marker kind.
 const ADDR_MASK: u64 = (1 << 48) - 1;
-/// Bit 0 of the value word: wraparound parity.
-const VALUE_PARITY_BIT: u64 = 1;
+/// Shift of a marker's data-entry count within its meta word.
+const MARKER_COUNT_SHIFT: u64 = 48;
+/// Width mask of a marker's data-entry count (bits 59..48).
+const MARKER_COUNT_MASK: u64 = 0xFFF;
+/// Bits 1..0 of the value word: the wraparound parity code.
+const VALUE_PARITY_MASK: u64 = 0b11;
+
+/// The value word's two-bit parity code for a lap parity: `01` on even
+/// laps, `10` on odd laps — never zero, so an unpersisted (all-zero) value
+/// word can never pass as fully persisted (see the module docs).
+fn value_parity_code(parity: u64) -> u64 {
+    if parity & 1 == 1 {
+        0b10
+    } else {
+        0b01
+    }
+}
 
 /// Whether a marker entry was written by the Log phase or overwritten at
 /// commit time.
@@ -110,6 +150,10 @@ pub enum Entry {
         kind: MarkerKind,
         /// The sequence timestamp (Log time, overwritten with commit time).
         ts: Timestamp,
+        /// How many data entries the sequence appended before this marker
+        /// (identical in the LOGGED and COMMITTED versions, so an
+        /// in-place marker overwrite can never tear it).
+        data_entries: u64,
     },
 }
 
@@ -138,29 +182,44 @@ fn encode(entry: Entry, parity: u64) -> (u64, u64) {
     let (meta_fields, value_payload) = match entry {
         Entry::Data { addr, old_value } => {
             debug_assert!(addr.word() <= ADDR_MASK, "address exceeds 48-bit log field");
-            let stolen = if old_value & 1 == 1 {
-                STOLEN_PAYLOAD_BIT
-            } else {
-                0
-            };
-            (stolen | (addr.word() & ADDR_MASK), old_value & !1)
+            let mut stolen = 0;
+            if old_value & 1 == 1 {
+                stolen |= STOLEN_PAYLOAD_BIT0;
+            }
+            if old_value & 2 == 2 {
+                stolen |= STOLEN_PAYLOAD_BIT1;
+            }
+            (
+                stolen | (addr.word() & ADDR_MASK),
+                old_value & !VALUE_PARITY_MASK,
+            )
         }
-        Entry::Marker { kind, ts } => {
+        Entry::Marker {
+            kind,
+            ts,
+            data_entries,
+        } => {
             debug_assert!(
-                ts.raw() < 1 << 63,
-                "timestamp exceeds the 63-bit marker field"
+                ts.raw() < 1 << 62,
+                "timestamp exceeds the 62-bit marker field"
             );
-            (MARKER_BIT | kind.code(), ts.raw() << 1)
+            debug_assert!(
+                data_entries <= MARKER_COUNT_MASK,
+                "sequence exceeds the 4095-entry marker count field"
+            );
+            (
+                MARKER_BIT
+                    | ((data_entries & MARKER_COUNT_MASK) << MARKER_COUNT_SHIFT)
+                    | kind.code(),
+                ts.raw() << 2,
+            )
         }
     };
     let mut meta = PRESENT_BIT | meta_fields;
     if parity == 1 {
         meta |= META_PARITY_BIT;
     }
-    let mut value = value_payload & !VALUE_PARITY_BIT;
-    if parity == 1 {
-        value |= VALUE_PARITY_BIT;
-    }
+    let value = value_payload | value_parity_code(parity);
     (meta, value)
 }
 
@@ -170,20 +229,22 @@ pub fn decode(meta: u64, value: u64) -> SlotState {
         return SlotState::Absent;
     }
     let meta_parity = u64::from(meta & META_PARITY_BIT != 0);
-    let value_parity = value & VALUE_PARITY_BIT;
-    if meta_parity != value_parity {
+    if value & VALUE_PARITY_MASK != value_parity_code(meta_parity) {
         return SlotState::Torn;
     }
     let entry = if meta & MARKER_BIT != 0 {
         match MarkerKind::from_code(meta & ADDR_MASK) {
             Some(kind) => Entry::Marker {
                 kind,
-                ts: Timestamp::from_raw((value & !VALUE_PARITY_BIT) >> 1),
+                ts: Timestamp::from_raw(value >> 2),
+                data_entries: (meta >> MARKER_COUNT_SHIFT) & MARKER_COUNT_MASK,
             },
             None => return SlotState::Torn,
         }
     } else {
-        let old_value = (value & !VALUE_PARITY_BIT) | u64::from(meta & STOLEN_PAYLOAD_BIT != 0);
+        let old_value = (value & !VALUE_PARITY_MASK)
+            | (u64::from(meta & STOLEN_PAYLOAD_BIT1 != 0) << 1)
+            | u64::from(meta & STOLEN_PAYLOAD_BIT0 != 0);
         Entry::Data {
             addr: PAddr::new(meta & ADDR_MASK),
             old_value,
@@ -307,6 +368,7 @@ impl UndoLog {
             Entry::Marker {
                 kind: MarkerKind::Logged,
                 ts,
+                data_entries: entries.len() as u64,
             },
         )?;
         txn.write(self.head_addr, marker_abs + 1)?;
@@ -319,6 +381,8 @@ impl UndoLog {
 
     /// Overwrites the marker at `marker_abs` with a `COMMITTED` entry
     /// carrying `ts`, inside the given hardware transaction.
+    /// `data_entries` must repeat the sequence's entry count so the
+    /// overwritten marker stays self-describing.
     ///
     /// # Errors
     ///
@@ -327,6 +391,7 @@ impl UndoLog {
         &self,
         txn: &mut HwTxn<'_>,
         marker_abs: u64,
+        data_entries: u64,
         ts: Timestamp,
     ) -> Result<(), AbortCode> {
         self.write_entry_txn(
@@ -335,6 +400,7 @@ impl UndoLog {
             Entry::Marker {
                 kind: MarkerKind::Committed,
                 ts,
+                data_entries,
             },
         )
     }
@@ -357,7 +423,15 @@ impl UndoLog {
             abs += 1;
         }
         let marker_abs = abs;
-        self.write_entry_nontx(htm, marker_abs, Entry::Marker { kind, ts });
+        self.write_entry_nontx(
+            htm,
+            marker_abs,
+            Entry::Marker {
+                kind,
+                ts,
+                data_entries: entries.len() as u64,
+            },
+        );
         htm.nontx_write(self.head_addr, marker_abs + 1);
         AppendInfo {
             first_abs: head,
@@ -366,14 +440,22 @@ impl UndoLog {
         }
     }
 
-    /// Overwrites a marker non-transactionally (SGL path).
-    pub fn commit_marker_nontx(&self, htm: &HtmRuntime, marker_abs: u64, ts: Timestamp) {
+    /// Overwrites a marker non-transactionally (SGL path). `data_entries`
+    /// must repeat the sequence's entry count.
+    pub fn commit_marker_nontx(
+        &self,
+        htm: &HtmRuntime,
+        marker_abs: u64,
+        data_entries: u64,
+        ts: Timestamp,
+    ) {
         self.write_entry_nontx(
             htm,
             marker_abs,
             Entry::Marker {
                 kind: MarkerKind::Committed,
                 ts,
+                data_entries,
             },
         );
     }
@@ -462,8 +544,9 @@ impl UndoLog {
 /// The persistent log directory: the root object recovery starts from.
 ///
 /// Layout (one word each): magic, thread count, per-thread log capacity,
-/// then one log start address per thread. Written and persisted once when
-/// the engine is constructed.
+/// recovery phase word (`RECOVERY_FLAG_WORD`), then one log start
+/// address per thread. Written and persisted once when the engine is
+/// constructed; only recovery ever touches the phase word afterwards.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LogDirectory {
     /// One geometry per worker thread, indexed by thread id.
@@ -472,10 +555,17 @@ pub struct LogDirectory {
 
 const DIRECTORY_MAGIC: u64 = 0xC4AF_2020_0D0A_7E57;
 
+/// Offset of the recovery phase word within the directory header. Zero at
+/// rest; recovery sets it once its rollback is fully applied and clears it
+/// after log zeroing completes, so an interrupted recovery pass can tell
+/// whether re-parsing the logs is still safe (see
+/// [`crate::recovery::recover_interrupted`]).
+pub(crate) const RECOVERY_FLAG_WORD: u64 = 3;
+
 impl LogDirectory {
     /// Number of words a directory for `threads` threads occupies.
     pub fn words_needed(threads: usize) -> u64 {
-        3 + threads as u64
+        4 + threads as u64
     }
 
     /// Writes and persists the directory at `at`.
@@ -492,8 +582,9 @@ impl LogDirectory {
         mem.write(at, DIRECTORY_MAGIC);
         mem.write(at.add(1), self.logs.len() as u64);
         mem.write(at.add(2), capacity);
+        mem.write(at.add(RECOVERY_FLAG_WORD), 0);
         for (i, g) in self.logs.iter().enumerate() {
-            mem.write(at.add(3 + i as u64), g.start.word());
+            mem.write(at.add(4 + i as u64), g.start.word());
         }
         let words = Self::words_needed(self.logs.len());
         for w in 0..words.div_ceil(WORDS_PER_LINE) {
@@ -512,7 +603,7 @@ impl LogDirectory {
         let capacity = image.read(at.add(2));
         let logs = (0..threads)
             .map(|i| LogGeometry {
-                start: PAddr::new(image.read(at.add(3 + i as u64))),
+                start: PAddr::new(image.read(at.add(4 + i as u64))),
                 capacity,
             })
             .collect();
@@ -545,7 +636,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trips_data_entries() {
         for parity in [0, 1] {
-            for value in [0u64, 1, u64::MAX, 0x8000_0000_0000_0001] {
+            for value in [0u64, 1, 2, 3, u64::MAX, 0x8000_0000_0000_0001] {
                 let entry = Entry::Data {
                     addr: PAddr::new(0x1234),
                     old_value: value,
@@ -571,6 +662,7 @@ mod tests {
             let entry = Entry::Marker {
                 kind,
                 ts: Timestamp::from_raw(0xABCD_EF01_2345),
+                data_entries: 0xABC,
             };
             let (m, v) = encode(entry, 1);
             assert!(matches!(
@@ -599,6 +691,7 @@ mod tests {
                 Entry::Marker {
                     kind: MarkerKind::Logged,
                     ts: log_ts,
+                    data_entries: 6,
                 },
                 parity,
             );
@@ -606,6 +699,7 @@ mod tests {
                 Entry::Marker {
                     kind: MarkerKind::Committed,
                     ts: commit_ts,
+                    data_entries: 6,
                 },
                 parity,
             );
@@ -631,17 +725,42 @@ mod tests {
 
     #[test]
     fn mismatched_parity_decodes_as_torn() {
-        let (m, v) = encode(
-            Entry::Data {
-                addr: PAddr::new(5),
-                old_value: 7,
-            },
-            1,
-        );
-        // Simulate the value word not having persisted: it still carries
-        // the previous lap's parity (0).
-        let stale_value = v & !1;
-        assert_eq!(decode(m, stale_value), SlotState::Torn);
+        for parity in [0, 1] {
+            let (m, v) = encode(
+                Entry::Data {
+                    addr: PAddr::new(5),
+                    old_value: 7,
+                },
+                parity,
+            );
+            // Simulate the value word still carrying the previous lap's
+            // parity code.
+            let stale_value = (v & !0b11) | value_parity_code(parity ^ 1);
+            assert_eq!(decode(m, stale_value), SlotState::Torn);
+        }
+    }
+
+    #[test]
+    fn missing_value_word_decodes_as_torn_on_both_laps() {
+        // A value word that never persisted reads as zero. On either lap
+        // this must surface as Torn — a one-bit parity scheme would accept
+        // it on even laps and hand recovery a frankenstein old value.
+        for parity in [0, 1] {
+            for entry in [
+                Entry::Data {
+                    addr: PAddr::new(5),
+                    old_value: 991,
+                },
+                Entry::Marker {
+                    kind: MarkerKind::Logged,
+                    ts: Timestamp::from_raw(9),
+                    data_entries: 1,
+                },
+            ] {
+                let (m, _) = encode(entry, parity);
+                assert_eq!(decode(m, 0), SlotState::Torn, "parity {parity}: {entry:?}");
+            }
+        }
     }
 
     #[test]
@@ -682,7 +801,7 @@ mod tests {
         }
         match g.read_slot(&image, 2) {
             SlotState::Valid {
-                entry: Entry::Marker { kind, ts },
+                entry: Entry::Marker { kind, ts, .. },
                 ..
             } => {
                 assert_eq!(kind, MarkerKind::Logged);
@@ -701,15 +820,20 @@ mod tests {
             .expect("append");
         txn.commit().expect("commit");
         let mut txn2 = htm.begin(0);
-        log.commit_marker_txn(&mut txn2, info.marker_abs, Timestamp::from_raw(9))
-            .expect("commit marker");
+        log.commit_marker_txn(
+            &mut txn2,
+            info.marker_abs,
+            info.data_entries,
+            Timestamp::from_raw(9),
+        )
+        .expect("commit marker");
         txn2.commit().expect("commit");
         log.flush_entries(&mem, 0, info.first_abs, info.marker_abs);
         mem.drain(0);
         let image = mem.crash();
         match log.geometry().read_slot(&image, info.marker_abs) {
             SlotState::Valid {
-                entry: Entry::Marker { kind, ts },
+                entry: Entry::Marker { kind, ts, .. },
                 ..
             } => {
                 assert_eq!(kind, MarkerKind::Committed);
@@ -754,12 +878,17 @@ mod tests {
             Timestamp::from_raw(2),
         );
         assert_eq!(log.head(&mem), 2);
-        log.commit_marker_nontx(&htm, info.marker_abs, Timestamp::from_raw(3));
+        log.commit_marker_nontx(
+            &htm,
+            info.marker_abs,
+            info.data_entries,
+            Timestamp::from_raw(3),
+        );
         log.flush_entries(&mem, 0, info.first_abs, info.marker_abs);
         mem.drain(0);
         match log.geometry().read_slot(&mem.crash(), 1) {
             SlotState::Valid {
-                entry: Entry::Marker { kind, ts },
+                entry: Entry::Marker { kind, ts, .. },
                 ..
             } => {
                 assert_eq!(kind, MarkerKind::Committed);

@@ -18,6 +18,18 @@ pub struct HtmConfig {
     pub zero_abort_probability: f64,
     /// Seed for the spurious-abort injector.
     pub seed: u64,
+    /// Abort-storm injection: dooms `storm_burst` consecutive hardware
+    /// transactions out of every [`HtmConfig::storm_period`] per thread
+    /// (0 disables storms). Storms model sustained interference —
+    /// interrupt floods, cache-set thrashing — and are used by the torture
+    /// harness to drive the retry→SGL fallback path.
+    pub storm_burst: u32,
+    /// Length of one storm cycle in hardware-transaction begins per
+    /// thread. Values ≤ `storm_burst` are clamped at use sites to
+    /// `storm_burst + 1` so every cycle contains at least one clean
+    /// window (internal commit paths retry hardware transactions in
+    /// bounded loops and need an abort-free begin to make progress).
+    pub storm_period: u32,
 }
 
 impl HtmConfig {
@@ -28,6 +40,8 @@ impl HtmConfig {
             read_capacity_lines: 8192,
             zero_abort_probability: 0.0,
             seed: 0,
+            storm_burst: 0,
+            storm_period: 0,
         }
     }
 
@@ -38,12 +52,24 @@ impl HtmConfig {
             read_capacity_lines: 16,
             zero_abort_probability: 0.0,
             seed: 0,
+            storm_burst: 0,
+            storm_period: 0,
         }
     }
 
     /// Sets the spurious-abort probability (builder style).
     pub fn with_zero_aborts(mut self, probability: f64, seed: u64) -> Self {
         self.zero_abort_probability = probability;
+        self.seed = seed;
+        self
+    }
+
+    /// Enables abort-storm injection (builder style): `burst` consecutive
+    /// doomed hardware transactions out of every `period` per thread. The
+    /// seed varies where inside each doomed transaction the abort fires.
+    pub fn with_abort_storm(mut self, burst: u32, period: u32, seed: u64) -> Self {
+        self.storm_burst = burst;
+        self.storm_period = period;
         self.seed = seed;
         self
     }
@@ -77,5 +103,15 @@ mod tests {
         let c = HtmConfig::skylake().with_zero_aborts(0.25, 9);
         assert_eq!(c.zero_abort_probability, 0.25);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn storms_are_off_by_default_and_set_by_the_builder() {
+        assert_eq!(HtmConfig::skylake().storm_burst, 0);
+        assert_eq!(HtmConfig::tiny().storm_burst, 0);
+        let c = HtmConfig::skylake().with_abort_storm(6, 10, 3);
+        assert_eq!(c.storm_burst, 6);
+        assert_eq!(c.storm_period, 10);
+        assert_eq!(c.seed, 3);
     }
 }

@@ -195,7 +195,24 @@ impl HtmRuntime {
 
     fn begin_inner(&self, tid: usize, deferred_fence: bool) -> HwTxn<'_> {
         let mut scratch = self.checkout_scratch(tid);
-        let doomed_after = {
+        let storm_doomed = {
+            let burst = self.cfg.storm_burst;
+            if burst > 0 {
+                // Clamp so every cycle has at least one clean begin:
+                // internal commit paths retry hardware transactions in
+                // bounded loops and need an abort-free window to stay live.
+                let period = u64::from(self.cfg.storm_period.max(burst + 1));
+                let phase = scratch.begin_count % period;
+                scratch.begin_count += 1;
+                phase < u64::from(burst)
+            } else {
+                false
+            }
+        };
+        let doomed_after = if storm_doomed {
+            let rng = &mut scratch.zero_rng;
+            Some(rng.next_below(24) as u32 + 1)
+        } else {
             let p = self.cfg.zero_abort_probability;
             if p > 0.0 {
                 let rng = &mut scratch.zero_rng;
@@ -787,6 +804,40 @@ mod tests {
         t1.commit().unwrap();
         assert_eq!(t2.commit().unwrap_err(), AbortCode::Conflict);
         assert_eq!(rt.mem().read(a), 1);
+    }
+
+    /// Runs one transaction doing `ops` reads and reports whether it
+    /// committed.
+    fn try_txn(rt: &HtmRuntime, ops: u64) -> bool {
+        let mut t = rt.begin(0);
+        for i in 0..ops {
+            if t.read(PAddr::new(64 + i * 8)).is_err() {
+                drop(t);
+                return false;
+            }
+        }
+        t.commit().is_ok()
+    }
+
+    #[test]
+    fn abort_storm_dooms_bursts_but_leaves_clean_windows() {
+        let rt = runtime(HtmConfig::skylake().with_abort_storm(2, 3, 11));
+        // Phase repeats doomed, doomed, clean; 30 reads each guarantees
+        // every doomed transaction hits its injected abort (doom fires
+        // within the first 24 operations).
+        let outcomes: Vec<bool> = (0..9).map(|_| try_txn(&rt, 30)).collect();
+        let expected: Vec<bool> = (0..9).map(|i| i % 3 == 2).collect();
+        assert_eq!(outcomes, expected, "storm phase must be deterministic");
+    }
+
+    #[test]
+    fn storm_period_is_clamped_to_keep_a_clean_window() {
+        // period <= burst would doom every begin; the clamp to burst + 1
+        // must leave one clean begin per cycle.
+        let rt = runtime(HtmConfig::skylake().with_abort_storm(3, 0, 11));
+        let outcomes: Vec<bool> = (0..8).map(|_| try_txn(&rt, 30)).collect();
+        let expected: Vec<bool> = (0..8).map(|i| i % 4 == 3).collect();
+        assert_eq!(outcomes, expected);
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct TxnScratch {
     /// The thread's private spurious-abort stream (see
     /// [`crate::HtmRuntime::begin`] for the seeding discipline).
     pub(crate) zero_rng: SplitMix64,
+    /// Lifetime count of hardware transactions begun by this thread —
+    /// *not* cleared by `reset`. Drives the phase of abort-storm
+    /// injection ([`crate::HtmConfig::storm_burst`]).
+    pub(crate) begin_count: u64,
 }
 
 impl TxnScratch {
@@ -92,6 +96,7 @@ impl TxnScratch {
             flush_lines: GenSet::new(),
             locked: Vec::with_capacity(INITIAL_CAPACITY),
             zero_rng: SplitMix64::new(rng_seed),
+            begin_count: 0,
         }
     }
 

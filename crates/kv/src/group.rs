@@ -148,6 +148,49 @@ mod tests {
         assert_eq!(mem.read_persisted(cell), 42);
     }
 
+    /// Satellite robustness check: a body that panics mid-batch unwinds
+    /// through `execute_deferred` without corrupting the thread, earlier
+    /// transactions of the batch are not yet durable at the moment of the
+    /// panic (their drains were deferred), and the group's drop-issued
+    /// barrier still fires during unwinding, making them durable.
+    #[test]
+    fn panicking_body_mid_batch_keeps_the_group_contract() {
+        let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+        let crafty = Crafty::new(Arc::clone(&mem), CraftyConfig::small_for_tests());
+        let cells = mem.reserve_persistent(64);
+        let mut thread = crafty.register_thread(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut group = GroupCommit::new(&mut *thread);
+            for i in 0..4u64 {
+                let cell = cells.add(i * 8);
+                group.execute(&mut |ops| ops.write(cell, i + 1));
+            }
+            // Before the barrier: the first transactions committed but
+            // their durability is deferred — none may be marked durable.
+            for i in 0..4u64 {
+                assert_eq!(mem.read(cells.add(i * 8)), i + 1);
+                assert_eq!(
+                    mem.read_persisted(cells.add(i * 8)),
+                    0,
+                    "txn {i} must not be durable before the barrier"
+                );
+            }
+            group.execute(&mut |_ops| panic!("boom mid-batch"));
+            unreachable!("the panic must propagate");
+        }));
+        assert!(caught.is_err(), "the body's panic must unwind out");
+        // Unwinding dropped the group, which must have issued the barrier:
+        // the four completed transactions are durable now.
+        for i in 0..4u64 {
+            assert_eq!(mem.read_persisted(cells.add(i * 8)), i + 1);
+        }
+        // The thread survived the unwind and keeps working.
+        let cell = cells.add(32);
+        thread.execute(&mut |ops| ops.write(cell, 99));
+        crafty.quiesce();
+        assert_eq!(mem.read_persisted(cell), 99);
+    }
+
     #[test]
     fn a_group_drains_less_than_per_transaction_execution() {
         let run = |grouped: bool| -> u64 {

@@ -785,13 +785,23 @@ impl ShardedKv {
 
     /// Exhaustively checks the store's structural invariants by direct
     /// reads: header counters match slot contents, every key lives in its
-    /// own shard, no key is live twice, resize cursors are in range.
-    /// Returns a description of the first violation. Call only while no
-    /// transactions are running (workload `verify()` and recovery tests).
+    /// own shard, no key is live twice, resize cursors are in range, and
+    /// every table lies inside the arena's allocated span (the arena
+    /// cursor covers every live record). Returns a description of the
+    /// first violation. Call only while no transactions are running
+    /// (workload `verify()` and recovery tests).
     pub fn check_integrity(&self, mem: &MemorySpace) -> Result<(), String> {
         use std::collections::HashSet;
         if mem.read(self.root.add(ROOT_MAGIC)) != MAGIC {
             return Err("root magic is gone".to_string());
+        }
+        let arena_next = mem.read(self.root.add(ROOT_ARENA_NEXT));
+        let arena_end = mem.read(self.root.add(ROOT_ARENA_END));
+        if arena_next < self.arena.word() || arena_next > arena_end {
+            return Err(format!(
+                "arena cursor {arena_next} outside [{}, {arena_end}]",
+                self.arena.word()
+            ));
         }
         for s in 0..self.shards as u64 {
             let hdr = self.header(s);
@@ -824,6 +834,16 @@ impl ShardedKv {
             let mut live = 0u64;
             let mut seen: HashSet<u64> = HashSet::new();
             for &(table, cap, expected_tombs) in &tables {
+                // Every table — including an in-flight resize target — must
+                // lie wholly inside the arena span the cursor has handed
+                // out, or live records sit in unallocated memory.
+                if table < self.arena.word() || table + cap * SLOT_WORDS > arena_next {
+                    return Err(format!(
+                        "shard {s}: table [{table}, {}) outside allocated arena [{}, {arena_next})",
+                        table + cap * SLOT_WORDS,
+                        self.arena.word()
+                    ));
+                }
                 let mut tombs = 0u64;
                 for i in 0..cap {
                     let slot = Self::slot_addr(table, cap, i);

@@ -231,6 +231,67 @@ pub enum DrainCoalescing {
     PerLine,
 }
 
+/// A deterministic fault-injection plan, threaded through [`PmemConfig`].
+///
+/// When armed, every durability-relevant event in the space — a store to a
+/// persistent word, a CLWB enqueue, a drain's claim, each per-line
+/// write-back, and the drain's completing SFENCE — ticks the space's
+/// **fault clock** (see [`crate::MemorySpace::fault_steps`]). If
+/// [`FaultPlan::crash_at_step`] is set, the tick whose 1-based index equals
+/// it additionally captures a crash image *at that exact point in the
+/// pipeline* (resolved under [`FaultPlan::crash_model`], like
+/// [`crate::MemorySpace::crash_with`]) into a side buffer the torture
+/// driver retrieves with [`crate::MemorySpace::take_fault_image`]. The
+/// capture is non-destructive: the run continues to completion, so a
+/// single-threaded run is bit-for-bit reproducible for every chosen step.
+///
+/// The default (disarmed) plan is a single untaken branch on the store and
+/// flush paths — the hot path stays unaffected, which the committed
+/// benchmark gates enforce.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FaultPlan {
+    /// Whether durability events tick the fault clock at all. Disarmed
+    /// (the default) costs one predictable branch per event.
+    pub armed: bool,
+    /// 1-based fault-clock step at which to capture a crash image
+    /// mid-pipeline. `None` with `armed` counts steps only (the torture
+    /// driver's first pass, which learns the run's total step count).
+    pub crash_at_step: Option<u64>,
+    /// Crash model used to resolve still-dirty words in the captured
+    /// image (independent of the model the space itself runs under).
+    pub crash_model: CrashModel,
+}
+
+impl FaultPlan {
+    /// The disarmed plan: durability events are not counted.
+    pub const fn inactive() -> Self {
+        FaultPlan {
+            armed: false,
+            crash_at_step: None,
+            crash_model: CrashModel::strict(),
+        }
+    }
+
+    /// Counts durability events without ever capturing an image.
+    pub const fn count_only() -> Self {
+        FaultPlan {
+            armed: true,
+            crash_at_step: None,
+            crash_model: CrashModel::strict(),
+        }
+    }
+
+    /// Captures a crash image at fault-clock step `step` (1-based),
+    /// resolving dirty words under `model`.
+    pub const fn crash_at(step: u64, model: CrashModel) -> Self {
+        FaultPlan {
+            armed: true,
+            crash_at_step: Some(step),
+            crash_model: model,
+        }
+    }
+}
+
 /// Configuration for a [`crate::MemorySpace`].
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct PmemConfig {
@@ -258,6 +319,10 @@ pub struct PmemConfig {
     /// or write back one line at a time (the latter is the reference mode
     /// for differential testing).
     pub coalescing: DrainCoalescing,
+    /// Fault-injection plan: disarmed by default (zero-cost); armed plans
+    /// tick the fault clock at every durability event and may capture a
+    /// mid-pipeline crash image (see [`FaultPlan`]).
+    pub fault: FaultPlan,
 }
 
 impl PmemConfig {
@@ -272,6 +337,7 @@ impl PmemConfig {
             crash: CrashModel::strict(),
             granularity: PersistGranularity::Word,
             coalescing: DrainCoalescing::Ranged,
+            fault: FaultPlan::inactive(),
         }
     }
 
@@ -287,6 +353,7 @@ impl PmemConfig {
             crash: CrashModel::strict(),
             granularity: PersistGranularity::Word,
             coalescing: DrainCoalescing::Ranged,
+            fault: FaultPlan::inactive(),
         }
     }
 
@@ -325,6 +392,12 @@ impl PmemConfig {
     /// the one-line-at-a-time reference mode used by differential tests.
     pub fn with_coalescing(mut self, coalescing: DrainCoalescing) -> Self {
         self.coalescing = coalescing;
+        self
+    }
+
+    /// Sets the fault-injection plan (builder style).
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -414,6 +487,22 @@ mod tests {
         assert_eq!(rel.eviction_probability, 0.0, "relaxed has no evictions");
         assert!(rel.dirty_word_persist_probability > 0.0);
         assert_eq!(rel.seed, 9);
+    }
+
+    #[test]
+    fn fault_plans() {
+        assert_eq!(PmemConfig::small_for_tests().fault, FaultPlan::inactive());
+        assert_eq!(FaultPlan::default(), FaultPlan::inactive());
+        assert!(!FaultPlan::inactive().armed);
+        let count = FaultPlan::count_only();
+        assert!(count.armed);
+        assert_eq!(count.crash_at_step, None);
+        let trap = FaultPlan::crash_at(42, CrashModel::relaxed(7));
+        assert!(trap.armed);
+        assert_eq!(trap.crash_at_step, Some(42));
+        assert_eq!(trap.crash_model.seed, 7);
+        let cfg = PmemConfig::small_for_tests().with_fault_plan(trap);
+        assert_eq!(cfg.fault, trap);
     }
 
     #[test]

@@ -83,6 +83,8 @@ pub mod image;
 pub mod space;
 
 pub use alloc::PmemAllocator;
-pub use config::{CrashModel, DrainCoalescing, LatencyModel, PersistGranularity, PmemConfig};
+pub use config::{
+    CrashModel, DrainCoalescing, FaultPlan, LatencyModel, PersistGranularity, PmemConfig,
+};
 pub use image::PersistentImage;
 pub use space::{MemorySpace, PmemStats};

@@ -140,6 +140,7 @@
 //! carries no such restriction.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crafty_common::{mix64, LazyAtomicArray, LineId, PAddr, SplitMix64, WORDS_PER_LINE};
@@ -338,6 +339,16 @@ pub struct MemorySpace {
     /// [`MemorySpace::evict_chance`]).
     evict_stripes: Box<[AtomicU64]>,
     stats: StatCells,
+    /// Persistence-step counter for deterministic fault injection: every
+    /// durability-relevant event (store to pmem, CLWB enqueue, drain claim,
+    /// per-line persist, SFENCE) ticks this clock when the configured
+    /// [`FaultPlan`](crate::FaultPlan) is armed. Disarmed plans cost one
+    /// predictable branch per event.
+    fault_step: AtomicU64,
+    /// Crash image captured when the fault clock hits the plan's
+    /// `crash_at_step` tick. Taken (once) via
+    /// [`MemorySpace::take_fault_image`].
+    fault_image: Mutex<Option<PersistentImage>>,
 }
 
 /// Stripe count for eviction sampling; lines hash onto stripes, so
@@ -378,6 +389,8 @@ impl MemorySpace {
                 })
                 .collect(),
             stats: StatCells::default(),
+            fault_step: AtomicU64::new(0),
+            fault_image: Mutex::new(None),
             cfg,
         }
     }
@@ -480,6 +493,7 @@ impl MemorySpace {
                 self.persist_line(line);
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
+            self.fault_tick();
         }
     }
 
@@ -563,6 +577,7 @@ impl MemorySpace {
             return;
         }
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.fault_tick();
         let line = addr.line();
         let q = &self.flush_queues[tid];
         let stamp = q.stamps.get(line.index());
@@ -649,6 +664,7 @@ impl MemorySpace {
             // has its preceding data store visible to the persist loads
             // below.
             std::sync::atomic::fence(Ordering::SeqCst);
+            self.fault_tick();
             cost_ns = match self.cfg.coalescing {
                 DrainCoalescing::Ranged => self.persist_claimed_ranged(q, claim, target),
                 DrainCoalescing::PerLine => self.persist_claimed_per_line(q, claim, target),
@@ -672,6 +688,7 @@ impl MemorySpace {
             std::thread::yield_now();
         }
         self.stats.drains.fetch_add(1, Ordering::Relaxed);
+        self.fault_tick();
         self.stats
             .lines_persisted
             .fetch_add(count, Ordering::Relaxed);
@@ -828,6 +845,7 @@ impl MemorySpace {
         self.stats
             .line_words_persisted
             .fetch_add(line_words, Ordering::Relaxed);
+        self.fault_tick();
         words
     }
 
@@ -895,6 +913,48 @@ impl MemorySpace {
             }
         }
         PersistentImage::from_words(image)
+    }
+
+    /// Advances the fault clock by one persistence step and, when the
+    /// armed [`FaultPlan`](crate::FaultPlan) names this step, captures the
+    /// crash image of this exact moment. The run then *continues* — the
+    /// trap is non-destructive, so a driver replays a deterministic
+    /// workload once per step and harvests the image afterwards with
+    /// [`MemorySpace::take_fault_image`].
+    ///
+    /// Disarmed plans (the default) return after a single predictable
+    /// branch, keeping the hot path cost-free.
+    #[inline]
+    fn fault_tick(&self) {
+        if !self.cfg.fault.armed {
+            return;
+        }
+        self.fault_tick_armed();
+    }
+
+    /// Cold half of [`MemorySpace::fault_tick`], kept out of line so the
+    /// disarmed fast path stays a lone branch.
+    #[cold]
+    fn fault_tick_armed(&self) {
+        let step = self.fault_step.fetch_add(1, Ordering::Relaxed) + 1;
+        if Some(step) == self.cfg.fault.crash_at_step {
+            let image = self.crash_with(self.cfg.fault.crash_model);
+            *self.fault_image.lock().unwrap() = Some(image);
+        }
+    }
+
+    /// Number of persistence steps the fault clock has counted so far.
+    /// Always 0 when the configured plan is disarmed.
+    pub fn fault_steps(&self) -> u64 {
+        self.fault_step.load(Ordering::Relaxed)
+    }
+
+    /// Takes the crash image captured at the plan's `crash_at_step` tick,
+    /// if that step was reached. Returns `None` for disarmed or count-only
+    /// plans, when the run finished before the chosen step, or when the
+    /// image was already taken.
+    pub fn take_fault_image(&self) -> Option<PersistentImage> {
+        self.fault_image.lock().unwrap().take()
     }
 
     /// Reserves `words` consecutive words of persistent memory for a static
@@ -975,6 +1035,60 @@ mod tests {
         assert_eq!(m.read(a), 0);
         m.write(a, 0xDEAD_BEEF);
         assert_eq!(m.read(a), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn disarmed_fault_plan_counts_nothing() {
+        let m = space();
+        let a = PAddr::new(64);
+        m.write(a, 1);
+        m.persist(0, a);
+        assert_eq!(m.fault_steps(), 0);
+        assert!(m.take_fault_image().is_none());
+    }
+
+    /// Runs one write+persist of `ops` locations under the given plan and
+    /// returns the step count.
+    fn counted_run(plan: crate::FaultPlan, ops: u64) -> (MemorySpace, u64) {
+        let m = MemorySpace::new(PmemConfig::small_for_tests().with_fault_plan(plan));
+        for i in 0..ops {
+            let a = PAddr::new(64 + i * WORDS_PER_LINE);
+            m.write(a, i + 1);
+            m.clwb(0, a);
+        }
+        m.drain(0);
+        let steps = m.fault_steps();
+        (m, steps)
+    }
+
+    #[test]
+    fn fault_clock_counts_deterministically() {
+        let (_, a) = counted_run(crate::FaultPlan::count_only(), 5);
+        let (_, b) = counted_run(crate::FaultPlan::count_only(), 5);
+        assert_eq!(a, b, "same single-threaded run, same step count");
+        // 5 writes + 5 clwbs + claim + 5 persists + sfence = 17 ticks.
+        assert_eq!(a, 17);
+    }
+
+    #[test]
+    fn fault_trap_captures_the_mid_pipeline_image() {
+        let (_, total) = counted_run(crate::FaultPlan::count_only(), 3);
+        // Crash at every step: the image captured before the final drain
+        // must miss at least the last value; the final step has everything.
+        let (m, _) = counted_run(crate::FaultPlan::crash_at(1, CrashModel::strict()), 3);
+        let img = m.take_fault_image().expect("step 1 is reached");
+        assert_eq!(img.read(PAddr::new(64)), 0, "nothing drained at step 1");
+        let (m, _) = counted_run(crate::FaultPlan::crash_at(total, CrashModel::strict()), 3);
+        let img = m.take_fault_image().expect("final step is reached");
+        for i in 0..3 {
+            assert_eq!(img.read(PAddr::new(64 + i * WORDS_PER_LINE)), i + 1);
+        }
+        // A step beyond the run captures nothing.
+        let (m, _) = counted_run(
+            crate::FaultPlan::crash_at(total + 1, CrashModel::strict()),
+            3,
+        );
+        assert!(m.take_fault_image().is_none());
     }
 
     #[test]

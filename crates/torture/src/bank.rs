@@ -1,0 +1,304 @@
+//! Exhaustive crash-point torture of a miniature bank workload.
+//!
+//! The workload is deliberately self-contained and single-threaded: one
+//! thread runs `txns` transfer transactions over a small line-aligned
+//! account array, with every pick pre-drawn from a seeded stream. A
+//! single-threaded run makes the persistence-step stream a pure function
+//! of the seed, so crashing at step *s* on a replay reproduces exactly the
+//! machine state the counting run passed through at step *s* — the whole
+//! harness is deterministic end to end.
+
+use std::sync::Arc;
+
+use crafty_common::{PAddr, PersistentTm, SplitMix64};
+use crafty_core::{logs_are_clean, recover, Crafty, CraftyConfig};
+use crafty_pmem::{CrashModel, FaultPlan, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
+
+use crate::{crash_points, TortureConfig, TortureFailure, TortureReport};
+
+/// Accounts in the bank (each on its own cache line).
+pub const ACCOUNTS: u64 = 16;
+/// Initial balance per account.
+pub const INITIAL: u64 = 1_000;
+/// Transfers per transaction.
+const TRANSFERS_PER_TXN: usize = 4;
+
+/// One transfer: `(from, to, amount)`.
+type Transfer = (u64, u64, u64);
+
+/// Draws the full deterministic pick list for a run: `txns` transactions
+/// of [`TRANSFERS_PER_TXN`] transfers each.
+pub(crate) fn draw_picks(seed: u64, txns: u64) -> Vec<Vec<Transfer>> {
+    let mut rng = SplitMix64::new(seed ^ 0xBA2C_0DE5_0001_F00D);
+    (0..txns)
+        .map(|_| {
+            (0..TRANSFERS_PER_TXN)
+                .map(|_| {
+                    (
+                        rng.next_below(ACCOUNTS),
+                        rng.next_below(ACCOUNTS),
+                        rng.next_below(9) + 1,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Applies one transaction's transfers to a shadow account vector with
+/// the same arithmetic the transactional body uses.
+fn apply_shadow(shadow: &mut [u64], txn: &[Transfer]) {
+    for &(from, to, amount) in txn {
+        shadow[from as usize] = shadow[from as usize].wrapping_sub(amount);
+        shadow[to as usize] = shadow[to as usize].wrapping_add(amount);
+    }
+}
+
+/// Everything a completed (possibly trapped) bank run hands to the
+/// auditor.
+pub(crate) struct BankRun {
+    /// Fault-clock value after engine construction, prefill, and thread
+    /// registration — the first enumerable crash step is `setup_steps + 1`.
+    pub setup_steps: u64,
+    /// Fault-clock value when the run finished.
+    pub total_steps: u64,
+    /// First word of the account array.
+    pub base: PAddr,
+    /// The engine's log-directory address (recovery's entry point).
+    pub dir_addr: PAddr,
+    /// The image trapped at the plan's crash step, if one was armed and
+    /// reached.
+    pub image: Option<PersistentImage>,
+}
+
+/// Runs the bank workload once under `plan` and returns the run record.
+pub(crate) fn run_once(picks: &[Vec<Transfer>], plan: FaultPlan) -> BankRun {
+    let mem = Arc::new(MemorySpace::new(
+        PmemConfig {
+            persistent_words: 1 << 15,
+            volatile_words: 1 << 13,
+            max_threads: 3,
+            latency: LatencyModel::instant(),
+            crash: CrashModel::strict(),
+            ..PmemConfig::small_for_tests()
+        }
+        .with_fault_plan(plan),
+    ));
+    let engine = Crafty::new(
+        Arc::clone(&mem),
+        CraftyConfig::small_for_tests()
+            .with_max_threads(1)
+            .with_undo_log_entries(64),
+    );
+    let dir_addr = engine.directory_addr();
+    let base = mem.reserve_persistent(ACCOUNTS * 8);
+    for i in 0..ACCOUNTS {
+        mem.write(base.add(i * 8), INITIAL);
+        mem.clwb(0, base.add(i * 8));
+    }
+    mem.drain(0);
+    let mut thread = engine.register_thread(0);
+    let setup_steps = mem.fault_steps();
+    for txn in picks {
+        thread.execute(&mut |ops| {
+            for &(from, to, amount) in txn {
+                let a = base.add(from * 8);
+                let b = base.add(to * 8);
+                let va = ops.read(a)?;
+                ops.write(a, va.wrapping_sub(amount))?;
+                let vb = ops.read(b)?;
+                ops.write(b, vb.wrapping_add(amount))?;
+            }
+            Ok(())
+        });
+    }
+    drop(thread);
+    BankRun {
+        setup_steps,
+        total_steps: mem.fault_steps(),
+        base,
+        dir_addr,
+        image: mem.take_fault_image(),
+    }
+}
+
+/// Recovers `image` and checks the generic log invariants: recovery
+/// succeeds, the logs decode clean afterwards, and a second recovery is a
+/// byte-for-byte no-op. Returns the recovered image.
+pub(crate) fn recover_checked(
+    mut image: PersistentImage,
+    dir_addr: PAddr,
+) -> Result<PersistentImage, String> {
+    recover(&mut image, dir_addr).map_err(|e| format!("recovery failed: {e}"))?;
+    if !logs_are_clean(&image, dir_addr) {
+        return Err("logs are not clean after recovery".to_string());
+    }
+    let once = image.clone();
+    let second = recover(&mut image, dir_addr).map_err(|e| format!("re-recovery failed: {e}"))?;
+    if second.sequences_found != 0 || second.entries_rolled_back != 0 {
+        return Err(format!(
+            "recovery is not a no-op the second time: {second:?}"
+        ));
+    }
+    if image != once {
+        return Err("second recovery changed the image".to_string());
+    }
+    Ok(image)
+}
+
+/// Global-cut consistency: the recovered account array must equal the
+/// shadow oracle's state after some prefix of the committed-transaction
+/// order (single-threaded, so commit order is program order). Returns the
+/// matching prefix length.
+pub(crate) fn prefix_check(
+    image: &PersistentImage,
+    base: PAddr,
+    picks: &[Vec<Transfer>],
+) -> Result<u64, String> {
+    let recovered: Vec<u64> = (0..ACCOUNTS).map(|i| image.read(base.add(i * 8))).collect();
+    let mut shadow = vec![INITIAL; ACCOUNTS as usize];
+    for k in 0..=picks.len() {
+        if k > 0 {
+            apply_shadow(&mut shadow, &picks[k - 1]);
+        }
+        if recovered == shadow {
+            return Ok(k as u64);
+        }
+    }
+    Err(format!(
+        "recovered accounts match no prefix of the commit order \
+         (total {} vs expected {})",
+        recovered.iter().sum::<u64>(),
+        ACCOUNTS * INITIAL,
+    ))
+}
+
+/// Full audit of one trapped crash image.
+fn audit(image: PersistentImage, run: &BankRun, picks: &[Vec<Transfer>]) -> Result<(), String> {
+    let recovered = recover_checked(image, run.dir_addr)?;
+    prefix_check(&recovered, run.base, picks)?;
+    Ok(())
+}
+
+/// Runs the bank torture suite: counts the workload's persistence steps,
+/// replays it crashing at every enumerated step, and audits each crash
+/// image. See the crate docs for the invariants.
+pub fn run_bank_torture(cfg: &TortureConfig) -> TortureReport {
+    let picks = draw_picks(cfg.seed, cfg.txns);
+    let count = run_once(&picks, FaultPlan::count_only());
+    let points = crash_points(
+        cfg.seed,
+        count.setup_steps,
+        count.total_steps,
+        cfg.max_crash_points,
+        cfg.crash_step,
+    );
+    let mut failures = Vec::new();
+    for &step in &points {
+        let mut run = run_once(
+            &picks,
+            FaultPlan::crash_at(step, CrashModel::adversarial(cfg.seed ^ step)),
+        );
+        if run.total_steps != count.total_steps {
+            failures.push(TortureFailure {
+                seed: cfg.seed,
+                step,
+                detail: format!(
+                    "replay diverged: {} steps vs {} in the counting run",
+                    run.total_steps, count.total_steps
+                ),
+            });
+            continue;
+        }
+        let Some(image) = run.image.take() else {
+            failures.push(TortureFailure {
+                seed: cfg.seed,
+                step,
+                detail: "no crash image captured at an in-range step".to_string(),
+            });
+            continue;
+        };
+        if let Err(detail) = audit(image, &run, &picks) {
+            failures.push(TortureFailure {
+                seed: cfg.seed,
+                step,
+                detail,
+            });
+        }
+    }
+    TortureReport {
+        suite: "bank",
+        seed: cfg.seed,
+        setup_steps: count.setup_steps,
+        total_steps: count.total_steps,
+        crash_points_tested: points.len() as u64,
+        failures,
+    }
+}
+
+/// Self-test of the auditor: traps a mid-run image, corrupts one account
+/// word of the *recovered* state, and checks that the prefix audit flags
+/// it. Returns the failure the auditor produced (proving an injected
+/// violation is caught and reported), or an error if it slipped through.
+pub fn injected_violation_is_caught(cfg: &TortureConfig) -> Result<TortureFailure, String> {
+    let picks = draw_picks(cfg.seed, cfg.txns);
+    let count = run_once(&picks, FaultPlan::count_only());
+    let step = count.setup_steps + (count.total_steps - count.setup_steps) / 2;
+    let run = run_once(&picks, FaultPlan::crash_at(step, CrashModel::strict()));
+    let image = run
+        .image
+        .ok_or_else(|| "no crash image captured for the self-test".to_string())?;
+    let mut recovered = recover_checked(image, run.dir_addr)?;
+    // Inject the violation: one account silently gains money, breaking
+    // conservation (no prefix of the commit order can match).
+    let victim = run.base;
+    recovered.write(victim, recovered.read(victim).wrapping_add(1));
+    match prefix_check(&recovered, run.base, &picks) {
+        Err(detail) => Ok(TortureFailure {
+            seed: cfg.seed,
+            step,
+            detail,
+        }),
+        Ok(k) => Err(format!(
+            "auditor accepted a corrupted image as prefix {k} — injected violations go unreported"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_run_is_deterministic() {
+        let picks = draw_picks(3, 6);
+        let a = run_once(&picks, FaultPlan::count_only());
+        let b = run_once(&picks, FaultPlan::count_only());
+        assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.setup_steps, b.setup_steps);
+        assert!(a.total_steps > a.setup_steps, "the run must tick");
+    }
+
+    #[test]
+    fn a_final_step_image_recovers_to_the_full_run() {
+        let picks = draw_picks(5, 6);
+        let count = run_once(&picks, FaultPlan::count_only());
+        let run = run_once(
+            &picks,
+            FaultPlan::crash_at(count.total_steps, CrashModel::strict()),
+        );
+        let image = run.image.expect("final step is reached");
+        let recovered = recover_checked(image, run.dir_addr).expect("audit");
+        let k = prefix_check(&recovered, run.base, &picks).expect("prefix");
+        // The final step is after every commit; at most the last (not yet
+        // drained) transactions may roll back.
+        assert!(k <= picks.len() as u64);
+    }
+
+    #[test]
+    fn self_test_catches_an_injected_violation() {
+        let failure = injected_violation_is_caught(&TortureConfig::quick(11)).expect("caught");
+        assert_eq!(failure.seed, 11);
+        assert!(failure.step > 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Crash-point torture of the durable sharded KV store.
+//!
+//! A single thread drives puts and removes over a small key space on a
+//! deliberately tiny [`ShardedKv`] (two shards, minimal initial capacity),
+//! so the run crosses table resizes and tombstone churn. Every crash image
+//! is recovered, booted, deep-checked with
+//! [`ShardedKv::check_integrity`], and compared against a prefix of the
+//! shadow oracle's map states.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crafty_common::{PersistentTm, SplitMix64};
+use crafty_core::{Crafty, CraftyConfig};
+use crafty_kv::{KvConfig, ShardedKv};
+use crafty_pmem::{CrashModel, FaultPlan, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
+
+use crate::bank::recover_checked;
+use crate::{crash_points, TortureConfig, TortureFailure, TortureReport};
+
+/// Key space; small enough that overwrites, removes, and rehash churn all
+/// happen within a short run.
+const KEYS: u64 = 24;
+
+/// One oracle operation: `(key, Some(value))` is a put, `(key, None)` a
+/// remove.
+type KvOp = (u64, Option<u64>);
+
+fn pmem_cfg(plan: FaultPlan) -> PmemConfig {
+    PmemConfig {
+        persistent_words: 1 << 16,
+        volatile_words: 1 << 14,
+        max_threads: 3,
+        latency: LatencyModel::instant(),
+        crash: CrashModel::strict(),
+        ..PmemConfig::small_for_tests()
+    }
+    .with_fault_plan(plan)
+}
+
+fn crafty_cfg() -> CraftyConfig {
+    CraftyConfig::small_for_tests()
+        .with_max_threads(1)
+        .with_undo_log_entries(128)
+}
+
+fn kv_cfg() -> KvConfig {
+    KvConfig::small_for_tests()
+        .with_shards(2)
+        .with_initial_capacity(8)
+}
+
+/// Draws the deterministic operation list: mostly puts (with values unique
+/// per operation so prefixes are distinguishable), some removes.
+fn draw_ops(seed: u64, txns: u64) -> Vec<KvOp> {
+    let mut rng = SplitMix64::new(seed ^ 0x00DD_BA11_CAFE_D00D);
+    (0..txns)
+        .map(|i| {
+            let key = rng.next_below(KEYS);
+            if rng.chance(0.2) {
+                (key, None)
+            } else {
+                (key, Some(1_000 + i))
+            }
+        })
+        .collect()
+}
+
+/// Record of one (possibly trapped) KV run.
+struct KvRun {
+    setup_steps: u64,
+    total_steps: u64,
+    dir_addr: crafty_common::PAddr,
+    image: Option<PersistentImage>,
+}
+
+/// Runs the KV workload once under `plan`.
+fn run_once(ops: &[KvOp], plan: FaultPlan) -> KvRun {
+    let mem = Arc::new(MemorySpace::new(pmem_cfg(plan)));
+    let engine = Crafty::new(Arc::clone(&mem), crafty_cfg());
+    let dir_addr = engine.directory_addr();
+    let kv = ShardedKv::create(&mem, &kv_cfg());
+    let mut thread = engine.register_thread(0);
+    let setup_steps = mem.fault_steps();
+    for &(key, value) in ops {
+        thread.execute(&mut |txn| {
+            match value {
+                Some(v) => {
+                    kv.put(txn, key, v)?;
+                }
+                None => {
+                    kv.remove(txn, key)?;
+                }
+            }
+            Ok(())
+        });
+    }
+    drop(thread);
+    KvRun {
+        setup_steps,
+        total_steps: mem.fault_steps(),
+        dir_addr,
+        image: mem.take_fault_image(),
+    }
+}
+
+/// Audits one recovered KV image: boots it, replays the layout
+/// constructors, deep-checks store structure, and requires the surviving
+/// pairs to equal the shadow map after some prefix of the operation list.
+fn audit(
+    image: PersistentImage,
+    dir_addr: crafty_common::PAddr,
+    ops: &[KvOp],
+) -> Result<(), String> {
+    let recovered = recover_checked(image, dir_addr)?;
+    let mem = Arc::new(MemorySpace::boot(
+        &recovered,
+        pmem_cfg(FaultPlan::inactive()),
+    ));
+    let _engine = Crafty::new(Arc::clone(&mem), crafty_cfg());
+    let kv = ShardedKv::open(&mem, &kv_cfg());
+    kv.check_integrity(&mem)
+        .map_err(|e| format!("store integrity violated: {e}"))?;
+    let mut pairs = kv.collect_pairs(&mem);
+    pairs.sort_unstable();
+    let mut shadow: BTreeMap<u64, u64> = BTreeMap::new();
+    for k in 0..=ops.len() {
+        if k > 0 {
+            let (key, value) = ops[k - 1];
+            match value {
+                Some(v) => {
+                    shadow.insert(key, v);
+                }
+                None => {
+                    shadow.remove(&key);
+                }
+            }
+        }
+        if pairs.len() == shadow.len()
+            && pairs
+                .iter()
+                .all(|&(key, value)| shadow.get(&key) == Some(&value))
+        {
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "recovered pairs ({} live keys) match no prefix of the operation order",
+        pairs.len()
+    ))
+}
+
+/// Runs the KV torture suite: step counting, crash-point replay, and the
+/// full recover/boot/integrity/prefix audit per image.
+pub fn run_kv_torture(cfg: &TortureConfig) -> TortureReport {
+    let ops = draw_ops(cfg.seed, cfg.txns);
+    let count = run_once(&ops, FaultPlan::count_only());
+    let points = crash_points(
+        cfg.seed,
+        count.setup_steps,
+        count.total_steps,
+        cfg.max_crash_points,
+        cfg.crash_step,
+    );
+    let mut failures = Vec::new();
+    for &step in &points {
+        let run = run_once(
+            &ops,
+            FaultPlan::crash_at(step, CrashModel::adversarial(cfg.seed ^ step)),
+        );
+        if run.total_steps != count.total_steps {
+            failures.push(TortureFailure {
+                seed: cfg.seed,
+                step,
+                detail: format!(
+                    "replay diverged: {} steps vs {} in the counting run",
+                    run.total_steps, count.total_steps
+                ),
+            });
+            continue;
+        }
+        let Some(image) = run.image else {
+            failures.push(TortureFailure {
+                seed: cfg.seed,
+                step,
+                detail: "no crash image captured at an in-range step".to_string(),
+            });
+            continue;
+        };
+        if let Err(detail) = audit(image, run.dir_addr, &ops) {
+            failures.push(TortureFailure {
+                seed: cfg.seed,
+                step,
+                detail,
+            });
+        }
+    }
+    TortureReport {
+        suite: "kv",
+        seed: cfg.seed,
+        setup_steps: count.setup_steps,
+        total_steps: count.total_steps,
+        crash_points_tested: points.len() as u64,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_operation_mix_crosses_a_resize() {
+        // The integrity audit only bites if the run stresses the rehash
+        // machinery: with 24 keys on 8-slot shards, growth must trigger.
+        let ops = draw_ops(1, 60);
+        let puts = ops.iter().filter(|(_, v)| v.is_some()).count();
+        assert!(puts > 16, "not enough puts to outgrow the initial tables");
+    }
+
+    #[test]
+    fn final_step_image_passes_the_full_audit() {
+        let ops = draw_ops(9, 30);
+        let count = run_once(&ops, FaultPlan::count_only());
+        let run = run_once(
+            &ops,
+            FaultPlan::crash_at(count.total_steps, CrashModel::strict()),
+        );
+        let image = run.image.expect("final step reached");
+        audit(image, run.dir_addr, &ops).expect("audit");
+    }
+}

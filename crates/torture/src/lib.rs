@@ -1,0 +1,190 @@
+//! Deterministic fault-injection torture harness for the Crafty stack.
+//!
+//! Crafty's crash-consistency argument (Sections 5.1–5.2 of the paper) is
+//! a claim about *every* interleaved flush/drain/marker state, but
+//! hand-choreographed crash tests only visit a handful of them. This crate
+//! closes the gap systematically:
+//!
+//! * **Crash-point enumeration** — the [`crafty_pmem::FaultPlan`] fault
+//!   clock ticks once per durability-relevant event (pmem store, CLWB
+//!   enqueue, drain claim, per-line persist, SFENCE). A workload is run
+//!   once under a count-only plan to measure its step count, then replayed
+//!   once per step with a plan that snapshots the crash image at exactly
+//!   that tick ([`bank::run_bank_torture`], [`kv::run_kv_torture`]).
+//!   Exhaustive for small runs; seeded stratified sampling otherwise.
+//! * **Recovery auditing** — every snapshot is recovered and checked:
+//!   recovery succeeds, logs decode clean, a second recovery is a byte
+//!   no-op, and the recovered application state equals a *prefix* of the
+//!   committed-transaction order replayed against a shadow oracle (plus
+//!   [`crafty_kv::ShardedKv::check_integrity`] deep structure checks for
+//!   the KV suite).
+//! * **Crash-during-recovery** — [`rec::run_recovery_torture`] interrupts
+//!   [`crafty_core::recover_interrupted`] at every write budget and checks
+//!   that re-running recovery converges to the uninterrupted image.
+//! * **Abort storms** — [`storm::run_storm_torture`] dooms long bursts of
+//!   hardware transactions ([`crafty_htm::HtmConfig::with_abort_storm`])
+//!   and checks the retry→SGL fallback stays live *and* durable.
+//!
+//! Every failure carries a `(seed, step)` pair; replaying the same suite
+//! with that seed and `crash_step = Some(step)` reproduces it exactly —
+//! the runs are single-threaded and every random choice is drawn from
+//! seeded [`crafty_common::SplitMix64`] streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use crafty_common::SplitMix64;
+
+pub mod bank;
+pub mod kv;
+pub mod rec;
+pub mod storm;
+
+pub use bank::{injected_violation_is_caught, run_bank_torture};
+pub use kv::run_kv_torture;
+pub use rec::run_recovery_torture;
+pub use storm::run_storm_torture;
+
+/// Parameters shared by every torture suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TortureConfig {
+    /// Master seed: workload picks, crash-image resolution, stratified
+    /// sampling, and storm placement all derive from it.
+    pub seed: u64,
+    /// Transactions the driven workload executes.
+    pub txns: u64,
+    /// Upper bound on crash points to test. 0 means exhaustive — one
+    /// replay per persistence step of the workload. Nonzero means seeded
+    /// stratified sampling: the step range is cut into that many strata
+    /// and one step is drawn per stratum.
+    pub max_crash_points: u64,
+    /// Replay a single crash step instead of enumerating (the
+    /// reproduction path printed with every failure).
+    pub crash_step: Option<u64>,
+}
+
+impl TortureConfig {
+    /// A small configuration suited to exhaustive enumeration in tests.
+    pub fn quick(seed: u64) -> Self {
+        TortureConfig {
+            seed,
+            txns: 10,
+            max_crash_points: 0,
+            crash_step: None,
+        }
+    }
+}
+
+/// One audited invariant violation, with everything needed to replay it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TortureFailure {
+    /// The master seed of the failing run.
+    pub seed: u64,
+    /// The persistence step whose crash image violated an invariant.
+    pub step: u64,
+    /// Human-readable description of the violated invariant.
+    pub detail: String,
+}
+
+impl fmt::Display for TortureFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(seed {}, step {}): {}",
+            self.seed, self.step, self.detail
+        )
+    }
+}
+
+/// Outcome of one torture suite.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TortureReport {
+    /// Which suite ran (`"bank"`, `"kv"`, `"recovery"`, `"storm"`).
+    pub suite: &'static str,
+    /// The master seed the suite ran under.
+    pub seed: u64,
+    /// Persistence steps consumed by deterministic setup (engine
+    /// construction, prefill); crash points below this are not enumerated
+    /// because the logging machinery does not exist yet.
+    pub setup_steps: u64,
+    /// Total persistence steps of the whole run, setup included.
+    pub total_steps: u64,
+    /// Crash points actually replayed and audited.
+    pub crash_points_tested: u64,
+    /// Invariant violations found, in step order.
+    pub failures: Vec<TortureFailure>,
+}
+
+impl TortureReport {
+    /// True when every audited crash image satisfied every invariant.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Picks the crash steps to test inside `(setup, total]`: all of them when
+/// `max_points` is 0 or covers the span, otherwise one seeded draw per
+/// stratum of a `max_points`-way partition (so samples stay spread over
+/// the whole run instead of clustering). `only` short-circuits to a single
+/// step for failure reproduction.
+pub(crate) fn crash_points(
+    seed: u64,
+    setup: u64,
+    total: u64,
+    max_points: u64,
+    only: Option<u64>,
+) -> Vec<u64> {
+    if let Some(step) = only {
+        return vec![step];
+    }
+    let span = total.saturating_sub(setup);
+    if span == 0 {
+        return Vec::new();
+    }
+    if max_points == 0 || max_points >= span {
+        return (setup + 1..=total).collect();
+    }
+    let mut rng = SplitMix64::new(seed ^ 0x5A3B_17E5_D00F_CAFE);
+    (0..max_points)
+        .map(|i| {
+            let lo = setup + 1 + i * span / max_points;
+            let hi = setup + (i + 1) * span / max_points;
+            lo + rng.next_below(hi - lo + 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_points_cover_the_span() {
+        let pts = crash_points(1, 10, 15, 0, None);
+        assert_eq!(pts, vec![11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn sampling_is_stratified_and_deterministic() {
+        let a = crash_points(7, 100, 1100, 10, None);
+        let b = crash_points(7, 100, 1100, 10, None);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        for (i, &p) in a.iter().enumerate() {
+            let lo = 101 + i as u64 * 100;
+            assert!(p >= lo && p < lo + 100, "point {p} outside stratum {i}");
+        }
+    }
+
+    #[test]
+    fn a_single_step_short_circuits() {
+        assert_eq!(crash_points(1, 0, 100, 0, Some(42)), vec![42]);
+    }
+
+    #[test]
+    fn empty_span_yields_no_points() {
+        assert!(crash_points(1, 5, 5, 0, None).is_empty());
+    }
+}

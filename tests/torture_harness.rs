@@ -1,0 +1,71 @@
+//! Workspace-level drive of the fault-injection torture harness: the same
+//! suites `figures -- torture` runs, pinned here so `cargo test` exercises
+//! an exhaustive small-bank enumeration, sampled KV and crash-during-
+//! recovery runs, an abort-storm run, and the harness's own
+//! injected-violation self-check.
+
+use crafty_torture::{
+    injected_violation_is_caught, run_bank_torture, run_kv_torture, run_recovery_torture,
+    run_storm_torture, TortureConfig,
+};
+
+/// Exhaustive enumeration of a small bank run: every persistence step of
+/// the workload is a crash point, and every crash image must recover to a
+/// prefix of the committed-transaction order with clean, idempotent logs.
+#[test]
+fn bank_exhaustive_enumeration_is_violation_free() {
+    let report = run_bank_torture(&TortureConfig::quick(21));
+    assert!(report.ok(), "violations: {:?}", report.failures);
+    assert_eq!(
+        report.crash_points_tested,
+        report.total_steps - report.setup_steps,
+        "exhaustive mode must audit every post-setup step"
+    );
+    assert!(report.crash_points_tested > 100, "run too small to matter");
+}
+
+/// Stratified sampling of the KV suite: structural integrity, exact
+/// committed pairs, and prefix consistency at every sampled crash point.
+#[test]
+fn kv_sampled_crash_points_are_violation_free() {
+    let cfg = TortureConfig {
+        max_crash_points: 48,
+        ..TortureConfig::quick(22)
+    };
+    let report = run_kv_torture(&cfg);
+    assert!(report.ok(), "violations: {:?}", report.failures);
+    assert!(report.crash_points_tested > 0);
+}
+
+/// Crash-during-recovery: recovery interrupted at every write budget must
+/// converge to the uninterrupted recovery image when re-run.
+#[test]
+fn interrupted_recovery_converges_at_sampled_crash_points() {
+    let report = run_recovery_torture(&TortureConfig::quick(23));
+    assert!(report.ok(), "violations: {:?}", report.failures);
+    assert!(report.crash_points_tested > 0);
+}
+
+/// Abort storms: sustained doomed-transaction bursts must force the SGL
+/// fallback without losing liveness or durability.
+#[test]
+fn abort_storms_keep_the_engine_live_and_durable() {
+    let report = run_storm_torture(&TortureConfig::quick(24));
+    assert!(report.ok(), "violations: {:?}", report.failures);
+}
+
+/// The auditor itself is exercised: silently corrupting one committed
+/// account in a crash image must produce a reproducible `(seed, step)`
+/// failure.
+#[test]
+fn harness_catches_an_injected_violation() {
+    let failure = injected_violation_is_caught(&TortureConfig::quick(25))
+        .expect("the auditor must flag the injected corruption");
+    assert_eq!(failure.seed, 25);
+    assert!(failure.step > 0);
+    let shown = failure.to_string();
+    assert!(
+        shown.contains("seed 25") && shown.contains("step"),
+        "failure display must carry the replay coordinates: {shown}"
+    );
+}
