@@ -14,11 +14,17 @@
 //! figures torture [--suite bank|kv|storm|recovery|all] [--seed N]
 //!         [--txns N] [--steps N] [--crash-step N]
 //!
-//! figures --help   prints the full usage, including the kv (YCSB A/B/C/E
-//!                  plus the batched A+gc group-commit mode) and flushbound
-//!                  suites, the compare perf-gate subcommand, and the
-//!                  torture fault-injection subcommand
+//! figures kvserve [--rates a,b,c] [--ops N] [--engines e,e] [--connections N]
+//!         [--workers N] [--records N] [--read-pct N] [--fixed] [--seed N]
+//!         [--drain-ns N] [--json-out PATH]
+//!
+//! figures --help   prints the full usage, generated from the same flag
+//!                  table the parser validates against
 //! ```
+//!
+//! Every subcommand's flags are declared once in [`SPECS`] and parsed by
+//! the shared [`crafty_bench::cli`] helper; `--help` renders from the same
+//! table, so usage text and parser cannot drift apart.
 //!
 //! The `hotpath` target runs the tracked bank benchmark and writes the
 //! machine-readable `BENCH_hotpath.json` artifact (see
@@ -62,6 +68,15 @@
 //! suite also self-tests the auditor by injecting a violation and
 //! requiring it to be caught.
 //!
+//! `kvserve` boots the networked KV front-end (`crafty-server`) on
+//! loopback and drives it **open-loop** at a sweep of arrival rates,
+//! reporting p50/p99/p999 latency per engine per rate (measured from
+//! intended send times, so queueing delay and coordinated omission stay
+//! visible) and writing `BENCH_kvserve.json` (see
+//! [`crafty_bench::kvserve`]). The default sweep compares Non-durable,
+//! per-transaction-durable Crafty, and Crafty behind the server's
+//! group-commit durability window.
+//!
 //! Every figure is printed as the table of normalized throughputs behind
 //! the paper's plot (one row per thread count, one column per engine,
 //! normalized to single-thread Non-durable). `--csv DIR` additionally
@@ -72,16 +87,245 @@
 use std::collections::BTreeSet;
 
 use crafty_bench::{
-    render_flushbound_json, render_hotpath_json, render_kv_json, run_breakdowns, run_figure,
-    run_flushbound, run_hotpath, run_kv, writes_per_txn, HarnessConfig,
+    cli, render_flushbound_json, render_hotpath_json, render_kv_json, render_kvserve_json,
+    render_kvserve_table, run_breakdowns, run_figure, run_flushbound, run_hotpath, run_kv,
+    run_kvserve_point, writes_per_txn, FlagDef, HarnessConfig, KvServeConfig, KvServeEngine,
+    ParsedArgs, SubcommandSpec,
 };
 use crafty_pmem::LatencyModel;
 use crafty_stats::{
     render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row, Json,
 };
 use crafty_workloads::{
-    BankWorkload, BtreeVariant, BtreeWorkload, Contention, StampKernel, StampWorkload, Workload,
+    ArrivalProcess, BankWorkload, BtreeVariant, BtreeWorkload, Contention, StampKernel,
+    StampWorkload, Workload,
 };
+
+/// Every subcommand's flags, declared once: the parser validates against
+/// this table and `--help` renders from it.
+const SPECS: &[SubcommandSpec] = &[
+    SubcommandSpec {
+        name: "",
+        positional: Some("targets..."),
+        summary: "regenerate figures/tables (fig6 fig7 fig8 table1 breakdowns \
+                  fig22 fig23 fig24 hotpath flushbound kv all; default: fig6 fig7 table1)",
+        flags: &[
+            FlagDef {
+                name: "--paper",
+                value: None,
+                help: "paper scale: threads 1-16, larger transaction budget",
+            },
+            FlagDef {
+                name: "--latency-100",
+                value: None,
+                help: "use the appendix's 100 ns drain latency model",
+            },
+            FlagDef {
+                name: "--threads",
+                value: Some("a,b,c"),
+                help: "thread counts to sweep",
+            },
+            FlagDef {
+                name: "--txns",
+                value: Some("N"),
+                help: "transactions per thread per point",
+            },
+            FlagDef {
+                name: "--csv",
+                value: Some("DIR"),
+                help: "also write one CSV per figure into DIR",
+            },
+            FlagDef {
+                name: "--json-out",
+                value: Some("PATH"),
+                help: "override the JSON artifact path of the requested target",
+            },
+        ],
+    },
+    SubcommandSpec {
+        name: "compare",
+        positional: None,
+        summary: "CI perf-regression gate: candidate JSON vs committed baseline",
+        flags: &[
+            FlagDef {
+                name: "--candidate",
+                value: Some("PATH"),
+                help: "fresh benchmark artifact to check (required)",
+            },
+            FlagDef {
+                name: "--baseline",
+                value: Some("PATH"),
+                help: "committed baseline (default BENCH_hotpath.json / BENCH_kv.json)",
+            },
+            FlagDef {
+                name: "--suite",
+                value: Some("hotpath|kv"),
+                help: "which artifact schema to gate (default hotpath)",
+            },
+            FlagDef {
+                name: "--tolerance",
+                value: Some("F"),
+                help: "allowed fractional regression (default 0.40)",
+            },
+            FlagDef {
+                name: "--engine",
+                value: Some("NAME"),
+                help: "engine under test (default Crafty)",
+            },
+            FlagDef {
+                name: "--reference",
+                value: Some("NAME"),
+                help: "normalization reference engine (default Non-durable)",
+            },
+            FlagDef {
+                name: "--threads",
+                value: Some("N"),
+                help: "thread count of the gated point (default 1)",
+            },
+            FlagDef {
+                name: "--absolute",
+                value: None,
+                help: "compare raw ops/s instead of the normalized ratio",
+            },
+        ],
+    },
+    SubcommandSpec {
+        name: "torture",
+        positional: None,
+        summary: "deterministic fault-injection harness with crash-point enumeration",
+        flags: &[
+            FlagDef {
+                name: "--suite",
+                value: Some("NAME"),
+                help: "bank | kv | storm | recovery | all (default all)",
+            },
+            FlagDef {
+                name: "--seed",
+                value: Some("N"),
+                help: "workload + crash-model seed",
+            },
+            FlagDef {
+                name: "--txns",
+                value: Some("N"),
+                help: "transactions per torture workload",
+            },
+            FlagDef {
+                name: "--steps",
+                value: Some("N"),
+                help: "crash points to sample (0 = exhaustive, the default)",
+            },
+            FlagDef {
+                name: "--crash-step",
+                value: Some("N"),
+                help: "pin the crash to one step (replaying a reported failure)",
+            },
+        ],
+    },
+    SubcommandSpec {
+        name: "kvserve",
+        positional: None,
+        summary: "open-loop latency sweep of the networked KV service front-end",
+        flags: &[
+            FlagDef {
+                name: "--rates",
+                value: Some("a,b,c"),
+                help: "offered arrival rates, ops/s (default 20000,40000,80000)",
+            },
+            FlagDef {
+                name: "--ops",
+                value: Some("N"),
+                help: "operations per (engine, rate) point (default 12000)",
+            },
+            FlagDef {
+                name: "--engines",
+                value: Some("e,e"),
+                help: "non-durable | crafty | crafty-gc (default all three)",
+            },
+            FlagDef {
+                name: "--connections",
+                value: Some("N"),
+                help: "client connections (default 2)",
+            },
+            FlagDef {
+                name: "--workers",
+                value: Some("N"),
+                help: "server accept-and-serve threads (default 2)",
+            },
+            FlagDef {
+                name: "--records",
+                value: Some("N"),
+                help: "prefilled record population (default 4000)",
+            },
+            FlagDef {
+                name: "--read-pct",
+                value: Some("N"),
+                help: "percentage of reads in the mix (default 50)",
+            },
+            FlagDef {
+                name: "--fixed",
+                value: None,
+                help: "fixed-rate arrivals instead of Poisson",
+            },
+            FlagDef {
+                name: "--seed",
+                value: Some("N"),
+                help: "schedule and key-mix seed",
+            },
+            FlagDef {
+                name: "--drain-ns",
+                value: Some("N"),
+                help: "drain (fence) cost in ns (default 50000)",
+            },
+            FlagDef {
+                name: "--json-out",
+                value: Some("PATH"),
+                help: "artifact path (default BENCH_kvserve.json)",
+            },
+        ],
+    },
+];
+
+fn spec(name: &str) -> &'static SubcommandSpec {
+    SPECS
+        .iter()
+        .find(|s| s.name == name)
+        .expect("subcommand spec")
+}
+
+/// Prints an error and exits with the usage status.
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn parse_or_fail(spec: &SubcommandSpec, args: &[String]) -> ParsedArgs {
+    cli::parse(spec, args).unwrap_or_else(|e| fail(&e))
+}
+
+/// Unwraps a flag-parse result, exiting with usage status on error.
+fn flag<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| fail(&e))
+}
+
+fn print_usage() {
+    print!(
+        "{}",
+        cli::render_help(
+            "figures — regenerate the paper's tables/figures and the benchmark artifacts",
+            SPECS,
+        )
+    );
+    println!(
+        "\nNOTES:\n\
+         The hotpath/flushbound/kv artifacts carry throughput, the measured\n\
+         write-amplification ratio (words_persisted / line_words_persisted), and\n\
+         the drain-coalescing counters (flush_ranges, lines_per_range). The\n\
+         kvserve artifact carries p50/p99/p999 latency per (engine, rate),\n\
+         measured from intended send times (coordinated omission visible).\n\
+         Torture failures print a (seed, step) pair — replay one exactly with\n\
+           figures -- torture --suite S --seed SEED --crash-step STEP"
+    );
+}
 
 struct Options {
     targets: BTreeSet<String>,
@@ -90,96 +334,9 @@ struct Options {
     json_out: Option<String>,
 }
 
-/// Prints the CLI usage (also the `--help` output). Kept in sync with the
-/// module docs above; covers every target, including the kv and flushbound
-/// suites and the `compare` perf-gate subcommand.
-fn print_usage() {
-    println!(
-        "\
-figures — regenerate the paper's tables/figures and the benchmark artifacts
-
-USAGE:
-  figures [targets...] [--paper] [--latency-100] [--threads a,b,c] [--txns N]
-          [--csv DIR] [--json-out PATH]
-  figures compare --candidate PATH [--baseline PATH] [--suite hotpath|kv]
-          [--tolerance 0.40] [--engine Crafty] [--reference Non-durable]
-          [--threads 1] [--absolute]
-  figures torture [--suite bank|kv|storm|recovery|all] [--seed N] [--txns N]
-          [--steps N] [--crash-step N]
-
-TARGETS (default: fig6 fig7 table1):
-  fig6 fig7 fig8     paper figures (bank / B-tree / STAMP throughput)
-  table1             average persistent writes per transaction
-  breakdowns         per-engine completion/abort breakdowns (Figures 9-21)
-  fig22 fig23 fig24  appendix reruns at 100 ns drain latency
-  hotpath            tracked bank benchmark -> BENCH_hotpath.json
-  flushbound         clwb/drain microbenchmark (no txns) -> BENCH_flushbound.json
-  kv                 YCSB mixes (A/B/C/E + batched A+gc) over crafty-kv
-                     -> BENCH_kv.json
-  all                everything above
-
-The hotpath/flushbound/kv artifacts carry throughput, the measured
-write-amplification ratio (words_persisted / line_words_persisted), and the
-drain-coalescing counters (flush_ranges, lines_per_range). `compare` is the
-CI perf-regression gate: it checks a fresh candidate artifact against the
-committed baseline (per YCSB mix with --suite kv) and exits non-zero on a
-regression; to move a baseline intentionally, regenerate it and commit the
-new JSON with the change.
-
-`torture` runs the deterministic fault-injection harness: crash-point
-enumeration over a bank and a KV workload with a full recovery audit per
-crash image, a crash-during-recovery convergence sweep, and an abort-storm
-liveness/durability check. --steps 0 (default) enumerates every
-persistence step of the workload; --steps N samples N stratified points.
-Failures print a (seed, step) pair — replay one exactly with
-  figures -- torture --suite S --seed SEED --crash-step STEP"
-    );
-}
-
-fn parse_args() -> Options {
-    let mut targets = BTreeSet::new();
-    let mut paper = false;
-    let mut latency100 = false;
-    let mut threads: Option<Vec<usize>> = None;
-    let mut txns: Option<u64> = None;
-    let mut csv_dir = None;
-    let mut json_out = None;
-    let mut args = std::env::args().skip(1).peekable();
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--help" | "-h" | "help" => {
-                print_usage();
-                std::process::exit(0);
-            }
-            "--json-out" => json_out = Some(args.next().expect("--json-out needs a path")),
-            "--paper" => paper = true,
-            "--latency-100" => latency100 = true,
-            "--threads" => {
-                let v = args.next().expect("--threads needs a comma-separated list");
-                threads = Some(
-                    v.split(',')
-                        .map(|s| s.trim().parse().expect("invalid thread count"))
-                        .collect(),
-                );
-            }
-            "--txns" => {
-                txns = Some(
-                    args.next()
-                        .expect("--txns needs a number")
-                        .parse()
-                        .expect("invalid transaction count"),
-                );
-            }
-            "--csv" => csv_dir = Some(args.next().expect("--csv needs a directory")),
-            other if other.starts_with("--") => {
-                eprintln!("unknown flag {other} (see `figures --help`)");
-                std::process::exit(2);
-            }
-            target => {
-                targets.insert(target.to_string());
-            }
-        }
-    }
+fn parse_figures_args(args: &[String]) -> Options {
+    let p = parse_or_fail(spec(""), args);
+    let mut targets: BTreeSet<String> = p.positionals().iter().cloned().collect();
     if targets.is_empty() {
         for t in ["fig6", "fig7", "table1"] {
             targets.insert(t.to_string());
@@ -202,25 +359,27 @@ fn parse_args() -> Options {
             targets.insert(t.to_string());
         }
     }
-    let mut cfg = if paper {
+    let mut cfg = if p.has("--paper") {
         HarnessConfig::paper()
     } else {
         HarnessConfig::quick()
     };
-    if latency100 {
+    if p.has("--latency-100") {
         cfg = cfg.with_latency(LatencyModel::nvm_100ns());
     }
-    if let Some(t) = threads {
-        cfg = cfg.with_thread_counts(t);
+    let threads: Vec<usize> = flag(p.parsed_list("--threads", vec![]));
+    if !threads.is_empty() {
+        cfg = cfg.with_thread_counts(threads);
     }
-    if let Some(t) = txns {
-        cfg = cfg.with_txns_per_thread(t);
+    if p.has("--txns") {
+        let txns = flag(p.parsed("--txns", cfg.txns_per_thread));
+        cfg = cfg.with_txns_per_thread(txns);
     }
     Options {
         targets,
         cfg,
-        csv_dir,
-        json_out,
+        csv_dir: p.value("--csv").map(str::to_string),
+        json_out: p.value("--json-out").map(str::to_string),
     }
 }
 
@@ -262,75 +421,40 @@ fn bank_workloads(max_threads: usize) -> Vec<(String, BankWorkload)> {
 /// once *per YCSB mix* present in the baseline; any mix regressing beyond
 /// the tolerance fails the gate.
 fn run_compare(args: &[String]) -> ! {
-    let mut suite = "hotpath".to_string();
-    let mut baseline: Option<String> = None;
-    let mut candidate: Option<String> = None;
-    let mut tolerance = 0.40f64;
-    let mut engine = "Crafty".to_string();
-    let mut reference = "Non-durable".to_string();
-    let mut threads = 1u64;
-    let mut absolute = false;
+    let p = parse_or_fail(spec("compare"), args);
+    let suite = p.value("--suite").unwrap_or("hotpath").to_string();
+    let tolerance: f64 = flag(p.parsed("--tolerance", 0.40));
+    let engine = p.value("--engine").unwrap_or("Crafty").to_string();
+    let reference = p.value("--reference").unwrap_or("Non-durable").to_string();
+    let threads: u64 = flag(p.parsed("--threads", 1));
+    let absolute = p.has("--absolute");
 
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .unwrap_or_else(|| {
-                    eprintln!("{flag} needs a value");
-                    std::process::exit(2);
-                })
-                .clone()
-        };
-        match arg.as_str() {
-            "--suite" => suite = value("--suite"),
-            "--baseline" => baseline = Some(value("--baseline")),
-            "--candidate" => candidate = Some(value("--candidate")),
-            "--tolerance" => {
-                tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
-                    eprintln!("--tolerance needs a fraction like 0.40");
-                    std::process::exit(2);
-                })
-            }
-            "--engine" => engine = value("--engine"),
-            "--reference" => reference = value("--reference"),
-            "--threads" => {
-                threads = value("--threads").parse().unwrap_or_else(|_| {
-                    eprintln!("--threads needs a number");
-                    std::process::exit(2);
-                })
-            }
-            "--absolute" => absolute = true,
-            other => {
-                eprintln!("unknown compare flag {other}");
-                std::process::exit(2);
-            }
-        }
-    }
     if suite != "hotpath" && suite != "kv" {
-        eprintln!("--suite must be `hotpath` or `kv`, got `{suite}`");
-        std::process::exit(2);
+        fail(&format!("--suite must be `hotpath` or `kv`, got `{suite}`"));
     }
-    let baseline = baseline.unwrap_or_else(|| {
-        if suite == "kv" {
-            "BENCH_kv.json".to_string()
-        } else {
-            "BENCH_hotpath.json".to_string()
-        }
-    });
-    let candidate = candidate.unwrap_or_else(|| {
-        eprintln!("compare requires --candidate PATH (a fresh {suite} JSON artifact)");
-        std::process::exit(2);
-    });
+    let baseline = p
+        .value("--baseline")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            if suite == "kv" {
+                "BENCH_kv.json".to_string()
+            } else {
+                "BENCH_hotpath.json".to_string()
+            }
+        });
+    let candidate = p
+        .value("--candidate")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "compare requires --candidate PATH (a fresh {suite} JSON artifact)"
+            ))
+        });
 
     let load = |path: &str| -> Json {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        });
-        Json::parse(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e}");
-            std::process::exit(2);
-        })
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
     };
     // Looks up one point's ops/s by engine, thread count, and (for the kv
     // suite) mix label.
@@ -348,8 +472,9 @@ fn run_compare(args: &[String]) -> ! {
             .and_then(Json::as_f64)
             .unwrap_or_else(|| {
                 let mix_note = mix.map(|m| format!(" for mix {m}")).unwrap_or_default();
-                eprintln!("{path}: no `{engine}` point at {threads} thread(s){mix_note}");
-                std::process::exit(2);
+                fail(&format!(
+                    "{path}: no `{engine}` point at {threads} thread(s){mix_note}"
+                ))
             })
     };
 
@@ -368,8 +493,7 @@ fn run_compare(args: &[String]) -> ! {
             }
         }
         if mixes.is_empty() {
-            eprintln!("{baseline}: no kv mixes found in baseline points");
-            std::process::exit(2);
+            fail(&format!("{baseline}: no kv mixes found in baseline points"));
         }
         mixes
             .into_iter()
@@ -447,42 +571,19 @@ fn run_torture(args: &[String]) -> ! {
         run_storm_torture, TortureConfig, TortureReport,
     };
 
-    let mut suite = "all".to_string();
+    let p = parse_or_fail(spec("torture"), args);
+    let suite = p.value("--suite").unwrap_or("all").to_string();
     let mut cfg = TortureConfig::quick(1);
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .unwrap_or_else(|| {
-                    eprintln!("{flag} needs a value");
-                    std::process::exit(2);
-                })
-                .clone()
-        };
-        let parse = |flag: &str, v: String| -> u64 {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("{flag} needs a number, got `{v}`");
-                std::process::exit(2);
-            })
-        };
-        match arg.as_str() {
-            "--suite" => suite = value("--suite"),
-            "--seed" => cfg.seed = parse("--seed", value("--seed")),
-            "--txns" => cfg.txns = parse("--txns", value("--txns")),
-            "--steps" => cfg.max_crash_points = parse("--steps", value("--steps")),
-            "--crash-step" => {
-                cfg.crash_step = Some(parse("--crash-step", value("--crash-step")));
-            }
-            other => {
-                eprintln!("unknown torture flag {other} (see `figures --help`)");
-                std::process::exit(2);
-            }
-        }
+    cfg.seed = flag(p.parsed("--seed", cfg.seed));
+    cfg.txns = flag(p.parsed("--txns", cfg.txns));
+    cfg.max_crash_points = flag(p.parsed("--steps", cfg.max_crash_points));
+    if p.has("--crash-step") {
+        cfg.crash_step = Some(flag(p.parsed("--crash-step", 0)));
     }
+
     let known = ["bank", "kv", "storm", "recovery", "all"];
     if !known.contains(&suite.as_str()) {
-        eprintln!("--suite must be one of {known:?}, got `{suite}`");
-        std::process::exit(2);
+        fail(&format!("--suite must be one of {known:?}, got `{suite}`"));
     }
     let wants = |s: &str| suite == s || suite == "all";
 
@@ -560,15 +661,75 @@ fn run_torture(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `kvserve` subcommand: the open-loop service latency sweep. Exits 0
+/// after writing the artifact, 2 on usage errors.
+fn run_kvserve_cmd(args: &[String]) -> ! {
+    let p = parse_or_fail(spec("kvserve"), args);
+    let mut cfg = KvServeConfig::quick();
+    cfg.rates = flag(p.parsed_list("--rates", cfg.rates));
+    cfg.ops = flag(p.parsed("--ops", cfg.ops));
+    cfg.records = flag(p.parsed("--records", cfg.records));
+    cfg.connections = flag(p.parsed("--connections", cfg.connections));
+    cfg.workers = flag(p.parsed("--workers", cfg.workers));
+    cfg.read_pct = flag(p.parsed("--read-pct", cfg.read_pct));
+    cfg.seed = flag(p.parsed("--seed", cfg.seed));
+    cfg.latency.drain_ns = flag(p.parsed("--drain-ns", cfg.latency.drain_ns));
+    cfg.engines = flag(p.parsed_list::<KvServeEngine>("--engines", cfg.engines));
+    if p.has("--fixed") {
+        cfg.arrival = ArrivalProcess::Fixed;
+    }
+    let json_path = p.value("--json-out").unwrap_or("BENCH_kvserve.json");
+
+    println!(
+        "kvserve — open-loop {} arrivals, {} ops/point, {} connections, {} workers, \
+         drain {} ns",
+        cfg.arrival.label(),
+        cfg.ops,
+        cfg.connections,
+        cfg.workers,
+        cfg.latency.drain_ns,
+    );
+    let mut points = Vec::new();
+    for &engine in &cfg.engines {
+        for &rate in &cfg.rates {
+            let point = run_kvserve_point(&cfg, engine, rate);
+            let (p50, p99, p999) = point.percentiles();
+            println!(
+                "  {:<12} @ {:>7}/s: {:>7.0} achieved, batch {:>5.2}, \
+                 p50/p99/p999 = {:.1}/{:.1}/{:.1} µs",
+                point.engine,
+                rate,
+                point.achieved_rate,
+                point.mean_batch,
+                p50 as f64 / 1e3,
+                p99 as f64 / 1e3,
+                p999 as f64 / 1e3,
+            );
+            points.push(point);
+        }
+    }
+    println!("\n{}", render_kvserve_table(&points));
+    std::fs::write(json_path, render_kvserve_json(&cfg, &points)).expect("write kvserve json");
+    println!("[json written to {json_path}]");
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("compare") {
-        run_compare(&argv[1..]);
+    if argv
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        print_usage();
+        return;
     }
-    if argv.first().map(String::as_str) == Some("torture") {
-        run_torture(&argv[1..]);
+    match argv.first().map(String::as_str) {
+        Some("compare") => run_compare(&argv[1..]),
+        Some("torture") => run_torture(&argv[1..]),
+        Some("kvserve") => run_kvserve_cmd(&argv[1..]),
+        _ => {}
     }
-    let options = parse_args();
+    let options = parse_figures_args(&argv);
     let cfg = &options.cfg;
     let max_threads = cfg.thread_counts.iter().copied().max().unwrap_or(1);
     let latency_note = format!("{} ns drain latency", cfg.latency.drain_ns);

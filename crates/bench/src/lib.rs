@@ -12,13 +12,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod flushbound;
 pub mod hotpath;
 pub mod kvbench;
+pub mod kvserve;
 
+pub use cli::{parse, render_help, FlagDef, ParsedArgs, SubcommandSpec};
 pub use flushbound::{render_flushbound_json, run_flushbound, FlushboundPoint};
 pub use hotpath::{render_hotpath_json, run_hotpath, HotpathPoint};
 pub use kvbench::{render_kv_json, run_kv, KvPoint, KV_ENGINES};
+pub use kvserve::{
+    render_kvserve_json, render_kvserve_table, run_kvserve, run_kvserve_point, KvServeConfig,
+    KvServeEngine, KvServePoint,
+};
 
 /// Rounds to two decimals for the JSON artifacts (stable, diff-friendly
 /// files).

@@ -166,6 +166,28 @@ pub trait PersistentTm: Send + Sync {
     /// run; engines with background threads (NV-HTM, DudeTM) drain their
     /// pipelines here so that all committed transactions are persisted.
     fn quiesce(&self) {}
+
+    /// Pins every transaction that has completed before the call so that it
+    /// survives a crash, callable **while other threads keep running**
+    /// (unlike [`PersistentTm::quiesce`]). Invoke this before an externally
+    /// visible, irrevocable action — acknowledging a network request,
+    /// issuing a system call — whose observer must never see the
+    /// acknowledged work disappear.
+    ///
+    /// The paper's recovery gives prefix consistency: each thread's
+    /// *latest* logged sequence is rolled back (its data write-backs may be
+    /// torn), and the timestamp cut can drag further committed-but-unpinned
+    /// work down with it. Crafty therefore implements this as Section 5.2's
+    /// on-demand persistence: an empty committed sequence is appended to
+    /// every thread's log, so the rollback has nothing real left to undo.
+    ///
+    /// The default is a no-op, which is correct for engines whose committed
+    /// transactions are already stable once their commit-path drains have
+    /// completed (and trivially for the non-durable baseline, which makes
+    /// no durability promise to pin).
+    fn persist_fence(&self, calling_tid: usize) {
+        let _ = calling_tid;
+    }
 }
 
 #[cfg(test)]

@@ -385,6 +385,10 @@ impl PersistentTm for Crafty {
             self.persist_now_quiesced(tid);
         }
     }
+
+    fn persist_fence(&self, calling_tid: usize) {
+        self.persist_now(calling_tid);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,211 @@
+//! A pipelining client for the KV wire protocol.
+//!
+//! [`KvClient`] is a thin, blocking wrapper over one `TcpStream`: requests
+//! are framed with [`Request::encode`] and flushed in a single
+//! `write_all`, responses are reassembled from the byte stream and
+//! correlated by order. The two halves are independent —
+//! [`KvClient::send`] and [`KvClient::recv`] can run with any number of
+//! requests in flight, which is what the open-loop load generator uses to
+//! keep the server's socket buffer full (and its group-commit windows
+//! deep). The convenience calls ([`KvClient::get`], [`KvClient::put`], …)
+//! are just `send` + `recv` of depth one.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{frame_payload_len, Request, Response, HEADER_LEN};
+
+/// A blocking, pipelining connection to a [`crate::server::KvServer`].
+pub struct KvClient {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into whole frames.
+    inbox: Vec<u8>,
+    /// Scratch buffer for encoding outgoing frames.
+    outbox: Vec<u8>,
+}
+
+impl KvClient {
+    /// Connects to the server with `TCP_NODELAY` (latency measurements
+    /// must not include Nagle batching delays).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<KvClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(KvClient {
+            stream,
+            inbox: Vec::with_capacity(4096),
+            outbox: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Clones the underlying stream so one thread can [`KvClient::send`]
+    /// while another [`KvClient::recv`]s — the split the open-loop driver
+    /// needs. The halves share the socket but keep independent buffers.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from duplicating the socket handle.
+    pub fn split(&self) -> std::io::Result<KvClient> {
+        Ok(KvClient {
+            stream: self.stream.try_clone()?,
+            inbox: Vec::with_capacity(4096),
+            outbox: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Writes a batch of requests as one contiguous run of frames. The
+    /// caller owes a matching [`KvClient::recv`] of the same count.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the socket write.
+    pub fn send(&mut self, requests: &[Request]) -> std::io::Result<()> {
+        self.outbox.clear();
+        for r in requests {
+            r.encode(&mut self.outbox);
+        }
+        self.stream.write_all(&self.outbox)
+    }
+
+    /// Reads exactly `count` responses, in request order, blocking until
+    /// they arrive.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket; `UnexpectedEof` if the server closes
+    /// mid-stream; `InvalidData` if a frame fails to parse.
+    pub fn recv(&mut self, count: usize) -> std::io::Result<Vec<Response>> {
+        let mut responses = Vec::with_capacity(count);
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Drain every complete frame already buffered.
+            let mut consumed = 0;
+            while responses.len() < count {
+                match frame_payload_len(&self.inbox[consumed..]) {
+                    Ok(Some(len)) => {
+                        let payload =
+                            &self.inbox[consumed + HEADER_LEN..consumed + HEADER_LEN + len];
+                        let resp = Response::decode(payload).map_err(|e| {
+                            std::io::Error::new(ErrorKind::InvalidData, e.to_string())
+                        })?;
+                        responses.push(resp);
+                        consumed += HEADER_LEN + len;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+                    }
+                }
+            }
+            self.inbox.drain(..consumed);
+            if responses.len() == count {
+                return Ok(responses);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed with responses outstanding",
+                    ))
+                }
+                Ok(n) => self.inbox.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One request, one response.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvClient::send`] and [`KvClient::recv`].
+    pub fn call(&mut self, request: Request) -> std::io::Result<Response> {
+        self.send(std::slice::from_ref(&request))?;
+        let mut responses = self.recv(1)?;
+        Ok(responses.remove(0))
+    }
+
+    fn expect_value(resp: Response) -> std::io::Result<Option<u64>> {
+        match resp {
+            Response::Found { value } => Ok(Some(value)),
+            Response::Missing => Ok(None),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+
+    /// Reads `key`; `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvClient::call`], plus `InvalidData` on a mismatched response.
+    pub fn get(&mut self, key: u64) -> std::io::Result<Option<u64>> {
+        Self::expect_value(self.call(Request::Get { key })?)
+    }
+
+    /// Durably writes `key = value`; returns the previous value. When
+    /// this returns, the write has passed the server's durability fence.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvClient::call`], plus `InvalidData` on a mismatched response.
+    pub fn put(&mut self, key: u64, value: u64) -> std::io::Result<Option<u64>> {
+        Self::expect_value(self.call(Request::Put { key, value })?)
+    }
+
+    /// Durably removes `key`; returns the removed value.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvClient::call`], plus `InvalidData` on a mismatched response.
+    pub fn delete(&mut self, key: u64) -> std::io::Result<Option<u64>> {
+        Self::expect_value(self.call(Request::Delete { key })?)
+    }
+
+    /// Scans up to `limit` entries from `key`'s probe position; returns
+    /// `(count, value_sum)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvClient::call`], plus `InvalidData` on a mismatched response.
+    pub fn scan(&mut self, key: u64, limit: u64) -> std::io::Result<(u64, u64)> {
+        match self.call(Request::Scan { key, limit })? {
+            Response::Scanned { count, sum } => Ok((count, sum)),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+
+    /// Forces a durability fence for everything previously accepted on
+    /// this connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvClient::call`], plus `InvalidData` on a mismatched response.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match self.call(Request::Flush)? {
+            Response::Flushed => Ok(()),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Debug for KvClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("buffered", &self.inbox.len())
+            .finish()
+    }
+}

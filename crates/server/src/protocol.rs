@@ -1,0 +1,450 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload. A payload is an opcode byte followed by the
+//! operation's fixed-width little-endian `u64` fields, so a frame's legal
+//! length is fully determined by its opcode and a decoder can reject a
+//! malformed or hostile frame without buffering more than
+//! [`MAX_PAYLOAD`] bytes.
+//!
+//! Requests and responses travel the same framing. Responses carry no
+//! request identifier: a connection is a pipe, the server answers frames
+//! strictly in arrival order, and a pipelining client correlates the
+//! `k`-th response with the `k`-th outstanding request — the same
+//! discipline as Redis' RESP pipeline.
+//!
+//! Durability contract: a [`Response`] to a mutating request is sent only
+//! after the write's durability fence. Under the server's group-commit
+//! window the fence covers the whole pipelined batch, so one drain
+//! amortizes across every write the batch contained (see
+//! [`crate::server`]).
+
+/// Largest legal payload: the biggest message is an opcode plus two `u64`
+/// fields. A length prefix above this is a protocol violation, not a
+/// request to buffer 4 GiB.
+pub const MAX_PAYLOAD: usize = 17;
+
+/// Bytes of the length prefix.
+pub const HEADER_LEN: usize = 4;
+
+// Request opcodes.
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DELETE: u8 = 0x03;
+const OP_SCAN: u8 = 0x04;
+const OP_FLUSH: u8 = 0x05;
+
+// Response opcodes (high bit set, so a stream desynchronization that
+// feeds a response to the request decoder is caught immediately).
+const OP_FOUND: u8 = 0x81;
+const OP_MISSING: u8 = 0x82;
+const OP_SCANNED: u8 = 0x83;
+const OP_FLUSHED: u8 = 0x84;
+
+/// A client request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Read `key`'s current value.
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+    /// Durably set `key` to `value`; the response reports the previous
+    /// value and is the durability ack.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// Durably remove `key`; the response reports the removed value and is
+    /// the durability ack.
+    Delete {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Scan up to `limit` live entries starting at `key`'s probe position;
+    /// the response carries the count and value-sum observed.
+    Scan {
+        /// Scan origin.
+        key: u64,
+        /// Maximum entries to visit.
+        limit: u64,
+    },
+    /// Force a durability fence now, regardless of batching. The response
+    /// acks that everything previously accepted on this connection is
+    /// durable.
+    Flush,
+}
+
+/// A server response. Responses are answered in request order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// The key was present; carries the (previous, for mutations) value.
+    Found {
+        /// The value read, replaced, or removed.
+        value: u64,
+    },
+    /// The key was absent (for `Get`) or newly inserted (for `Put`).
+    Missing,
+    /// Result of a `Scan`.
+    Scanned {
+        /// Live entries visited.
+        count: u64,
+        /// Sum of the visited values (a checksum the client can verify).
+        sum: u64,
+    },
+    /// Ack of a `Flush` fence.
+    Flushed,
+}
+
+/// A malformed frame or payload. Any of these on a connection is fatal to
+/// that connection: framing has lost sync and nothing later can be
+/// trusted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The length prefix was zero (every message has at least an opcode).
+    Empty,
+    /// The opcode byte is not a known message.
+    UnknownOp {
+        /// The offending opcode.
+        op: u8,
+    },
+    /// The payload length does not match the opcode's fixed layout.
+    BadLength {
+        /// The offending opcode.
+        op: u8,
+        /// The payload length received.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame length {len} exceeds the {MAX_PAYLOAD}-byte maximum"
+                )
+            }
+            ProtocolError::Empty => write!(f, "empty frame"),
+            ProtocolError::UnknownOp { op } => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::BadLength { op, len } => {
+                write!(f, "payload length {len} is illegal for opcode {op:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn read_u64(payload: &[u8], at: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&payload[at..at + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Appends one frame (`op` byte plus `fields` in order) to `out`.
+fn encode_frame(out: &mut Vec<u8>, op: u8, fields: &[u64]) {
+    let len = 1 + 8 * fields.len();
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(op);
+    for f in fields {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+}
+
+/// Checks a length prefix and returns the payload length, if the buffer
+/// already holds the complete frame. `Ok(None)` means "incomplete — read
+/// more bytes"; a hostile prefix errors without waiting for the payload.
+pub fn frame_payload_len(buf: &[u8]) -> Result<Option<usize>, ProtocolError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len == 0 {
+        return Err(ProtocolError::Empty);
+    }
+    if len as usize > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized { len });
+    }
+    if buf.len() < HEADER_LEN + len as usize {
+        return Ok(None);
+    }
+    Ok(Some(len as usize))
+}
+
+impl Request {
+    /// Appends the framed request to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Request::Get { key } => encode_frame(out, OP_GET, &[key]),
+            Request::Put { key, value } => encode_frame(out, OP_PUT, &[key, value]),
+            Request::Delete { key } => encode_frame(out, OP_DELETE, &[key]),
+            Request::Scan { key, limit } => encode_frame(out, OP_SCAN, &[key, limit]),
+            Request::Flush => encode_frame(out, OP_FLUSH, &[]),
+        }
+    }
+
+    /// Whether this request mutates the store (and therefore owes the
+    /// client a durability ack).
+    pub fn is_write(&self) -> bool {
+        matches!(self, Request::Put { .. } | Request::Delete { .. })
+    }
+
+    /// Decodes a request from a complete frame payload (opcode byte
+    /// included, length prefix already stripped).
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let op = *payload.first().ok_or(ProtocolError::Empty)?;
+        let body = payload.len() - 1;
+        let expect = |fields: usize| -> Result<(), ProtocolError> {
+            if body == 8 * fields {
+                Ok(())
+            } else {
+                Err(ProtocolError::BadLength {
+                    op,
+                    len: payload.len(),
+                })
+            }
+        };
+        match op {
+            OP_GET => {
+                expect(1)?;
+                Ok(Request::Get {
+                    key: read_u64(payload, 1),
+                })
+            }
+            OP_PUT => {
+                expect(2)?;
+                Ok(Request::Put {
+                    key: read_u64(payload, 1),
+                    value: read_u64(payload, 9),
+                })
+            }
+            OP_DELETE => {
+                expect(1)?;
+                Ok(Request::Delete {
+                    key: read_u64(payload, 1),
+                })
+            }
+            OP_SCAN => {
+                expect(2)?;
+                Ok(Request::Scan {
+                    key: read_u64(payload, 1),
+                    limit: read_u64(payload, 9),
+                })
+            }
+            OP_FLUSH => {
+                expect(0)?;
+                Ok(Request::Flush)
+            }
+            op => Err(ProtocolError::UnknownOp { op }),
+        }
+    }
+}
+
+impl Response {
+    /// Appends the framed response to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Response::Found { value } => encode_frame(out, OP_FOUND, &[value]),
+            Response::Missing => encode_frame(out, OP_MISSING, &[]),
+            Response::Scanned { count, sum } => encode_frame(out, OP_SCANNED, &[count, sum]),
+            Response::Flushed => encode_frame(out, OP_FLUSHED, &[]),
+        }
+    }
+
+    /// Decodes a response from a complete frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let op = *payload.first().ok_or(ProtocolError::Empty)?;
+        let body = payload.len() - 1;
+        let expect = |fields: usize| -> Result<(), ProtocolError> {
+            if body == 8 * fields {
+                Ok(())
+            } else {
+                Err(ProtocolError::BadLength {
+                    op,
+                    len: payload.len(),
+                })
+            }
+        };
+        match op {
+            OP_FOUND => {
+                expect(1)?;
+                Ok(Response::Found {
+                    value: read_u64(payload, 1),
+                })
+            }
+            OP_MISSING => {
+                expect(0)?;
+                Ok(Response::Missing)
+            }
+            OP_SCANNED => {
+                expect(2)?;
+                Ok(Response::Scanned {
+                    count: read_u64(payload, 1),
+                    sum: read_u64(payload, 9),
+                })
+            }
+            OP_FLUSHED => {
+                expect(0)?;
+                Ok(Response::Flushed)
+            }
+            op => Err(ProtocolError::UnknownOp { op }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Get { key: 0 },
+            Request::Get { key: u64::MAX },
+            Request::Put {
+                key: 7,
+                value: 0xDEAD_BEEF,
+            },
+            Request::Delete { key: 42 },
+            Request::Scan { key: 9, limit: 16 },
+            Request::Flush,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Found { value: 0 },
+            Response::Found { value: u64::MAX },
+            Response::Missing,
+            Response::Scanned {
+                count: 3,
+                sum: 1_000_000,
+            },
+            Response::Flushed,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        for req in all_requests() {
+            let mut wire = Vec::new();
+            req.encode(&mut wire);
+            let len = frame_payload_len(&wire).expect("valid").expect("complete");
+            assert_eq!(wire.len(), HEADER_LEN + len);
+            assert_eq!(Request::decode(&wire[HEADER_LEN..]).expect("decode"), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames() {
+        for resp in all_responses() {
+            let mut wire = Vec::new();
+            resp.encode(&mut wire);
+            let len = frame_payload_len(&wire).expect("valid").expect("complete");
+            assert_eq!(wire.len(), HEADER_LEN + len);
+            assert_eq!(Response::decode(&wire[HEADER_LEN..]).expect("decode"), resp);
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let reqs = all_requests();
+        let mut wire = Vec::new();
+        for r in &reqs {
+            r.encode(&mut wire);
+        }
+        let mut at = 0;
+        let mut decoded = Vec::new();
+        while at < wire.len() {
+            let len = frame_payload_len(&wire[at..])
+                .expect("valid")
+                .expect("complete");
+            decoded.push(Request::decode(&wire[at + HEADER_LEN..at + HEADER_LEN + len]).unwrap());
+            at += HEADER_LEN + len;
+        }
+        assert_eq!(decoded, reqs);
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more_bytes() {
+        let mut wire = Vec::new();
+        Request::Put { key: 1, value: 2 }.encode(&mut wire);
+        for cut in 0..wire.len() {
+            assert_eq!(
+                frame_payload_len(&wire[..cut]),
+                Ok(None),
+                "cut at {cut} must read as incomplete"
+            );
+        }
+        assert!(frame_payload_len(&wire).unwrap().is_some());
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_buffering() {
+        // 4 GiB-ish claimed length: rejected from the prefix alone.
+        let huge = u32::MAX.to_le_bytes();
+        assert_eq!(
+            frame_payload_len(&huge),
+            Err(ProtocolError::Oversized { len: u32::MAX })
+        );
+        let zero = 0u32.to_le_bytes();
+        assert_eq!(frame_payload_len(&zero), Err(ProtocolError::Empty));
+        // Just above the maximum is rejected too.
+        let over = ((MAX_PAYLOAD + 1) as u32).to_le_bytes();
+        assert!(matches!(
+            frame_payload_len(&over),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_payloads_are_rejected() {
+        // Unknown opcode.
+        assert_eq!(
+            Request::decode(&[0x7F, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtocolError::UnknownOp { op: 0x7F })
+        );
+        // A response opcode fed to the request decoder (desync detection).
+        assert!(matches!(
+            Request::decode(&[OP_FOUND, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtocolError::UnknownOp { .. })
+        ));
+        // Right opcode, wrong body length.
+        assert_eq!(
+            Request::decode(&[OP_PUT, 1, 2, 3]),
+            Err(ProtocolError::BadLength { op: OP_PUT, len: 4 })
+        );
+        assert_eq!(
+            Request::decode(&[OP_FLUSH, 9]),
+            Err(ProtocolError::BadLength {
+                op: OP_FLUSH,
+                len: 2
+            })
+        );
+        assert_eq!(Request::decode(&[]), Err(ProtocolError::Empty));
+        assert!(matches!(
+            Response::decode(&[OP_GET, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtocolError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_a_description() {
+        for e in [
+            ProtocolError::Oversized { len: 99 },
+            ProtocolError::Empty,
+            ProtocolError::UnknownOp { op: 0x33 },
+            ProtocolError::BadLength { op: OP_GET, len: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Log-bucketed latency histograms for tail-latency reporting.
+//!
+//! Throughput alone cannot judge a durability design: the cost of a drain
+//! barrier shows up as *tail* latency under load, and an open-loop arrival
+//! process makes that tail visible (a closed-loop driver silently slows
+//! its own arrivals when the server stalls — coordinated omission). The
+//! service benchmarks therefore record every request's latency into a
+//! [`LatencyHistogram`] and report percentiles (p50/p99/p999).
+//!
+//! The histogram is HdrHistogram-shaped: values below
+//! [`LatencyHistogram::PRECISION`] · 2 are counted exactly, and every
+//! higher octave is split into [`LatencyHistogram::PRECISION`] sub-buckets,
+//! bounding the relative quantization error at `1 / PRECISION` (~3%) over
+//! the full `u64` nanosecond range. The bucket array is allocated once at
+//! construction and [`LatencyHistogram::record`] touches nothing else, so
+//! recording is allocation-free in steady state; per-thread histograms
+//! merge with [`LatencyHistogram::merge`].
+
+/// Number of sub-buckets per octave (and the largest exactly-counted
+/// magnitude's half): 32 sub-buckets bound relative error at ~3%.
+const PRECISION_BITS: u32 = 5;
+
+/// Bucket count: two exact octaves plus 58 subdivided ones.
+const BUCKETS: usize = (64 - PRECISION_BITS as usize + 1) * (1 << PRECISION_BITS);
+
+/// A log-bucketed histogram of nanosecond latencies.
+///
+/// ```
+/// use crafty_stats::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in [100, 200, 300, 400, 1_000_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(0.5) >= 290 && h.percentile(0.5) <= 310);
+/// assert!(h.percentile(1.0) >= 970_000);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Sub-buckets per octave; quantization error is bounded by
+    /// `1 / PRECISION`.
+    pub const PRECISION: u64 = 1 << PRECISION_BITS;
+
+    /// Creates an empty histogram. This is the only allocation the
+    /// histogram ever performs.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value: exact below `2 · PRECISION`, log-linear
+    /// above (top `PRECISION_BITS + 1` significant bits select the bucket).
+    fn index(ns: u64) -> usize {
+        if ns < 2 * Self::PRECISION {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros();
+        let shift = msb - PRECISION_BITS;
+        let sub = (ns >> shift) as usize - Self::PRECISION as usize;
+        ((msb - PRECISION_BITS) as usize + 1) * Self::PRECISION as usize + sub
+    }
+
+    /// The representative value reported for a bucket: the midpoint of the
+    /// value range mapping to it (the value itself for exact buckets).
+    fn bucket_value(index: usize) -> u64 {
+        let precision = Self::PRECISION as usize;
+        if index < 2 * precision {
+            return index as u64;
+        }
+        let octave = index / precision - 1;
+        let shift = octave as u32;
+        let low = ((index % precision + precision) as u64) << shift;
+        low + (1u64 << shift) / 2
+    }
+
+    /// Records one latency sample, in nanoseconds. Allocation-free.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded sample (not quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The latency at quantile `q` (`0.5` = median, `0.999` = p999):
+    /// the representative value of the first bucket at which the running
+    /// count reaches `q · count`, except that the top quantile reports the
+    /// exact maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if target == self.count {
+            // The top rank is the maximum, which is tracked exactly.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // The final bucket's representative may overshoot the real
+                // maximum; the exact max is tracked, so report it instead.
+                return Self::bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one (per-thread recorders merging
+    /// into a run total).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.percentile(1.0 / 64.0), 0);
+        assert_eq!(h.percentile(0.5), 31);
+        assert_eq!(h.percentile(1.0), 63);
+        assert_eq!(h.max(), 63);
+    }
+
+    #[test]
+    fn large_values_quantize_within_bound() {
+        let mut h = LatencyHistogram::new();
+        let v = 1_234_567_891u64;
+        h.record(v);
+        let p = h.percentile(0.5);
+        let err = p.abs_diff(v) as f64 / v as f64;
+        assert!(err <= 1.0 / LatencyHistogram::PRECISION as f64, "err {err}");
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut probes: Vec<u64> = Vec::new();
+        for bits in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                probes.push((1u64 << bits).saturating_add(off << bits.saturating_sub(3)));
+            }
+        }
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let i = LatencyHistogram::index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+        assert_eq!(LatencyHistogram::index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_value_round_trips_through_index() {
+        for i in 0..BUCKETS {
+            let v = LatencyHistogram::bucket_value(i);
+            assert_eq!(
+                LatencyHistogram::index(v),
+                i,
+                "representative of bucket {i} maps elsewhere"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let samples_a = [5u64, 900, 17, 1 << 40, 33_000];
+        let samples_b = [0u64, 12, 900, 2_000_000];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples_a {
+            a.record(s);
+            whole.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+            whole.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 9);
+        assert_eq!(a.max(), 1 << 40);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+}

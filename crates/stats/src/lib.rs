@@ -4,7 +4,12 @@
 //!
 //! * [`Measurement`] / [`Figure`] — throughput points and per-benchmark
 //!   series, normalized to single-thread Non-durable throughput exactly as
-//!   in Section 7.1.
+//!   in Section 7.1. A measurement may additionally carry a
+//!   [`LatencyHistogram`]; figures with latency data also render and emit
+//!   percentile (p50/p99/p999) columns.
+//! * [`latency`] — the log-bucketed, mergeable, allocation-free-in-steady-
+//!   state latency histogram behind the service benchmarks' tail-latency
+//!   reporting.
 //! * [`report`] — text/CSV rendering of every figure, of the
 //!   persistent/hardware transaction breakdowns (Figures 9–21), and of
 //!   Table 1 (writes per transaction).
@@ -15,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod latency;
 pub mod report;
 pub mod throughput;
 
 pub use json::Json;
+pub use latency::LatencyHistogram;
 pub use report::{render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row};
 pub use throughput::{Figure, Measurement, PAPER_THREAD_COUNTS};

@@ -10,6 +10,9 @@ use crafty_common::{BreakdownSnapshot, CompletionPath, HwTxnOutcome};
 use crate::throughput::Figure;
 
 /// Renders a figure as an aligned text table of normalized throughputs.
+/// When any point carries a latency distribution, a second table with the
+/// p50/p99/p999 columns follows (figures from the closed-loop benchmarks
+/// render exactly as before).
 pub fn render_figure(figure: &Figure, baseline_engine: &str) -> String {
     let engines = figure.engines();
     let threads = figure.thread_counts();
@@ -35,23 +38,64 @@ pub fn render_figure(figure: &Figure, baseline_engine: &str) -> String {
         }
         out.push('\n');
     }
+    if figure.has_latency() {
+        out.push_str(&format!("# {} — latency µs (p50/p99/p999)\n", figure.title));
+        out.push_str(&format!("{:>8}", "threads"));
+        for e in &engines {
+            out.push_str(&format!("{e:>26}"));
+        }
+        out.push('\n');
+        for &t in &threads {
+            out.push_str(&format!("{t:>8}"));
+            for e in &engines {
+                match figure.latency_percentiles(e, t) {
+                    Some((p50, p99, p999)) => out.push_str(&format!(
+                        "{:>26}",
+                        format!(
+                            "{:.1}/{:.1}/{:.1}",
+                            p50 as f64 / 1_000.0,
+                            p99 as f64 / 1_000.0,
+                            p999 as f64 / 1_000.0
+                        )
+                    )),
+                    None => out.push_str(&format!("{:>26}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+    }
     out
 }
 
 /// Renders a figure as CSV (`threads,engine,normalized_throughput,raw_tps`).
+/// Figures with latency data gain `p50_ns,p99_ns,p999_ns` columns; the
+/// header and rows of throughput-only figures are unchanged, so existing
+/// consumers keep parsing them as before.
 pub fn render_figure_csv(figure: &Figure, baseline_engine: &str) -> String {
-    let mut out = String::from("benchmark,threads,engine,normalized_throughput,raw_tps\n");
+    let latency = figure.has_latency();
+    let mut out = String::from("benchmark,threads,engine,normalized_throughput,raw_tps");
+    if latency {
+        out.push_str(",p50_ns,p99_ns,p999_ns");
+    }
+    out.push('\n');
     let base = figure.baseline_throughput(baseline_engine).unwrap_or(1.0);
     let base = if base > 0.0 { base } else { 1.0 };
     for p in &figure.points {
         out.push_str(&format!(
-            "{},{},{},{:.6},{:.3}\n",
+            "{},{},{},{:.6},{:.3}",
             figure.title,
             p.threads,
             p.engine,
             p.throughput() / base,
             p.throughput()
         ));
+        if latency {
+            match p.latency_percentiles() {
+                Some((p50, p99, p999)) => out.push_str(&format!(",{p50},{p99},{p999}")),
+                None => out.push_str(",,,"),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -109,12 +153,12 @@ mod tests {
             ("Crafty", 2, 1200),
             ("NV-HTM", 1, 500),
         ] {
-            fig.push(Measurement {
-                engine: engine.to_string(),
+            fig.push(Measurement::throughput_only(
+                engine,
                 threads,
-                transactions: txns,
-                elapsed: Duration::from_secs(1),
-            });
+                txns,
+                Duration::from_secs(1),
+            ));
         }
         fig
     }
@@ -136,6 +180,28 @@ mod tests {
         let csv = render_figure_csv(&fig, "Non-durable");
         assert_eq!(csv.lines().count(), fig.points.len() + 1);
         assert!(csv.starts_with("benchmark,threads,engine"));
+        // Throughput-only figures keep the pre-latency schema exactly.
+        assert!(!csv.contains("p50_ns"));
+    }
+
+    #[test]
+    fn latency_figures_render_percentile_columns() {
+        use crate::latency::LatencyHistogram;
+        let mut fig = figure();
+        let mut h = LatencyHistogram::new();
+        for ns in [10_000u64, 20_000, 30_000, 900_000] {
+            h.record(ns);
+        }
+        fig.push(
+            Measurement::throughput_only("Crafty", 4, 100, Duration::from_secs(1)).with_latency(h),
+        );
+        let text = render_figure(&fig, "Non-durable");
+        assert!(text.contains("latency µs (p50/p99/p999)"));
+        assert!(text.lines().filter(|l| l.starts_with('#')).count() == 2);
+        let csv = render_figure_csv(&fig, "Non-durable");
+        assert!(csv.starts_with("benchmark,threads,engine,normalized_throughput,raw_tps,p50_ns"));
+        // The latency-less points keep empty percentile cells.
+        assert!(csv.contains(",,,"));
     }
 
     #[test]

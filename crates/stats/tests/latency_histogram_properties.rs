@@ -1,0 +1,91 @@
+//! Property tests for the log-bucketed latency histogram: every reported
+//! percentile must agree with an exact sorted-reference oracle to within
+//! the histogram's quantization bound, under arbitrary sample mixes,
+//! arbitrary split/merge partitions, and the full `u64` range.
+
+use crafty_stats::LatencyHistogram;
+use proptest::prelude::*;
+
+/// The exact oracle: nearest-rank percentile over the sorted samples
+/// (`ceil(q·n)`-th smallest), matching the histogram's rank definition.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Quantization bound: the histogram subdivides each octave into
+/// `PRECISION` sub-buckets and reports bucket midpoints, so any reported
+/// value differs from some sample in the target bucket by at most one
+/// sub-bucket width — a relative error of `1/PRECISION` (plus 1 ns of
+/// integer slack for the exact low range).
+fn within_bound(reported: u64, exact: u64) -> bool {
+    let tolerance = exact / LatencyHistogram::PRECISION + 1;
+    reported.abs_diff(exact) <= tolerance
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Percentiles of arbitrary small-to-huge sample sets stay within the
+    /// quantization bound of the exact sorted-reference answer.
+    #[test]
+    fn percentiles_match_sorted_oracle(samples in prop::collection::vec(0u64..u64::MAX, 1..400)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let reported = h.percentile(q);
+            let exact = exact_percentile(&sorted, q);
+            prop_assert!(
+                within_bound(reported, exact),
+                "q={} reported={} exact={} (n={})",
+                q, reported, exact, sorted.len()
+            );
+        }
+        // The exact maximum is reported exactly, not quantized.
+        prop_assert_eq!(h.percentile(1.0), *sorted.last().unwrap());
+    }
+
+    /// Percentiles are monotone in the quantile, and merging per-thread
+    /// histograms gives exactly the histogram of the union.
+    #[test]
+    fn merge_is_union_and_percentiles_are_monotone(
+        a in prop::collection::vec(0u64..1_000_000_000_000, 1..200),
+        b in prop::collection::vec(0u64..1_000_000_000_000, 1..200),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &s in &a {
+            ha.record(s);
+            hu.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hu.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &hu);
+
+        let mut union_sorted: Vec<u64> = a.iter().chain(&b).copied().collect();
+        union_sorted.sort_unstable();
+        let mut last = 0u64;
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999, 1.0] {
+            let reported = ha.percentile(q);
+            prop_assert!(reported >= last, "percentile not monotone at q={}", q);
+            last = reported;
+            let exact = exact_percentile(&union_sorted, q);
+            prop_assert!(
+                within_bound(reported, exact),
+                "merged q={} reported={} exact={}",
+                q, reported, exact
+            );
+        }
+    }
+}

@@ -107,12 +107,12 @@ pub fn measure(
     seed: u64,
 ) -> Measurement {
     let elapsed = run_mix(engine, mix, threads, txns_per_thread, seed);
-    Measurement {
-        engine: engine.name().to_string(),
+    Measurement::throughput_only(
+        engine.name(),
         threads,
-        transactions: threads as u64 * txns_per_thread,
+        threads as u64 * txns_per_thread,
         elapsed,
-    }
+    )
 }
 
 #[cfg(test)]

@@ -12,6 +12,9 @@
 //! * [`ycsb`] — YCSB-style key-value mixes (A/B/C read-heavy, E scan) over
 //!   the durable sharded [`crafty_kv::ShardedKv`] store, with zipfian key
 //!   popularity.
+//! * [`openloop`] — deterministic open-loop arrival schedules (fixed-rate
+//!   and Poisson) for the service benchmarks, where latency is measured
+//!   from intended send times so coordinated omission stays visible.
 //! * [`driver`] — the engine-generic runner that measures wall-clock
 //!   throughput and feeds the figure harness.
 //! * [`engines`] — constructors for every engine configuration evaluated
@@ -24,6 +27,7 @@ pub mod bank;
 pub mod btree;
 pub mod driver;
 pub mod engines;
+pub mod openloop;
 pub mod stamp;
 pub mod ycsb;
 
@@ -31,5 +35,6 @@ pub use bank::{BankWorkload, Contention};
 pub use btree::{BtreeVariant, BtreeWorkload};
 pub use driver::{measure, run_mix, TxnMix, Workload};
 pub use engines::{build_engine, EngineKind};
+pub use openloop::{ArrivalProcess, OpKind, OpenLoopConfig, ScheduledOp};
 pub use stamp::{StampKernel, StampWorkload};
 pub use ycsb::{YcsbKvMix, YcsbMix, YcsbWorkload, YCSB_BATCH_GROUP};

@@ -12,8 +12,15 @@
 //! * [`kv`] ([`crafty_kv`]) — the durable, sharded key-value store built on
 //!   the persistent-transaction interface (the workspace's application
 //!   layer).
+//! * [`server`] ([`crafty_server`]) — the networked front-end over the KV
+//!   store: a thread-per-core TCP server speaking a pipelined binary
+//!   protocol, where each pipelined batch of writes shares one
+//!   group-commit durability window and the ack is sent only after the
+//!   batch's drain fence.
 //! * [`workloads`] / [`stats`] — the paper's benchmarks, the YCSB-style KV
-//!   mixes, and the measurement and reporting layer.
+//!   mixes, the open-loop arrival schedules behind the service benchmark,
+//!   and the measurement and reporting layer (including the log-bucketed
+//!   latency histogram behind the p50/p99/p999 columns).
 //!
 //! See `README.md` for the quickstart and benchmark guide, and
 //! `ARCHITECTURE.md` for the crate layers, the life of a transaction, and
@@ -47,6 +54,7 @@ pub use crafty_core as core;
 pub use crafty_htm as htm;
 pub use crafty_kv as kv;
 pub use crafty_pmem as pmem;
+pub use crafty_server as server;
 pub use crafty_stats as stats;
 pub use crafty_workloads as workloads;
 
@@ -59,7 +67,12 @@ pub mod prelude {
     pub use crafty_core::{recover, Crafty, CraftyConfig, CraftyVariant, ThreadingMode};
     pub use crafty_kv::{DirectOps, GroupCommit, KvConfig, ShardedKv};
     pub use crafty_pmem::{CrashModel, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
+    pub use crafty_server::{
+        KvClient, KvServer, ProtocolError, Request, Response, ServerConfig, ServerStats,
+    };
+    pub use crafty_stats::LatencyHistogram;
     pub use crafty_workloads::{
-        build_engine, measure, EngineKind, Workload, YcsbMix, YcsbWorkload,
+        build_engine, measure, ArrivalProcess, EngineKind, OpKind, OpenLoopConfig, ScheduledOp,
+        Workload, YcsbMix, YcsbWorkload,
     };
 }
