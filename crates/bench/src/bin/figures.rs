@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! figures [targets...] [--paper] [--latency-100] [--threads a,b,c] [--txns N] [--csv DIR]
-//!         [--json-out PATH]
+//!         [--json-out PATH] [--trace off|counters|events]
 //!
-//! targets: fig6 fig7 fig8 table1 breakdowns fig22 fig23 fig24 hotpath
-//!          flushbound kv all   (default: fig6 fig7 table1)
+//! targets: fig6 fig7 fig8 table1 breakdowns breakdown fig22 fig23 fig24
+//!          hotpath flushbound kv all   (default: fig6 fig7 table1 breakdown)
 //!
 //! figures compare --candidate PATH [--baseline BENCH_hotpath.json]
 //!         [--suite hotpath|kv] [--tolerance 0.40] [--engine Crafty]
@@ -17,6 +17,10 @@
 //! figures kvserve [--rates a,b,c] [--ops N] [--engines e,e] [--connections N]
 //!         [--workers N] [--records N] [--read-pct N] [--fixed] [--seed N]
 //!         [--drain-ns N] [--json-out PATH]
+//!
+//! figures breakdown [--threads N] [--txns N] [--json-out PATH]
+//!
+//! figures trace [--out trace.json] [--threads N] [--txns N] [--ring N]
 //!
 //! figures --help   prints the full usage, generated from the same flag
 //!                  table the parser validates against
@@ -77,6 +81,18 @@
 //! per-transaction-durable Crafty, and Crafty behind the server's
 //! group-commit durability window.
 //!
+//! `breakdown` runs the *traced* phase decomposition: the bank (medium
+//! contention) benchmark and the YCSB-A mix on the four KV-comparison
+//! engines with the trace subsystem at `counters` level, printing each
+//! engine's per-phase virtual-cycle table and abort-cause histogram and
+//! writing `BENCH_breakdown.json` (see [`crafty_bench::breakdown`]). The
+//! same section rides along with every default (no-target) run. `trace`
+//! captures one run at the `events` level and dumps every thread's event
+//! ring as chrome://tracing JSON (see [`crafty_bench::tracedump`]). The
+//! figure targets additionally accept `--trace LEVEL` to run with the
+//! tracer armed; the `compare` gate against the committed baseline is what
+//! pins the default `off` level's overhead at zero.
+//!
 //! Every figure is printed as the table of normalized throughputs behind
 //! the paper's plot (one row per thread count, one column per engine,
 //! normalized to single-thread Non-durable). `--csv DIR` additionally
@@ -87,11 +103,13 @@
 use std::collections::BTreeSet;
 
 use crafty_bench::{
-    cli, render_flushbound_json, render_hotpath_json, render_kv_json, render_kvserve_json,
-    render_kvserve_table, run_breakdowns, run_figure, run_flushbound, run_hotpath, run_kv,
-    run_kvserve_point, writes_per_txn, FlagDef, HarnessConfig, KvServeConfig, KvServeEngine,
-    ParsedArgs, SubcommandSpec,
+    cli, render_breakdown_json, render_flushbound_json, render_hotpath_json, render_kv_json,
+    render_kvserve_json, render_kvserve_table, run_breakdown, run_breakdowns, run_figure,
+    run_flushbound, run_hotpath, run_kv, run_kvserve_point, run_trace_dump, writes_per_txn,
+    FlagDef, HarnessConfig, KvServeConfig, KvServeEngine, ParsedArgs, SubcommandSpec,
+    TraceDumpConfig,
 };
+use crafty_common::trace::{self, TraceConfig, TraceLevel};
 use crafty_pmem::LatencyModel;
 use crafty_stats::{
     render_breakdown, render_figure, render_figure_csv, render_writes_per_txn_row, Json,
@@ -108,8 +126,14 @@ const SPECS: &[SubcommandSpec] = &[
         name: "",
         positional: Some("targets..."),
         summary: "regenerate figures/tables (fig6 fig7 fig8 table1 breakdowns \
-                  fig22 fig23 fig24 hotpath flushbound kv all; default: fig6 fig7 table1)",
+                  fig22 fig23 fig24 hotpath flushbound kv all; \
+                  default: fig6 fig7 table1 + traced phase breakdown)",
         flags: &[
+            FlagDef {
+                name: "--trace",
+                value: Some("LEVEL"),
+                help: "trace level for the figure runs: off | counters | events (default off)",
+            },
             FlagDef {
                 name: "--paper",
                 value: None,
@@ -283,6 +307,55 @@ const SPECS: &[SubcommandSpec] = &[
             },
         ],
     },
+    SubcommandSpec {
+        name: "breakdown",
+        positional: None,
+        summary: "traced phase-cycle + abort-cause breakdown (bank and YCSB-A, four engines)",
+        flags: &[
+            FlagDef {
+                name: "--threads",
+                value: Some("N"),
+                help: "worker threads of every point (default 4)",
+            },
+            FlagDef {
+                name: "--txns",
+                value: Some("N"),
+                help: "transactions per thread per point (default 2000)",
+            },
+            FlagDef {
+                name: "--json-out",
+                value: Some("PATH"),
+                help: "artifact path (default BENCH_breakdown.json)",
+            },
+        ],
+    },
+    SubcommandSpec {
+        name: "trace",
+        positional: None,
+        summary: "dump a traced run's event rings as chrome://tracing JSON",
+        flags: &[
+            FlagDef {
+                name: "--out",
+                value: Some("PATH"),
+                help: "output path (default trace.json)",
+            },
+            FlagDef {
+                name: "--threads",
+                value: Some("N"),
+                help: "worker threads (default 2)",
+            },
+            FlagDef {
+                name: "--txns",
+                value: Some("N"),
+                help: "transactions per thread (default 200)",
+            },
+            FlagDef {
+                name: "--ring",
+                value: Some("N"),
+                help: "per-thread event-ring capacity (default 4096)",
+            },
+        ],
+    },
 ];
 
 fn spec(name: &str) -> &'static SubcommandSpec {
@@ -338,7 +411,10 @@ fn parse_figures_args(args: &[String]) -> Options {
     let p = parse_or_fail(spec(""), args);
     let mut targets: BTreeSet<String> = p.positionals().iter().cloned().collect();
     if targets.is_empty() {
-        for t in ["fig6", "fig7", "table1"] {
+        // The traced phase breakdown rides along with every default run,
+        // so the four engines' phase tables are always a bare `figures`
+        // invocation away.
+        for t in ["fig6", "fig7", "table1", "breakdown"] {
             targets.insert(t.to_string());
         }
     }
@@ -349,6 +425,7 @@ fn parse_figures_args(args: &[String]) -> Options {
             "fig8",
             "table1",
             "breakdowns",
+            "breakdown",
             "fig22",
             "fig23",
             "fig24",
@@ -374,6 +451,17 @@ fn parse_figures_args(args: &[String]) -> Options {
     if p.has("--txns") {
         let txns = flag(p.parsed("--txns", cfg.txns_per_thread));
         cfg = cfg.with_txns_per_thread(txns);
+    }
+    if let Some(level) = p.value("--trace") {
+        let level = TraceLevel::parse(level).unwrap_or_else(|| {
+            fail(&format!(
+                "--trace must be one of off, counters, events; got `{level}`"
+            ))
+        });
+        trace::configure(TraceConfig {
+            level,
+            ..TraceConfig::default()
+        });
     }
     Options {
         targets,
@@ -661,6 +749,65 @@ fn run_torture(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Runs the traced breakdown matrix (bank + YCSB-A on the four KV
+/// engines at `Counters` level), prints the per-engine phase tables and
+/// abort-cause histograms, and writes the JSON artifact. Shared by the
+/// `breakdown` subcommand and the default figure run.
+fn emit_breakdown(cfg: &HarnessConfig, json_path: &str) {
+    println!("\n== traced phase breakdown: bank + YCSB-A on the four KV engines ==");
+    let runs = run_breakdown(cfg);
+    let mut current_mix = String::new();
+    for r in &runs {
+        if r.mix != current_mix {
+            println!(
+                "\n-- {} ({} threads, trace level counters) --",
+                r.mix, r.threads
+            );
+            current_mix.clone_from(&r.mix);
+        }
+        print!("{}", render_breakdown(&r.engine, &r.snapshot));
+    }
+    std::fs::write(json_path, render_breakdown_json(cfg, &runs)).expect("write breakdown json");
+    println!("[json written to {json_path}]");
+}
+
+/// The `breakdown` subcommand: the traced phase-cycle decomposition.
+/// Exits 0 after writing the artifact, 2 on usage errors.
+fn run_breakdown_cmd(args: &[String]) -> ! {
+    let p = parse_or_fail(spec("breakdown"), args);
+    let threads: usize = flag(p.parsed("--threads", 4));
+    let txns: u64 = flag(p.parsed("--txns", 2_000));
+    let json_path = p.value("--json-out").unwrap_or("BENCH_breakdown.json");
+    let cfg = HarnessConfig::quick()
+        .with_thread_counts(vec![threads])
+        .with_txns_per_thread(txns);
+    emit_breakdown(&cfg, json_path);
+    std::process::exit(0);
+}
+
+/// The `trace` subcommand: capture one traced run's event rings and dump
+/// them as chrome://tracing JSON. Exits 0 after writing, 2 on usage
+/// errors.
+fn run_trace_cmd(args: &[String]) -> ! {
+    let p = parse_or_fail(spec("trace"), args);
+    let mut dump = TraceDumpConfig::quick();
+    dump.threads = flag(p.parsed("--threads", dump.threads));
+    dump.txns_per_thread = flag(p.parsed("--txns", dump.txns_per_thread));
+    dump.ring_capacity = flag(p.parsed("--ring", dump.ring_capacity));
+    let out = p.value("--out").unwrap_or("trace.json");
+    let cfg = HarnessConfig::quick().with_thread_counts(vec![dump.threads]);
+    println!(
+        "trace — {} on bank (medium contention), {} threads × {} txns, ring capacity {}",
+        dump.engine.label(),
+        dump.threads,
+        dump.txns_per_thread,
+        dump.ring_capacity,
+    );
+    std::fs::write(out, run_trace_dump(&dump, &cfg)).expect("write trace json");
+    println!("[chrome trace written to {out} — load it in chrome://tracing or Perfetto]");
+    std::process::exit(0);
+}
+
 /// The `kvserve` subcommand: the open-loop service latency sweep. Exits 0
 /// after writing the artifact, 2 on usage errors.
 fn run_kvserve_cmd(args: &[String]) -> ! {
@@ -727,6 +874,8 @@ fn main() {
         Some("compare") => run_compare(&argv[1..]),
         Some("torture") => run_torture(&argv[1..]),
         Some("kvserve") => run_kvserve_cmd(&argv[1..]),
+        Some("breakdown") => run_breakdown_cmd(&argv[1..]),
+        Some("trace") => run_trace_cmd(&argv[1..]),
         _ => {}
     }
     let options = parse_figures_args(&argv);
@@ -814,6 +963,9 @@ fn main() {
                 print!("{}", render_breakdown(&engine, &snapshot));
             }
         }
+    }
+    if has("breakdown") {
+        emit_breakdown(cfg, "BENCH_breakdown.json");
     }
     if has("hotpath") {
         let path = options.json_out.as_deref().unwrap_or("BENCH_hotpath.json");

@@ -1,0 +1,178 @@
+//! The phase-decomposition benchmark behind `figures breakdown` and
+//! `BENCH_breakdown.json`.
+//!
+//! Runs the four KV-comparison engines on the bank benchmark (medium
+//! contention) and the YCSB-A update mix with the trace subsystem at
+//! [`TraceLevel::Counters`], so every point's [`BreakdownSnapshot`] carries
+//! the per-phase virtual-cycle decomposition (Log / Redo / Validate / SGL /
+//! Drain / Fence) and the structured abort-cause histogram on top of the
+//! completion-path and hardware-outcome counts the untraced breakdowns
+//! already report.
+//!
+//! Phase cycles and causes only accumulate where the engine is
+//! instrumented: Crafty's phases all report; the simulated-HTM baselines
+//! report abort causes but no persistent phases; Non-durable reports
+//! neither. Rendering skips empty sections, so the table stays honest
+//! about what each engine actually measured.
+
+use crafty_common::trace::{self, TraceConfig, TraceLevel};
+use crafty_common::{AbortCause, BreakdownSnapshot, TxnPhase};
+use crafty_stats::Json;
+use crafty_workloads::{BankWorkload, Contention, Workload, YcsbMix, YcsbWorkload};
+
+use crate::kvbench::KV_ENGINES;
+use crate::{round2, run_point, HarnessConfig};
+
+/// One (mix, engine) sample of the traced breakdown run.
+#[derive(Clone, Debug)]
+pub struct BreakdownRun {
+    /// Workload label (`"bank (medium contention)"`, `"YCSB-A"`).
+    pub mix: String,
+    /// Engine legend label.
+    pub engine: String,
+    /// Worker thread count of the point.
+    pub threads: usize,
+    /// Transactions per second, for scale context next to the cycles.
+    pub ops_per_sec: f64,
+    /// The breakdown counters, including phase cycles and abort causes.
+    pub snapshot: BreakdownSnapshot,
+}
+
+/// Runs the traced breakdown matrix: both workloads on all four engines
+/// at the largest configured thread count, with tracing at `Counters`.
+/// The previous trace level is restored before returning.
+pub fn run_breakdown(cfg: &HarnessConfig) -> Vec<BreakdownRun> {
+    let threads = cfg.thread_counts.iter().copied().max().unwrap_or(1);
+    let previous = trace::level();
+    trace::configure(TraceConfig::counters());
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(BankWorkload::paper(Contention::Medium, threads)),
+        Box::new(YcsbWorkload::paper(YcsbMix::A)),
+    ];
+    let mut runs = Vec::new();
+    for workload in &workloads {
+        for kind in KV_ENGINES {
+            let (m, snapshot, _) = run_point(workload.as_ref(), kind, threads, cfg);
+            runs.push(BreakdownRun {
+                mix: workload.name(),
+                engine: kind.label().to_string(),
+                threads,
+                ops_per_sec: m.throughput(),
+                snapshot,
+            });
+        }
+    }
+    trace::set_level(previous);
+    runs
+}
+
+/// Renders the traced runs as the `BENCH_breakdown.json` artifact: one
+/// point per (mix, engine) with the full phase-cycle and abort-cause
+/// decomposition.
+pub fn render_breakdown_json(cfg: &HarnessConfig, runs: &[BreakdownRun]) -> String {
+    let mut arr = Vec::with_capacity(runs.len());
+    for r in runs {
+        let mut phases = Json::object();
+        for phase in TxnPhase::ALL {
+            phases = phases.with(phase.label(), Json::from(r.snapshot.phase_cycles(phase)));
+        }
+        let mut causes = Json::object();
+        for cause in AbortCause::ALL {
+            causes = causes.with(cause.label(), Json::from(r.snapshot.abort_cause(cause)));
+        }
+        arr.push(
+            Json::object()
+                .with("mix", Json::from(r.mix.as_str()))
+                .with("engine", Json::from(r.engine.as_str()))
+                .with("threads", Json::from(r.threads as u64))
+                .with("ops_per_sec", Json::Float(round2(r.ops_per_sec)))
+                .with("phase_cycles_ns", phases)
+                .with("abort_causes", causes)
+                .with(
+                    "total_phase_cycles_ns",
+                    Json::from(r.snapshot.total_phase_cycles()),
+                )
+                .with(
+                    "total_abort_causes",
+                    Json::from(r.snapshot.total_abort_causes()),
+                )
+                .with(
+                    "writes_per_txn",
+                    Json::Float(round2(r.snapshot.writes_per_txn())),
+                ),
+        );
+    }
+    Json::object()
+        .with("benchmark", Json::from("traced phase breakdown"))
+        .with("trace_level", Json::from(TraceLevel::Counters.label()))
+        .with(
+            "config",
+            Json::object()
+                .with("txns_per_thread", Json::from(cfg.txns_per_thread))
+                .with("seed", Json::from(cfg.seed))
+                .with("drain_latency_ns", Json::from(cfg.latency.drain_ns)),
+        )
+        .with("points", Json::Array(arr))
+        .render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crafty_pmem::LatencyModel;
+    use crafty_workloads::EngineKind;
+
+    fn tiny() -> HarnessConfig {
+        HarnessConfig {
+            engines: KV_ENGINES.to_vec(),
+            thread_counts: vec![2],
+            txns_per_thread: 60,
+            latency: LatencyModel::instant(),
+            persistent_words: 1 << 21,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn breakdown_matrix_covers_both_mixes_on_all_four_engines() {
+        let _serial = crate::TRACE_TEST_LOCK.lock().unwrap();
+        let cfg = tiny();
+        let runs = run_breakdown(&cfg);
+        assert_eq!(runs.len(), 2 * KV_ENGINES.len());
+
+        // Crafty is fully instrumented: its points must carry phase cycles.
+        let crafty: Vec<_> = runs
+            .iter()
+            .filter(|r| r.engine == EngineKind::Crafty.label())
+            .collect();
+        assert_eq!(crafty.len(), 2);
+        for r in crafty {
+            assert!(
+                r.snapshot.total_phase_cycles() > 0,
+                "traced Crafty run on {} recorded no phase cycles",
+                r.mix
+            );
+            assert!(
+                r.snapshot.phase_cycles(TxnPhase::Log) > 0,
+                "Crafty always runs the Log phase"
+            );
+        }
+        // Non-durable has no persistent phases to trace.
+        let nd = runs
+            .iter()
+            .find(|r| r.engine == EngineKind::NonDurable.label())
+            .unwrap();
+        assert_eq!(nd.snapshot.total_phase_cycles(), 0);
+
+        let json = render_breakdown_json(&cfg, &runs);
+        for key in [
+            "\"phase_cycles_ns\"",
+            "\"abort_causes\"",
+            "\"writes_per_txn\"",
+            "\"trace_level\"",
+            "\"persistent-doomed\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in breakdown artifact");
+        }
+    }
+}

@@ -12,12 +12,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod cli;
 pub mod flushbound;
 pub mod hotpath;
 pub mod kvbench;
 pub mod kvserve;
+pub mod tracedump;
 
+pub use breakdown::{render_breakdown_json, run_breakdown, BreakdownRun};
 pub use cli::{parse, render_help, FlagDef, ParsedArgs, SubcommandSpec};
 pub use flushbound::{render_flushbound_json, run_flushbound, FlushboundPoint};
 pub use hotpath::{render_hotpath_json, run_hotpath, HotpathPoint};
@@ -26,6 +29,12 @@ pub use kvserve::{
     render_kvserve_json, render_kvserve_table, run_kvserve, run_kvserve_point, KvServeConfig,
     KvServeEngine, KvServePoint,
 };
+pub use tracedump::{run_trace_dump, TraceDumpConfig};
+
+/// Serializes tests that flip the process-global trace level, so their
+/// assertions about what was (or was not) recorded cannot race.
+#[cfg(test)]
+pub(crate) static TRACE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Rounds to two decimals for the JSON artifacts (stable, diff-friendly
 /// files).

@@ -9,6 +9,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::trace::{AbortCause, TxnPhase};
+
 /// How a persistent transaction ultimately committed.
 ///
 /// Mirrors the stacked-bar categories of the paper's persistent-transaction
@@ -136,6 +138,14 @@ pub struct BreakdownRecorder {
     persistent_writes: AtomicU64,
     persist_drains: AtomicU64,
     flushed_lines: AtomicU64,
+    /// Accumulated virtual cycles (ns) per [`TxnPhase`]. Only populated
+    /// while [`crate::trace::counters_enabled`] — the phase timers that
+    /// feed it are the Counters-level cost.
+    phase_cycles: [AtomicU64; 6],
+    /// Abort-cause histogram ([`AbortCause`] taxonomy). Populated
+    /// unconditionally, like the hardware-outcome counters: the
+    /// per-abort `fetch_add` is off the commit fast path.
+    abort_causes: [AtomicU64; 5],
 }
 
 impl BreakdownRecorder {
@@ -174,6 +184,18 @@ impl BreakdownRecorder {
         self.flushed_lines.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Accumulates `cycles` virtual cycles (ns) spent in `phase`.
+    #[inline]
+    pub fn record_phase_cycles(&self, phase: TxnPhase, cycles: u64) {
+        self.phase_cycles[phase.index()].fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Records one abort attributed to `cause`.
+    #[inline]
+    pub fn record_abort_cause(&self, cause: AbortCause) {
+        self.abort_causes[cause.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of all counters.
     pub fn snapshot(&self) -> BreakdownSnapshot {
         BreakdownSnapshot {
@@ -182,6 +204,8 @@ impl BreakdownRecorder {
             persistent_writes: self.persistent_writes.load(Ordering::Relaxed),
             persist_drains: self.persist_drains.load(Ordering::Relaxed),
             flushed_lines: self.flushed_lines.load(Ordering::Relaxed),
+            phase_cycles: core::array::from_fn(|i| self.phase_cycles[i].load(Ordering::Relaxed)),
+            abort_causes: core::array::from_fn(|i| self.abort_causes[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -197,6 +221,8 @@ pub struct BreakdownSnapshot {
     pub persist_drains: u64,
     /// Total number of cache-line flush (CLWB) operations.
     pub flushed_lines: u64,
+    phase_cycles: [u64; 6],
+    abort_causes: [u64; 5],
 }
 
 impl BreakdownSnapshot {
@@ -225,6 +251,27 @@ impl BreakdownSnapshot {
         self.total_hardware() - self.hw(HwTxnOutcome::Commit)
     }
 
+    /// Virtual cycles (ns) accumulated in `phase`. Zero unless the run
+    /// was traced at [`crate::trace::TraceLevel::Counters`] or above.
+    pub fn phase_cycles(&self, phase: TxnPhase) -> u64 {
+        self.phase_cycles[phase.index()]
+    }
+
+    /// Total virtual cycles across all phases.
+    pub fn total_phase_cycles(&self) -> u64 {
+        self.phase_cycles.iter().sum()
+    }
+
+    /// Aborts attributed to `cause`.
+    pub fn abort_cause(&self, cause: AbortCause) -> u64 {
+        self.abort_causes[cause.index()]
+    }
+
+    /// Total aborts in the cause histogram.
+    pub fn total_abort_causes(&self) -> u64 {
+        self.abort_causes.iter().sum()
+    }
+
     /// Average program writes per persistent transaction (Table 1).
     pub fn writes_per_txn(&self) -> f64 {
         let txns = self.total_persistent();
@@ -243,6 +290,8 @@ impl BreakdownSnapshot {
             persistent_writes: self.persistent_writes - earlier.persistent_writes,
             persist_drains: self.persist_drains - earlier.persist_drains,
             flushed_lines: self.flushed_lines - earlier.flushed_lines,
+            phase_cycles: core::array::from_fn(|i| self.phase_cycles[i] - earlier.phase_cycles[i]),
+            abort_causes: core::array::from_fn(|i| self.abort_causes[i] - earlier.abort_causes[i]),
         }
     }
 }
@@ -326,5 +375,38 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn phase_cycles_accumulate_and_subtract() {
+        let r = BreakdownRecorder::new();
+        r.record_phase_cycles(TxnPhase::Log, 100);
+        r.record_phase_cycles(TxnPhase::Log, 50);
+        r.record_phase_cycles(TxnPhase::Redo, 25);
+        let first = r.snapshot();
+        assert_eq!(first.phase_cycles(TxnPhase::Log), 150);
+        assert_eq!(first.phase_cycles(TxnPhase::Redo), 25);
+        assert_eq!(first.phase_cycles(TxnPhase::Validate), 0);
+        assert_eq!(first.total_phase_cycles(), 175);
+        r.record_phase_cycles(TxnPhase::Fence, 10);
+        let delta = r.snapshot().since(&first);
+        assert_eq!(delta.phase_cycles(TxnPhase::Log), 0);
+        assert_eq!(delta.phase_cycles(TxnPhase::Fence), 10);
+        assert_eq!(delta.total_phase_cycles(), 10);
+    }
+
+    #[test]
+    fn abort_cause_histogram_accumulates() {
+        let r = BreakdownRecorder::new();
+        r.record_abort_cause(AbortCause::Conflict);
+        r.record_abort_cause(AbortCause::Conflict);
+        r.record_abort_cause(AbortCause::PersistentDoomed);
+        r.record_abort_cause(AbortCause::SglFallback);
+        let s = r.snapshot();
+        assert_eq!(s.abort_cause(AbortCause::Conflict), 2);
+        assert_eq!(s.abort_cause(AbortCause::PersistentDoomed), 1);
+        assert_eq!(s.abort_cause(AbortCause::SglFallback), 1);
+        assert_eq!(s.abort_cause(AbortCause::Capacity), 0);
+        assert_eq!(s.total_abort_causes(), 4);
     }
 }

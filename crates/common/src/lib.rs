@@ -18,6 +18,10 @@
 //!   domain's flush-queue dedup.
 //! * [`shard`] — lazily-allocated sharded atomic arrays backing the
 //!   per-line metadata (versioned locks, dirty bits, dedup stamps).
+//! * [`trace`] — the runtime-leveled observability layer: per-thread
+//!   lock-free event rings, the abort-cause taxonomy, and the
+//!   virtual-cycle phase timers behind the `figures breakdown` and
+//!   `figures trace` reports.
 //! * [`zipf`] — the YCSB-style zipfian key-popularity distribution used by
 //!   the KV-store workloads.
 //!
@@ -46,6 +50,7 @@ pub mod error;
 pub mod genset;
 pub mod rng;
 pub mod shard;
+pub mod trace;
 pub mod zipf;
 
 pub use addr::{LineId, PAddr, WORDS_PER_LINE};
@@ -56,4 +61,7 @@ pub use error::{SetupError, TxAbort};
 pub use genset::{GenMap, GenSet};
 pub use rng::{mix64, SplitMix64};
 pub use shard::LazyAtomicArray;
+pub use trace::{
+    AbortCause, EventRing, TraceConfig, TraceEvent, TraceEventKind, TraceLevel, TxnPhase,
+};
 pub use zipf::{Zipfian, YCSB_THETA};

@@ -1,0 +1,61 @@
+//! Property tests of the [`EventRing`] flight recorder: under any
+//! single-writer push sequence, the retained tail and the drop counter
+//! reconcile exactly with an unbounded shadow oracle.
+
+use crafty_common::trace::{EventRing, TraceEvent, TraceEventKind};
+use crafty_common::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ring_tail_and_drop_counter_reconcile_with_oracle(
+        seed: u64,
+        capacity in 0usize..200,
+        pushes in 0usize..400,
+    ) {
+        let mut rng = SplitMix64::new(seed ^ 0x7ACE_7ACE_7ACE_7ACE);
+        let ring = EventRing::new(capacity);
+        let mut oracle: Vec<TraceEvent> = Vec::new();
+        for step in 0..pushes {
+            let kind = TraceEventKind::ALL
+                [rng.next_below(TraceEventKind::ALL.len() as u64) as usize];
+            let arg = rng.next_below(1 << 56);
+            let t_ns = step as u64 * 3 + rng.next_below(3);
+            ring.push(kind, arg, t_ns);
+            oracle.push(TraceEvent { kind, arg, t_ns });
+        }
+
+        let snap = ring.snapshot();
+        let cap = ring.capacity();
+        prop_assert_eq!(ring.recorded(), oracle.len() as u64);
+        // The retained tail is exactly the last min(len, capacity) oracle
+        // events, oldest first.
+        let start = oracle.len().saturating_sub(cap);
+        prop_assert_eq!(&snap[..], &oracle[start..]);
+        // Drops reconcile: everything the oracle holds beyond the tail
+        // was overwritten, and nothing else.
+        prop_assert_eq!(
+            ring.dropped_events(),
+            (oracle.len() - snap.len()) as u64
+        );
+        prop_assert_eq!(
+            ring.dropped_events(),
+            (oracle.len() as u64).saturating_sub(cap as u64)
+        );
+
+        // Clearing resets the recorder to an empty, drop-free state.
+        ring.clear();
+        prop_assert_eq!(ring.recorded(), 0);
+        prop_assert_eq!(ring.dropped_events(), 0);
+        prop_assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn capacity_is_next_power_of_two(capacity in 0usize..10_000) {
+        let ring = EventRing::new(capacity);
+        let got = ring.capacity();
+        prop_assert!(got.is_power_of_two());
+        prop_assert!(got >= capacity.max(2));
+        prop_assert!(got < capacity.max(2) * 2);
+    }
+}

@@ -20,6 +20,7 @@
 //! cannot be resumed from a mid-transaction point the way the paper's
 //! compiler-instrumented transactions can.
 
+use crafty_common::trace::{self, AbortCause, TraceEventKind, TxnPhase};
 use crafty_common::{CompletionPath, PAddr, TmThread, TxAbort, TxnBody, TxnOps, TxnReport};
 use crafty_htm::{GenMap, HwTxn};
 use crafty_pmem::{MemorySpace, PmemAllocator};
@@ -141,7 +142,14 @@ impl<'c> CraftyThread<'c> {
                 return self.execute_sgl(body, &mut hw_attempts);
             }
             self.wait_for_sgl_free();
-            let seq = match self.log_phase(body, &mut hw_attempts) {
+            let log_t0 = trace::phase_start();
+            let logged = self.log_phase(body, &mut hw_attempts);
+            if let Some(t0) = log_t0 {
+                engine
+                    .recorder
+                    .record_phase_cycles(TxnPhase::Log, trace::phase_elapsed(t0));
+            }
+            let seq = match logged {
                 LogOutcome::ReadOnly => {
                     self.alloc_log.clear();
                     engine.recorder.record_completion(CompletionPath::ReadOnly);
@@ -155,7 +163,14 @@ impl<'c> CraftyThread<'c> {
             };
 
             if engine.cfg.variant != CraftyVariant::NoRedo {
-                if let CommitOutcome::Committed = self.redo_phase(&seq, &mut hw_attempts) {
+                let redo_t0 = trace::phase_start();
+                let redo = self.redo_phase(&seq, &mut hw_attempts);
+                if let Some(t0) = redo_t0 {
+                    engine
+                        .recorder
+                        .record_phase_cycles(TxnPhase::Redo, trace::phase_elapsed(t0));
+                }
+                if let CommitOutcome::Committed = redo {
                     return self.finish(CompletionPath::Redo, &seq, hw_attempts);
                 }
                 if engine.cfg.variant == CraftyVariant::NoValidate {
@@ -163,7 +178,14 @@ impl<'c> CraftyThread<'c> {
                     continue;
                 }
             }
-            match self.validate_phase(body, &seq, &mut hw_attempts) {
+            let validate_t0 = trace::phase_start();
+            let validated = self.validate_phase(body, &seq, &mut hw_attempts);
+            if let Some(t0) = validate_t0 {
+                engine
+                    .recorder
+                    .record_phase_cycles(TxnPhase::Validate, trace::phase_elapsed(t0));
+            }
+            match validated {
                 CommitOutcome::Committed => {
                     return self.finish(CompletionPath::Validate, &seq, hw_attempts);
                 }
@@ -303,6 +325,11 @@ impl<'c> CraftyThread<'c> {
                 undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
             engine.recorder.record_flushed_lines(flushed_lines);
             engine.note_sequence(self.tid, log_ts);
+            trace::record(
+                self.tid,
+                TraceEventKind::UndoAppend,
+                self.entries_buf.len() as u64,
+            );
 
             // Section 5.2 housekeeping: this append crossed into the other
             // half of the circular log, so the thread is about to start
@@ -405,6 +432,11 @@ impl<'c> CraftyThread<'c> {
             }
             self.after_commit(foreign_append);
             engine.note_sequence(self.tid, commit_ts);
+            trace::record(
+                self.tid,
+                TraceEventKind::RedoApply,
+                self.redo_buf.len() as u64,
+            );
             return CommitOutcome::Committed;
         }
         CommitOutcome::Failed
@@ -549,9 +581,24 @@ impl<'c> CraftyThread<'c> {
 
     fn execute_sgl(&mut self, body: &mut TxnBody<'_>, hw_attempts: &mut u32) -> TxnReport {
         let engine = self.engine;
+        // Entering the fallback is itself a taxonomy entry: the phase
+        // machinery gave up, which is the signal an adaptive mode switcher
+        // would act on.
+        engine.recorder.record_abort_cause(AbortCause::SglFallback);
+        trace::record(
+            self.tid,
+            TraceEventKind::Abort,
+            AbortCause::SglFallback.index() as u64,
+        );
+        let sgl_t0 = trace::phase_start();
         let sgl = engine.acquire_sgl();
         let report = self.run_buffered_durable(body, CompletionPath::Sgl, hw_attempts, true);
         drop(sgl);
+        if let Some(t0) = sgl_t0 {
+            engine
+                .recorder
+                .record_phase_cycles(TxnPhase::Sgl, trace::phase_elapsed(t0));
+        }
         report
     }
 
@@ -597,6 +644,11 @@ impl<'c> CraftyThread<'c> {
                     engine.recorder.record_drain();
                 }
                 engine.note_sequence(self.tid, commit_ts);
+                trace::record(
+                    self.tid,
+                    TraceEventKind::RedoApply,
+                    self.redo_buf.len() as u64,
+                );
                 self.finish(CompletionPath::Redo, &seq, hw_attempts)
             }
             LogOutcome::Aborted => {
@@ -669,6 +721,11 @@ impl<'c> CraftyThread<'c> {
             undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
             engine.mem.drain(self.tid);
             engine.recorder.record_drain();
+            trace::record(
+                self.tid,
+                TraceEventKind::UndoAppend,
+                self.entries_buf.len() as u64,
+            );
             if undo_log.crosses_half(info.first_abs, self.entries_buf.len() as u64 + 1) {
                 engine.maintain_ts_lower_bound(self.tid, log_ts.raw());
             }
@@ -749,8 +806,14 @@ impl TmThread for CraftyThread<'_> {
         // every deferred transaction's data write-backs and COMMITTED
         // markers — all were enqueued atomically with their commits.
         if self.engine.mem.pending_flushes(self.tid) > 0 {
+            let t0 = trace::phase_start();
             self.engine.mem.drain(self.tid);
             self.engine.recorder.record_drain();
+            if let Some(t0) = t0 {
+                self.engine
+                    .recorder
+                    .record_phase_cycles(TxnPhase::Drain, trace::phase_elapsed(t0));
+            }
         }
     }
 }

@@ -1,0 +1,132 @@
+//! Allocation check for the trace subsystem: with tracing armed — first
+//! at `Counters` (phase timers + abort causes), then at `Events` (full
+//! event-ring recording) — a committed steady-state transaction still
+//! performs **zero heap allocations**. The rings are preallocated at
+//! [`crafty_common::trace::configure`] time and pushes only store into
+//! them; timers are two `Instant` reads and a relaxed `fetch_add`. This
+//! test is the enforcement of that contract.
+//!
+//! This file intentionally holds a single `#[test]` so no concurrent test
+//! thread can pollute the allocation counters, and lives in its own
+//! binary so the process-global trace level cannot leak into the untraced
+//! allocation test (`alloc_free_engine.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crafty_common::trace::{self, TraceConfig, TraceLevel};
+use crafty_common::{PersistentTm, SplitMix64, TraceEventKind, TxAbort, TxnOps};
+use crafty_core::{Crafty, CraftyConfig};
+use crafty_pmem::{MemorySpace, PmemConfig};
+
+struct CountingAllocator {
+    allocations: AtomicU64,
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator {
+    allocations: AtomicU64::new(0),
+};
+
+fn transfer(
+    ops: &mut dyn TxnOps,
+    from: crafty_common::PAddr,
+    to: crafty_common::PAddr,
+) -> Result<(), TxAbort> {
+    let a = ops.read(from)?;
+    ops.write(from, a.wrapping_sub(1))?;
+    let b = ops.read(to)?;
+    ops.write(to, b.wrapping_add(1))?;
+    Ok(())
+}
+
+#[test]
+fn steady_state_traced_transactions_do_not_allocate() {
+    // Arm the tracer before the engine exists: the rings are the only
+    // allocation the subsystem ever makes, and they happen here.
+    trace::configure(TraceConfig::events());
+
+    let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+    let crafty = Crafty::new(
+        Arc::clone(&mem),
+        CraftyConfig {
+            undo_log_entries: 1024,
+            ..CraftyConfig::small_for_tests().with_max_threads(1)
+        },
+    );
+    let accounts_n = 64u64;
+    let accounts = mem.reserve_persistent(accounts_n * 8);
+    for i in 0..accounts_n {
+        mem.write(accounts.add(i * 8), 1_000);
+    }
+    let mut thread = crafty.register_thread(0);
+    let mut rng = SplitMix64::new(41);
+
+    // Warmup at full Events level: grows every reusable engine buffer to
+    // its steady-state footprint while the rings wrap at least once.
+    for i in 0..2_000 {
+        trace::record(0, TraceEventKind::TxnBegin, i);
+        let from = accounts.add(rng.next_below(accounts_n) * 8);
+        let to = accounts.add(rng.next_below(accounts_n) * 8);
+        thread.execute(&mut |ops| transfer(ops, from, to));
+        trace::record(0, TraceEventKind::TxnEnd, i);
+    }
+
+    // Measure at each armed level; Off is covered by alloc_free_engine.rs.
+    for level in [TraceLevel::Counters, TraceLevel::Events] {
+        trace::set_level(level);
+        let before = GLOBAL.allocations.load(Ordering::SeqCst);
+        for i in 0..10_000u64 {
+            trace::record(0, TraceEventKind::TxnBegin, i);
+            let from = accounts.add(rng.next_below(accounts_n) * 8);
+            let to = accounts.add(rng.next_below(accounts_n) * 8);
+            thread.execute(&mut |ops| transfer(ops, from, to));
+            trace::record(0, TraceEventKind::TxnEnd, i);
+        }
+        let after = GLOBAL.allocations.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "traced hot path at {:?} allocated {} times over 10k transactions",
+            level,
+            after - before
+        );
+    }
+
+    // The tracer actually observed the run: events were recorded (and the
+    // flight recorder wrapped), phases accumulated cycles.
+    assert!(
+        trace::ring_dropped(0) > 0,
+        "30k traced transactions must have wrapped a {}-event ring",
+        trace::ring_snapshot(0).len()
+    );
+    assert!(
+        crafty.breakdown().total_phase_cycles() > 0,
+        "Counters-level run must have accumulated phase cycles"
+    );
+
+    crafty.quiesce();
+    let total: u64 = (0..accounts_n).map(|i| mem.read(accounts.add(i * 8))).sum();
+    assert_eq!(
+        total,
+        accounts_n * 1_000,
+        "transfers must conserve the total"
+    );
+}

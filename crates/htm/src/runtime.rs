@@ -24,6 +24,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crafty_common::trace::{
+    self, AbortCause, TraceEventKind, ABORT_REDO_TS_CHECK, ABORT_VALIDATE_MISMATCH,
+};
 use crafty_common::{BreakdownRecorder, HwTxnOutcome, LazyAtomicArray, LineId, PAddr};
 use crafty_pmem::MemorySpace;
 use crossbeam::queue::ArrayQueue;
@@ -58,6 +61,26 @@ impl AbortCode {
             AbortCode::Capacity => HwTxnOutcome::Capacity,
             AbortCode::Explicit(_) => HwTxnOutcome::Explicit,
             AbortCode::Zero => HwTxnOutcome::Zero,
+        }
+    }
+
+    /// The structured abort-cause taxonomy entry this abort falls into.
+    ///
+    /// Unlike [`AbortCode::outcome`] (which mirrors the raw RTM status
+    /// word), this classifies the two protocol-level explicit codes —
+    /// failed `gLastRedoTS` and Validate checks — as
+    /// [`AbortCause::PersistentDoomed`]: the hardware transaction itself
+    /// was fine, its persistent context was stale. SGL subscriptions,
+    /// abandoned transactions, and spurious zero aborts all fold into
+    /// [`AbortCause::Explicit`] (the event ring's argument still carries
+    /// the raw code for anyone who needs the distinction).
+    pub fn cause(self) -> AbortCause {
+        match self {
+            AbortCode::Conflict => AbortCause::Conflict,
+            AbortCode::Capacity => AbortCause::Capacity,
+            AbortCode::Explicit(ABORT_REDO_TS_CHECK)
+            | AbortCode::Explicit(ABORT_VALIDATE_MISMATCH) => AbortCause::PersistentDoomed,
+            AbortCode::Explicit(_) | AbortCode::Zero => AbortCause::Explicit,
         }
     }
 }
@@ -168,8 +191,13 @@ impl HtmRuntime {
     /// before the transaction starts.
     pub fn begin(&self, tid: usize) -> HwTxn<'_> {
         if self.mem.pending_flushes(tid) > 0 {
+            let t0 = trace::phase_start();
             self.mem.drain(tid);
             self.recorder.record_drain();
+            if let Some(t0) = t0 {
+                self.recorder
+                    .record_phase_cycles(crafty_common::TxnPhase::Drain, trace::phase_elapsed(t0));
+            }
         }
         self.begin_inner(tid, false)
     }
@@ -225,6 +253,7 @@ impl HtmRuntime {
                 None
             }
         };
+        trace::record(tid, TraceEventKind::HtmAttempt, 0);
         HwTxn {
             rt: self,
             tid,
@@ -430,6 +459,8 @@ impl<'rt> HwTxn<'rt> {
             self.failed = Some(code);
             self.finished = true;
             self.rt.recorder.record_hw(code.outcome());
+            self.rt.recorder.record_abort_cause(code.cause());
+            trace::record(self.tid, TraceEventKind::Abort, code.cause().index() as u64);
         }
         code
     }
@@ -701,6 +732,11 @@ impl<'rt> HwTxn<'rt> {
 
         self.finished = true;
         self.rt.recorder.record_hw(HwTxnOutcome::Commit);
+        trace::record(
+            self.tid,
+            TraceEventKind::HtmCommit,
+            s.write_buf.len() as u64,
+        );
         Ok(wv)
     }
 }
@@ -712,6 +748,12 @@ impl Drop for HwTxn<'_> {
         if !self.finished {
             self.failed = Some(AbortCode::Explicit(0));
             self.rt.recorder.record_hw(HwTxnOutcome::Explicit);
+            self.rt.recorder.record_abort_cause(AbortCause::Explicit);
+            trace::record(
+                self.tid,
+                TraceEventKind::Abort,
+                AbortCause::Explicit.index() as u64,
+            );
         }
         // Hand the descriptor back for the thread's next transaction.
         if let Some(scratch) = self.scratch.take() {

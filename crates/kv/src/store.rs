@@ -719,6 +719,9 @@ impl ShardedKv {
             mem.clwb(tid, self.arena.add(off));
         }
         mem.drain(tid);
+        // The store-wide persist is a fence-like barrier in a trace: a
+        // whole-table write-back, not part of any transaction's phases.
+        crafty_common::trace::record(tid, crafty_common::TraceEventKind::PersistFence, 0);
     }
 
     /// Collects every live `(key, value)` pair by direct (non-transactional)

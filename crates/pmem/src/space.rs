@@ -143,6 +143,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crafty_common::trace::{self, TraceEventKind};
 use crafty_common::{mix64, LazyAtomicArray, LineId, PAddr, SplitMix64, WORDS_PER_LINE};
 
 use crate::config::{CrashModel, DrainCoalescing, PersistGranularity, PmemConfig};
@@ -349,6 +350,11 @@ pub struct MemorySpace {
     /// `crash_at_step` tick. Taken (once) via
     /// [`MemorySpace::take_fault_image`].
     fault_image: Mutex<Option<PersistentImage>>,
+    /// Per-thread trace-event tails frozen at the same tick as
+    /// `fault_image`, so a torture failure report can show what every
+    /// thread was doing right before the injected crash. Empty unless the
+    /// trace subsystem was at `Events` level when the trap fired.
+    fault_trace: Mutex<Vec<trace::ThreadTrace>>,
 }
 
 /// Stripe count for eviction sampling; lines hash onto stripes, so
@@ -391,6 +397,7 @@ impl MemorySpace {
             stats: StatCells::default(),
             fault_step: AtomicU64::new(0),
             fault_image: Mutex::new(None),
+            fault_trace: Mutex::new(Vec::new()),
             cfg,
         }
     }
@@ -620,6 +627,7 @@ impl MemorySpace {
         q.slot(pos).store(line.index(), Ordering::Release);
         q.tail.store(pos + 1, Ordering::Release);
         stamp.store(pos + 1, Ordering::Release);
+        trace::record(tid, TraceEventKind::Enqueue, line.index());
     }
 
     /// Completes all of thread `tid`'s outstanding flushes (SFENCE) and
@@ -666,7 +674,7 @@ impl MemorySpace {
             std::sync::atomic::fence(Ordering::SeqCst);
             self.fault_tick();
             cost_ns = match self.cfg.coalescing {
-                DrainCoalescing::Ranged => self.persist_claimed_ranged(q, claim, target),
+                DrainCoalescing::Ranged => self.persist_claimed_ranged(tid, q, claim, target),
                 DrainCoalescing::PerLine => self.persist_claimed_per_line(q, claim, target),
             };
             count = target - claim;
@@ -693,6 +701,7 @@ impl MemorySpace {
             .lines_persisted
             .fetch_add(count, Ordering::Relaxed);
         self.busy_wait_ns(self.cfg.latency.drain_ns + cost_ns);
+        trace::record(tid, TraceEventKind::Drain, count);
         count
     }
 
@@ -720,7 +729,7 @@ impl MemorySpace {
     /// persisted exactly once (duplicate ids, which the dedup stamps make
     /// impossible within one claimed range, would be skipped defensively).
     /// Returns the accumulated flush cost in nanoseconds.
-    fn persist_claimed_ranged(&self, q: &FlushQueue, claim: u64, target: u64) -> u64 {
+    fn persist_claimed_ranged(&self, tid: usize, q: &FlushQueue, claim: u64, target: u64) -> u64 {
         thread_local! {
             /// Per-thread drain scratch: claimed line ids awaiting the
             /// coalescing sort. Grown once to the queue capacity (the upper
@@ -767,6 +776,7 @@ impl MemorySpace {
                 cost_ns += self.cfg.latency.clwb_range(run_lines, run_words);
                 ranges += 1;
                 lines += run_lines;
+                trace::record(tid, TraceEventKind::RangedClwb, run_lines);
             }
             self.note_ranges(ranges, lines);
             cost_ns
@@ -940,6 +950,10 @@ impl MemorySpace {
         if Some(step) == self.cfg.fault.crash_at_step {
             let image = self.crash_with(self.cfg.fault.crash_model);
             *self.fault_image.lock().unwrap() = Some(image);
+            // Freeze the flight recorders at the same tick: the run
+            // continues past the trap, so a later snapshot would show
+            // post-crash events.
+            *self.fault_trace.lock().unwrap() = trace::ring_snapshot_all();
         }
     }
 
@@ -955,6 +969,13 @@ impl MemorySpace {
     /// image was already taken.
     pub fn take_fault_image(&self) -> Option<PersistentImage> {
         self.fault_image.lock().unwrap().take()
+    }
+
+    /// Takes the per-thread trace-event tails frozen at the same tick as
+    /// the [`MemorySpace::take_fault_image`] crash image. Empty when no
+    /// trap fired, or when event tracing was disarmed during the run.
+    pub fn take_fault_trace(&self) -> Vec<trace::ThreadTrace> {
+        std::mem::take(&mut self.fault_trace.lock().unwrap())
     }
 
     /// Reserves `words` consecutive words of persistent memory for a static

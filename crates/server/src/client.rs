@@ -13,7 +13,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{frame_payload_len, Request, Response, HEADER_LEN};
+use crate::protocol::{frame_payload_len, Request, Response, StatsReport, HEADER_LEN};
 
 /// A blocking, pipelining connection to a [`crate::server::KvServer`].
 pub struct KvClient {
@@ -177,6 +177,21 @@ impl KvClient {
     pub fn scan(&mut self, key: u64, limit: u64) -> std::io::Result<(u64, u64)> {
         match self.call(Request::Scan { key, limit })? {
             Response::Scanned { count, sum } => Ok((count, sum)),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+
+    /// Reads the server's live counters and service-latency percentiles.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvClient::call`], plus `InvalidData` on a mismatched response.
+    pub fn stats(&mut self) -> std::io::Result<StatsReport> {
+        match self.call(Request::Stats)? {
+            Response::Stats { report } => Ok(report),
             other => Err(std::io::Error::new(
                 ErrorKind::InvalidData,
                 format!("unexpected response {other:?}"),

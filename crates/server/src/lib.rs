@@ -39,5 +39,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::KvClient;
-pub use protocol::{ProtocolError, Request, Response};
+pub use protocol::{ProtocolError, Request, Response, StatsReport};
 pub use server::{KvServer, ServerConfig, ServerStats};

@@ -19,10 +19,10 @@
 //! amortizes across every write the batch contained (see
 //! [`crate::server`]).
 
-/// Largest legal payload: the biggest message is an opcode plus two `u64`
-/// fields. A length prefix above this is a protocol violation, not a
-/// request to buffer 4 GiB.
-pub const MAX_PAYLOAD: usize = 17;
+/// Largest legal payload: the biggest message is the stats reply — an
+/// opcode plus eleven `u64` fields. A length prefix above this is a
+/// protocol violation, not a request to buffer 4 GiB.
+pub const MAX_PAYLOAD: usize = 89;
 
 /// Bytes of the length prefix.
 pub const HEADER_LEN: usize = 4;
@@ -33,6 +33,7 @@ const OP_PUT: u8 = 0x02;
 const OP_DELETE: u8 = 0x03;
 const OP_SCAN: u8 = 0x04;
 const OP_FLUSH: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
 
 // Response opcodes (high bit set, so a stream desynchronization that
 // feeds a response to the request decoder is caught immediately).
@@ -40,6 +41,7 @@ const OP_FOUND: u8 = 0x81;
 const OP_MISSING: u8 = 0x82;
 const OP_SCANNED: u8 = 0x83;
 const OP_FLUSHED: u8 = 0x84;
+const OP_STATS_REPLY: u8 = 0x85;
 
 /// A client request.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,6 +77,75 @@ pub enum Request {
     /// acks that everything previously accepted on this connection is
     /// durable.
     Flush,
+    /// Read the server's live counters and latency percentiles. Answered
+    /// from the serving worker's shared state without touching the engine,
+    /// so it is safe to poll a loaded server.
+    Stats,
+}
+
+/// The live-metrics payload of a [`Response::Stats`]: the server's
+/// lifetime counters plus a percentile summary of its per-batch service
+/// latency histogram. All durations are nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StatsReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests executed.
+    pub requests: u64,
+    /// Pipelined batches served (each at most one durability barrier).
+    pub batches: u64,
+    /// Durability barriers issued for batches containing writes.
+    pub flushes: u64,
+    /// Connections dropped for malformed frames.
+    pub protocol_errors: u64,
+    /// Latency samples recorded (one per request served).
+    pub latency_count: u64,
+    /// Mean service latency, rounded to whole nanoseconds.
+    pub latency_mean_ns: u64,
+    /// Median service latency.
+    pub latency_p50_ns: u64,
+    /// 99th-percentile service latency.
+    pub latency_p99_ns: u64,
+    /// 99.9th-percentile service latency.
+    pub latency_p999_ns: u64,
+    /// Exact maximum service latency.
+    pub latency_max_ns: u64,
+}
+
+impl StatsReport {
+    /// Field order on the wire (and count: eleven `u64`s).
+    fn fields(&self) -> [u64; 11] {
+        [
+            self.connections,
+            self.requests,
+            self.batches,
+            self.flushes,
+            self.protocol_errors,
+            self.latency_count,
+            self.latency_mean_ns,
+            self.latency_p50_ns,
+            self.latency_p99_ns,
+            self.latency_p999_ns,
+            self.latency_max_ns,
+        ]
+    }
+
+    fn from_payload(payload: &[u8]) -> StatsReport {
+        let f = |i: usize| read_u64(payload, 1 + 8 * i);
+        StatsReport {
+            connections: f(0),
+            requests: f(1),
+            batches: f(2),
+            flushes: f(3),
+            protocol_errors: f(4),
+            latency_count: f(5),
+            latency_mean_ns: f(6),
+            latency_p50_ns: f(7),
+            latency_p99_ns: f(8),
+            latency_p999_ns: f(9),
+            latency_max_ns: f(10),
+        }
+    }
 }
 
 /// A server response. Responses are answered in request order.
@@ -96,6 +167,11 @@ pub enum Response {
     },
     /// Ack of a `Flush` fence.
     Flushed,
+    /// Reply to a `Stats` request.
+    Stats {
+        /// The live counters and latency percentiles.
+        report: StatsReport,
+    },
 }
 
 /// A malformed frame or payload. Any of these on a connection is fatal to
@@ -189,6 +265,7 @@ impl Request {
             Request::Delete { key } => encode_frame(out, OP_DELETE, &[key]),
             Request::Scan { key, limit } => encode_frame(out, OP_SCAN, &[key, limit]),
             Request::Flush => encode_frame(out, OP_FLUSH, &[]),
+            Request::Stats => encode_frame(out, OP_STATS, &[]),
         }
     }
 
@@ -244,6 +321,10 @@ impl Request {
                 expect(0)?;
                 Ok(Request::Flush)
             }
+            OP_STATS => {
+                expect(0)?;
+                Ok(Request::Stats)
+            }
             op => Err(ProtocolError::UnknownOp { op }),
         }
     }
@@ -257,6 +338,7 @@ impl Response {
             Response::Missing => encode_frame(out, OP_MISSING, &[]),
             Response::Scanned { count, sum } => encode_frame(out, OP_SCANNED, &[count, sum]),
             Response::Flushed => encode_frame(out, OP_FLUSHED, &[]),
+            Response::Stats { report } => encode_frame(out, OP_STATS_REPLY, &report.fields()),
         }
     }
 
@@ -296,6 +378,12 @@ impl Response {
                 expect(0)?;
                 Ok(Response::Flushed)
             }
+            OP_STATS_REPLY => {
+                expect(11)?;
+                Ok(Response::Stats {
+                    report: StatsReport::from_payload(payload),
+                })
+            }
             op => Err(ProtocolError::UnknownOp { op }),
         }
     }
@@ -316,6 +404,7 @@ mod tests {
             Request::Delete { key: 42 },
             Request::Scan { key: 9, limit: 16 },
             Request::Flush,
+            Request::Stats,
         ]
     }
 
@@ -329,6 +418,21 @@ mod tests {
                 sum: 1_000_000,
             },
             Response::Flushed,
+            Response::Stats {
+                report: StatsReport {
+                    connections: 1,
+                    requests: 1000,
+                    batches: 40,
+                    flushes: 39,
+                    protocol_errors: 0,
+                    latency_count: 1000,
+                    latency_mean_ns: 52_000,
+                    latency_p50_ns: 48_000,
+                    latency_p99_ns: 420_000,
+                    latency_p999_ns: 1_300_000,
+                    latency_max_ns: u64::MAX,
+                },
+            },
         ]
     }
 
@@ -434,6 +538,29 @@ mod tests {
             Response::decode(&[OP_GET, 0, 0, 0, 0, 0, 0, 0, 0]),
             Err(ProtocolError::UnknownOp { .. })
         ));
+        // The stats reply opcode fed back to the request decoder is caught
+        // by its high bit, like every other response (desync detection).
+        assert_eq!(
+            Request::decode(&[OP_STATS_REPLY; 89]),
+            Err(ProtocolError::UnknownOp { op: OP_STATS_REPLY })
+        );
+        // A stats request smuggling a body is a framing violation: its
+        // legal length is opcode-determined, exactly like Flush.
+        assert_eq!(
+            Request::decode(&[OP_STATS, 1, 2, 3, 4, 5, 6, 7, 8]),
+            Err(ProtocolError::BadLength {
+                op: OP_STATS,
+                len: 9
+            })
+        );
+        // A truncated stats reply (ten fields instead of eleven).
+        assert_eq!(
+            Response::decode(&[OP_STATS_REPLY; 81]),
+            Err(ProtocolError::BadLength {
+                op: OP_STATS_REPLY,
+                len: 81
+            })
+        );
     }
 
     #[test]

@@ -38,18 +38,28 @@
 //! loaded one finds deep pipelines in its socket buffer and amortizes
 //! accordingly. This is exactly the group-commit bargain measured by the
 //! `kvserve` benchmark.
+//!
+//! # Live metrics
+//!
+//! Workers record every batch's service time (decode → fence) into a
+//! shared [`LatencyHistogram`], one sample per request. The protocol's
+//! `Stats` request ([`crate::protocol::StatsReport`]) returns those
+//! percentiles plus the lifetime counters, answered from shared state
+//! without touching the engine — a live, remote view of the same numbers
+//! [`KvServer::stats`] exposes in-process.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crafty_common::{PersistentTm, TmThread};
 use crafty_kv::ShardedKv;
+use crafty_stats::LatencyHistogram;
 
-use crate::protocol::{frame_payload_len, Request, Response, HEADER_LEN};
+use crate::protocol::{frame_payload_len, Request, Response, StatsReport, HEADER_LEN};
 
 /// How a [`KvServer`] listens and persists.
 #[derive(Clone, Debug)]
@@ -80,7 +90,12 @@ impl ServerConfig {
 /// Poll interval for noticing shutdown while blocked in `read`.
 const READ_POLL: Duration = Duration::from_millis(25);
 
-/// Monotone counters shared by all workers.
+/// Monotone counters shared by all workers, plus the live service-latency
+/// histogram behind the `Stats` protocol request. The histogram counts,
+/// per request, the time from its batch's decode to the durability fence
+/// that releases its response — the server-side component of what a client
+/// observes. Workers touch the mutex once per batch, off the per-request
+/// path.
 #[derive(Default)]
 struct Counters {
     connections: AtomicU64,
@@ -88,6 +103,31 @@ struct Counters {
     batches: AtomicU64,
     flushes: AtomicU64,
     protocol_errors: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl Counters {
+    /// Snapshot of counters and latency percentiles as a wire-ready
+    /// [`StatsReport`].
+    fn report(&self) -> StatsReport {
+        let lat = self
+            .latency
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        StatsReport {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            latency_count: lat.count(),
+            latency_mean_ns: lat.mean() as u64,
+            latency_p50_ns: lat.percentile(0.5),
+            latency_p99_ns: lat.percentile(0.99),
+            latency_p999_ns: lat.percentile(0.999),
+            latency_max_ns: lat.max(),
+        }
+    }
 }
 
 /// A snapshot of the server's lifetime counters.
@@ -324,8 +364,16 @@ fn serve_connection(
         let wrote = batch
             .iter()
             .any(|r| r.is_write() || matches!(r, Request::Flush));
+        let batch_start = Instant::now();
         for req in &batch {
-            let response = execute_request(kv, handle, *req, group_commit, &mut deferred);
+            // Stats is answered from shared state, never from the engine:
+            // polling a loaded server must not contend on its transactions.
+            let response = match *req {
+                Request::Stats => Response::Stats {
+                    report: counters.report(),
+                },
+                req => execute_request(kv, handle, req, group_commit, &mut deferred),
+            };
             response.encode(&mut outbox);
         }
         // The ack-after-fence rule: if any write in this batch deferred
@@ -344,6 +392,19 @@ fn serve_connection(
         counters
             .requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // Every response in the batch is released by the same fence, so
+        // each request's server-side service time is the batch's: one
+        // sample per request, one mutex acquisition per batch.
+        let service_ns = batch_start.elapsed().as_nanos() as u64;
+        {
+            let mut lat = counters
+                .latency
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for _ in 0..batch.len() {
+                lat.record(service_ns);
+            }
+        }
         if stream.write_all(&outbox).is_err() {
             return;
         }
@@ -422,6 +483,11 @@ fn execute_request(
             *deferred = false;
             Response::Flushed
         }
+        // Unreachable: serve_connection answers Stats from shared state
+        // before dispatching to the engine.
+        Request::Stats => Response::Stats {
+            report: StatsReport::default(),
+        },
     }
 }
 

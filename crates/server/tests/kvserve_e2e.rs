@@ -1,0 +1,137 @@
+//! End-to-end service test: boot a real Crafty engine behind the TCP
+//! front-end, load it over the wire, and read the live metrics back
+//! through the protocol's `Stats` request.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use crafty_common::PersistentTm;
+use crafty_core::{Crafty, CraftyConfig};
+use crafty_kv::{DirectOps, KvConfig, ShardedKv};
+use crafty_pmem::{MemorySpace, PmemConfig};
+use crafty_server::{KvClient, KvServer, Request, ServerConfig};
+
+const RECORDS: u64 = 256;
+const WORKERS: usize = 2;
+
+/// Boots a prefilled store behind a loopback server, Crafty engine,
+/// group commit on.
+fn boot() -> (Arc<MemorySpace>, Arc<Crafty>, KvServer) {
+    let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+    let engine = Arc::new(Crafty::new(
+        Arc::clone(&mem),
+        CraftyConfig::small_for_tests().with_max_threads(WORKERS),
+    ));
+    let kv = ShardedKv::create(&mem, &KvConfig::benchmark(RECORDS, 16));
+    {
+        let mut ops = DirectOps::new(&mem);
+        for key in 0..RECORDS {
+            kv.put(&mut ops, key, key * 3).expect("direct prefill");
+        }
+        kv.persist_all(&mem, 0);
+    }
+    let server = KvServer::start(
+        Arc::clone(&engine) as Arc<dyn crafty_common::PersistentTm>,
+        kv,
+        ServerConfig::loopback(WORKERS, true),
+    )
+    .expect("bind loopback server");
+    (mem, engine, server)
+}
+
+#[test]
+fn stats_reports_live_percentiles_from_a_loaded_server() {
+    let (_mem, engine, server) = boot();
+    let mut client = KvClient::connect(server.local_addr()).expect("connect");
+
+    // A fresh server has counted nothing but this connection.
+    let idle = client.stats().expect("stats on idle server");
+    assert_eq!(idle.requests, 0, "stats must reflect only completed work");
+    assert_eq!(idle.latency_count, 0);
+    assert_eq!(idle.latency_p999_ns, 0);
+
+    // Load it: pipelined mixed batches, so the server sees real
+    // group-commit windows and every request lands in the histogram.
+    const BATCHES: u64 = 20;
+    const PER_BATCH: u64 = 8;
+    for b in 0..BATCHES {
+        let mut reqs = Vec::new();
+        for i in 0..PER_BATCH {
+            let key = (b * PER_BATCH + i) % RECORDS;
+            if i % 2 == 0 {
+                reqs.push(Request::Put {
+                    key,
+                    value: key + 1000,
+                });
+            } else {
+                reqs.push(Request::Get { key });
+            }
+        }
+        client.send(&reqs).expect("send batch");
+        let responses = client.recv(reqs.len()).expect("recv batch");
+        assert_eq!(responses.len(), reqs.len());
+    }
+
+    let loaded = client.stats().expect("stats on loaded server");
+    let served = BATCHES * PER_BATCH;
+    // The idle Stats request itself was served too.
+    assert!(
+        loaded.requests > served,
+        "requests {} must count the {served} loaded ops",
+        loaded.requests
+    );
+    assert!(loaded.connections >= 1);
+    assert!(
+        loaded.flushes >= 1,
+        "group-commit write batches must have fenced"
+    );
+    assert!(
+        loaded.latency_count >= served,
+        "every served request must land in the histogram (got {})",
+        loaded.latency_count
+    );
+    // Live percentiles: nonzero, ordered, bounded by the exact maximum.
+    assert!(loaded.latency_p50_ns > 0, "p50 of a loaded server is not 0");
+    assert!(loaded.latency_p50_ns <= loaded.latency_p99_ns);
+    assert!(loaded.latency_p99_ns <= loaded.latency_p999_ns);
+    assert!(loaded.latency_p999_ns <= loaded.latency_max_ns);
+    assert!(loaded.latency_mean_ns > 0);
+    assert_eq!(loaded.protocol_errors, 0);
+
+    // The wire report and the in-process snapshot agree on the counters.
+    let local = server.stats();
+    assert_eq!(local.connections, loaded.connections);
+    assert_eq!(local.flushes, loaded.flushes);
+
+    // The loaded writes actually took: durable reads see them.
+    assert_eq!(client.get(0).expect("get"), Some(1000));
+
+    server.shutdown();
+    engine.quiesce();
+}
+
+#[test]
+fn desynced_stream_is_dropped_and_counted() {
+    let (_mem, engine, server) = boot();
+
+    // Feed the server a response opcode (0x85, the stats reply): a
+    // desynchronized stream. The high bit makes it an unknown request
+    // opcode, so the server must drop the connection without replying.
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
+    raw.write_all(&[1, 0, 0, 0, 0x85]).expect("write bad frame");
+    let mut buf = [0u8; 16];
+    let n = raw.read(&mut buf).expect("read until server closes");
+    assert_eq!(n, 0, "server must close a desynced connection, not answer");
+
+    // The drop is visible in the live metrics.
+    let mut client = KvClient::connect(server.local_addr()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.protocol_errors >= 1,
+        "protocol error counter must record the dropped connection"
+    );
+
+    server.shutdown();
+    engine.quiesce();
+}

@@ -5,7 +5,7 @@
 //! per engine, values normalized exactly as in the paper. Tables (Table 1,
 //! the breakdowns of Figures 9–21) are rendered the same way.
 
-use crafty_common::{BreakdownSnapshot, CompletionPath, HwTxnOutcome};
+use crafty_common::{AbortCause, BreakdownSnapshot, CompletionPath, HwTxnOutcome, TxnPhase};
 
 use crate::throughput::Figure;
 
@@ -120,6 +120,34 @@ pub fn render_breakdown(engine: &str, snapshot: &BreakdownSnapshot) -> String {
             snapshot.hw(outcome)
         ));
     }
+    if snapshot.total_abort_causes() > 0 {
+        out.push_str(&format!("{engine}: abort causes\n"));
+        for cause in AbortCause::ALL {
+            out.push_str(&format!(
+                "  {:>17}: {}\n",
+                cause.label(),
+                snapshot.abort_cause(cause)
+            ));
+        }
+    }
+    if snapshot.total_phase_cycles() > 0 {
+        // Phase-cycle decomposition (needs a Counters-level traced run).
+        // Log/Redo/Validate/SGL partition the transactions' execution
+        // time; drain/fence re-attribute the persistence stalls *within*
+        // those phases, so the six rows deliberately sum to more than the
+        // wall time.
+        out.push_str(&format!("{engine}: phase cycles (virtual ns)\n"));
+        let total = snapshot.total_phase_cycles();
+        for phase in TxnPhase::ALL {
+            let cycles = snapshot.phase_cycles(phase);
+            out.push_str(&format!(
+                "  {:>12}: {:>14}  ({:.1}%)\n",
+                phase.label(),
+                cycles,
+                100.0 * cycles as f64 / total as f64
+            ));
+        }
+    }
     out.push_str(&format!(
         "  writes/txn: {:.2}   drains: {}   flushed lines: {}\n",
         snapshot.writes_per_txn(),
@@ -218,6 +246,26 @@ mod tests {
         ] {
             assert!(s.contains(label), "missing {label} in breakdown");
         }
+    }
+
+    #[test]
+    fn breakdown_renders_phase_and_cause_sections_when_present() {
+        let r = crafty_common::BreakdownRecorder::new();
+        r.record_phase_cycles(TxnPhase::Log, 600);
+        r.record_phase_cycles(TxnPhase::Drain, 400);
+        r.record_abort_cause(AbortCause::PersistentDoomed);
+        r.record_abort_cause(AbortCause::SglFallback);
+        let s = render_breakdown("Crafty", &r.snapshot());
+        assert!(s.contains("abort causes"));
+        assert!(s.contains("persistent-doomed: 1"));
+        assert!(s.contains("sgl-fallback: 1"));
+        assert!(s.contains("phase cycles"));
+        assert!(s.contains("(60.0%)"));
+        assert!(s.contains("(40.0%)"));
+        // An untraced run renders neither optional section.
+        let bare = render_breakdown("Crafty", &BreakdownSnapshot::default());
+        assert!(!bare.contains("phase cycles"));
+        assert!(!bare.contains("abort causes"));
     }
 
     #[test]

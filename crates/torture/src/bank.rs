@@ -10,11 +10,12 @@
 
 use std::sync::Arc;
 
+use crafty_common::trace::{self, ThreadTrace};
 use crafty_common::{PAddr, PersistentTm, SplitMix64};
 use crafty_core::{logs_are_clean, recover, Crafty, CraftyConfig};
 use crafty_pmem::{CrashModel, FaultPlan, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
 
-use crate::{crash_points, TortureConfig, TortureFailure, TortureReport};
+use crate::{crash_points, EventTraceArm, TortureConfig, TortureFailure, TortureReport};
 
 /// Accounts in the bank (each on its own cache line).
 pub const ACCOUNTS: u64 = 16;
@@ -69,10 +70,16 @@ pub(crate) struct BankRun {
     /// The image trapped at the plan's crash step, if one was armed and
     /// reached.
     pub image: Option<PersistentImage>,
+    /// Flight-recorder state frozen at the same tick as `image` (empty
+    /// when no trap fired or event tracing was disarmed).
+    pub trace: Vec<ThreadTrace>,
 }
 
 /// Runs the bank workload once under `plan` and returns the run record.
+/// The event rings are reset first, so a trapped run's frozen tail shows
+/// only this replay's events.
 pub(crate) fn run_once(picks: &[Vec<Transfer>], plan: FaultPlan) -> BankRun {
+    trace::reset_rings();
     let mem = Arc::new(MemorySpace::new(
         PmemConfig {
             persistent_words: 1 << 15,
@@ -119,6 +126,7 @@ pub(crate) fn run_once(picks: &[Vec<Transfer>], plan: FaultPlan) -> BankRun {
         base,
         dir_addr,
         image: mem.take_fault_image(),
+        trace: mem.take_fault_trace(),
     }
 }
 
@@ -184,6 +192,7 @@ fn audit(image: PersistentImage, run: &BankRun, picks: &[Vec<Transfer>]) -> Resu
 /// replays it crashing at every enumerated step, and audits each crash
 /// image. See the crate docs for the invariants.
 pub fn run_bank_torture(cfg: &TortureConfig) -> TortureReport {
+    let _trace = EventTraceArm::arm();
     let picks = draw_picks(cfg.seed, cfg.txns);
     let count = run_once(&picks, FaultPlan::count_only());
     let points = crash_points(
@@ -200,30 +209,28 @@ pub fn run_bank_torture(cfg: &TortureConfig) -> TortureReport {
             FaultPlan::crash_at(step, CrashModel::adversarial(cfg.seed ^ step)),
         );
         if run.total_steps != count.total_steps {
-            failures.push(TortureFailure {
-                seed: cfg.seed,
+            failures.push(TortureFailure::capture(
+                cfg.seed,
                 step,
-                detail: format!(
+                format!(
                     "replay diverged: {} steps vs {} in the counting run",
                     run.total_steps, count.total_steps
                 ),
-            });
+                &run.trace,
+            ));
             continue;
         }
         let Some(image) = run.image.take() else {
-            failures.push(TortureFailure {
-                seed: cfg.seed,
+            failures.push(TortureFailure::capture(
+                cfg.seed,
                 step,
-                detail: "no crash image captured at an in-range step".to_string(),
-            });
+                "no crash image captured at an in-range step".to_string(),
+                &run.trace,
+            ));
             continue;
         };
         if let Err(detail) = audit(image, &run, &picks) {
-            failures.push(TortureFailure {
-                seed: cfg.seed,
-                step,
-                detail,
-            });
+            failures.push(TortureFailure::capture(cfg.seed, step, detail, &run.trace));
         }
     }
     TortureReport {
@@ -241,6 +248,7 @@ pub fn run_bank_torture(cfg: &TortureConfig) -> TortureReport {
 /// it. Returns the failure the auditor produced (proving an injected
 /// violation is caught and reported), or an error if it slipped through.
 pub fn injected_violation_is_caught(cfg: &TortureConfig) -> Result<TortureFailure, String> {
+    let _trace = EventTraceArm::arm();
     let picks = draw_picks(cfg.seed, cfg.txns);
     let count = run_once(&picks, FaultPlan::count_only());
     let step = count.setup_steps + (count.total_steps - count.setup_steps) / 2;
@@ -254,11 +262,7 @@ pub fn injected_violation_is_caught(cfg: &TortureConfig) -> Result<TortureFailur
     let victim = run.base;
     recovered.write(victim, recovered.read(victim).wrapping_add(1));
     match prefix_check(&recovered, run.base, &picks) {
-        Err(detail) => Ok(TortureFailure {
-            seed: cfg.seed,
-            step,
-            detail,
-        }),
+        Err(detail) => Ok(TortureFailure::capture(cfg.seed, step, detail, &run.trace)),
         Ok(k) => Err(format!(
             "auditor accepted a corrupted image as prefix {k} — injected violations go unreported"
         )),

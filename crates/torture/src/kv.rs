@@ -10,13 +10,14 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crafty_common::trace::{self, ThreadTrace};
 use crafty_common::{PersistentTm, SplitMix64};
 use crafty_core::{Crafty, CraftyConfig};
 use crafty_kv::{KvConfig, ShardedKv};
 use crafty_pmem::{CrashModel, FaultPlan, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
 
 use crate::bank::recover_checked;
-use crate::{crash_points, TortureConfig, TortureFailure, TortureReport};
+use crate::{crash_points, EventTraceArm, TortureConfig, TortureFailure, TortureReport};
 
 /// Key space; small enough that overwrites, removes, and rehash churn all
 /// happen within a short run.
@@ -72,10 +73,14 @@ struct KvRun {
     total_steps: u64,
     dir_addr: crafty_common::PAddr,
     image: Option<PersistentImage>,
+    /// Flight-recorder state frozen at the same tick as `image`.
+    trace: Vec<ThreadTrace>,
 }
 
-/// Runs the KV workload once under `plan`.
+/// Runs the KV workload once under `plan`. The event rings are reset
+/// first, so a trapped run's frozen tail shows only this replay's events.
 fn run_once(ops: &[KvOp], plan: FaultPlan) -> KvRun {
+    trace::reset_rings();
     let mem = Arc::new(MemorySpace::new(pmem_cfg(plan)));
     let engine = Crafty::new(Arc::clone(&mem), crafty_cfg());
     let dir_addr = engine.directory_addr();
@@ -101,6 +106,7 @@ fn run_once(ops: &[KvOp], plan: FaultPlan) -> KvRun {
         total_steps: mem.fault_steps(),
         dir_addr,
         image: mem.take_fault_image(),
+        trace: mem.take_fault_trace(),
     }
 }
 
@@ -153,6 +159,7 @@ fn audit(
 /// Runs the KV torture suite: step counting, crash-point replay, and the
 /// full recover/boot/integrity/prefix audit per image.
 pub fn run_kv_torture(cfg: &TortureConfig) -> TortureReport {
+    let _trace = EventTraceArm::arm();
     let ops = draw_ops(cfg.seed, cfg.txns);
     let count = run_once(&ops, FaultPlan::count_only());
     let points = crash_points(
@@ -169,30 +176,28 @@ pub fn run_kv_torture(cfg: &TortureConfig) -> TortureReport {
             FaultPlan::crash_at(step, CrashModel::adversarial(cfg.seed ^ step)),
         );
         if run.total_steps != count.total_steps {
-            failures.push(TortureFailure {
-                seed: cfg.seed,
+            failures.push(TortureFailure::capture(
+                cfg.seed,
                 step,
-                detail: format!(
+                format!(
                     "replay diverged: {} steps vs {} in the counting run",
                     run.total_steps, count.total_steps
                 ),
-            });
+                &run.trace,
+            ));
             continue;
         }
         let Some(image) = run.image else {
-            failures.push(TortureFailure {
-                seed: cfg.seed,
+            failures.push(TortureFailure::capture(
+                cfg.seed,
                 step,
-                detail: "no crash image captured at an in-range step".to_string(),
-            });
+                "no crash image captured at an in-range step".to_string(),
+                &run.trace,
+            ));
             continue;
         };
         if let Err(detail) = audit(image, run.dir_addr, &ops) {
-            failures.push(TortureFailure {
-                seed: cfg.seed,
-                step,
-                detail,
-            });
+            failures.push(TortureFailure::capture(cfg.seed, step, detail, &run.trace));
         }
     }
     TortureReport {

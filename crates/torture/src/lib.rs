@@ -29,12 +29,20 @@
 //! with that seed and `crash_step = Some(step)` reproduces it exactly —
 //! the runs are single-threaded and every random choice is drawn from
 //! seeded [`crafty_common::SplitMix64`] streams.
+//!
+//! Every suite also runs its replays with the trace subsystem armed at
+//! [`crafty_common::trace::TraceLevel::Events`], and the fault clock
+//! freezes the per-thread event rings at the same tick it traps the crash
+//! image — so each [`TortureFailure`] carries a **flight-recorder tail**:
+//! the last [`TAIL_EVENTS`] trace events before the injected crash step,
+//! rendered under the failure line by its `Display` impl.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
 
+use crafty_common::trace::{self, ThreadTrace, TraceConfig, TraceLevel};
 use crafty_common::SplitMix64;
 
 pub mod bank;
@@ -77,6 +85,9 @@ impl TortureConfig {
     }
 }
 
+/// Trace events kept per thread in a failure's flight-recorder tail.
+pub const TAIL_EVENTS: usize = 12;
+
 /// One audited invariant violation, with everything needed to replay it.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TortureFailure {
@@ -86,6 +97,67 @@ pub struct TortureFailure {
     pub step: u64,
     /// Human-readable description of the violated invariant.
     pub detail: String,
+    /// Flight-recorder tail: per thread, the last [`TAIL_EVENTS`] trace
+    /// events recorded before the injected crash step (one header line per
+    /// thread followed by its events, oldest first). Empty when the
+    /// failing replay trapped no image, or recorded no events.
+    pub trace_tail: Vec<String>,
+}
+
+impl TortureFailure {
+    /// Builds a failure report with the flight-recorder tail attached.
+    /// `trace` is the per-thread ring state frozen by the fault clock at
+    /// the injected crash step ([`crafty_pmem::MemorySpace::take_fault_trace`]);
+    /// suites without a fault clock pass the live rings at audit time
+    /// ([`trace::ring_snapshot_all`]) instead.
+    pub fn capture(seed: u64, step: u64, detail: String, trace: &[ThreadTrace]) -> Self {
+        TortureFailure {
+            seed,
+            step,
+            detail,
+            trace_tail: format_tails(trace),
+        }
+    }
+}
+
+/// Renders frozen ring states as report lines: one header per thread,
+/// then its last [`TAIL_EVENTS`] events, oldest first.
+fn format_tails(trace: &[ThreadTrace]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (tid, events, dropped) in trace {
+        let skip = events.len().saturating_sub(TAIL_EVENTS);
+        let total = events.len() as u64 + dropped;
+        lines.push(format!(
+            "trace tail [tid {tid}]: last {} of {total} events ({dropped} overwritten)",
+            events.len() - skip,
+        ));
+        for e in &events[skip..] {
+            lines.push(format!("  {e}"));
+        }
+    }
+    lines
+}
+
+/// Arms the trace subsystem at [`TraceLevel::Events`] for the duration of
+/// a suite run and restores the previous level on drop, so every failure
+/// report can carry the flight-recorder tail of its failing replay.
+pub(crate) struct EventTraceArm {
+    previous: TraceLevel,
+}
+
+impl EventTraceArm {
+    /// Saves the current level and arms full event recording.
+    pub(crate) fn arm() -> Self {
+        let previous = trace::level();
+        trace::configure(TraceConfig::events());
+        EventTraceArm { previous }
+    }
+}
+
+impl Drop for EventTraceArm {
+    fn drop(&mut self) {
+        trace::set_level(self.previous);
+    }
 }
 
 impl fmt::Display for TortureFailure {
@@ -94,7 +166,11 @@ impl fmt::Display for TortureFailure {
             f,
             "(seed {}, step {}): {}",
             self.seed, self.step, self.detail
-        )
+        )?;
+        for line in &self.trace_tail {
+            write!(f, "\n    {line}")?;
+        }
+        Ok(())
     }
 }
 

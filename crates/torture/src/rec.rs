@@ -13,11 +13,12 @@
 //! detected via the directory's persistent phase word and the re-run only
 //! finishes the zeroing — see [`crafty_core::recover_interrupted`]).
 
+use crafty_common::trace::ThreadTrace;
 use crafty_core::{logs_are_clean, recover, recover_interrupted};
 use crafty_pmem::{CrashModel, FaultPlan};
 
 use crate::bank::{draw_picks, prefix_check, run_once};
-use crate::{crash_points, TortureConfig, TortureFailure, TortureReport};
+use crate::{crash_points, EventTraceArm, TortureConfig, TortureFailure, TortureReport};
 
 /// Trap points per run: each spawns a full budget sweep, so a few spread
 /// over the run suffice (`crash_step` still pins an exact one for
@@ -26,6 +27,7 @@ const TRAP_POINTS: u64 = 6;
 
 /// Runs the crash-during-recovery suite over the bank workload.
 pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
+    let _trace = EventTraceArm::arm();
     let picks = draw_picks(cfg.seed, cfg.txns);
     let count = run_once(&picks, FaultPlan::count_only());
     let max_points = if cfg.max_crash_points == 0 {
@@ -41,12 +43,8 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
         cfg.crash_step,
     );
     let mut failures = Vec::new();
-    let mut fail = |step: u64, detail: String| {
-        failures.push(TortureFailure {
-            seed: cfg.seed,
-            step,
-            detail,
-        })
+    let mut fail = |step: u64, detail: String, trace: &[ThreadTrace]| {
+        failures.push(TortureFailure::capture(cfg.seed, step, detail, trace))
     };
     for &step in &points {
         let run = run_once(
@@ -54,7 +52,7 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
             FaultPlan::crash_at(step, CrashModel::adversarial(cfg.seed ^ step)),
         );
         let Some(pristine) = run.image else {
-            fail(step, "no crash image captured".to_string());
+            fail(step, "no crash image captured".to_string(), &run.trace);
             continue;
         };
         // Reference: one uninterrupted recovery.
@@ -62,12 +60,12 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
         let full = match recover_interrupted(&mut reference, run.dir_addr, u64::MAX) {
             Ok(r) => r,
             Err(e) => {
-                fail(step, format!("reference recovery failed: {e}"));
+                fail(step, format!("reference recovery failed: {e}"), &run.trace);
                 continue;
             }
         };
         if let Err(detail) = prefix_check(&reference, run.base, &picks) {
-            fail(step, detail);
+            fail(step, detail, &run.trace);
             continue;
         }
         for budget in 0..=full.writes_applied {
@@ -78,6 +76,7 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
                     fail(
                         step,
                         format!("budget {budget}: interrupted pass failed: {e}"),
+                        &run.trace,
                     );
                     continue;
                 }
@@ -85,7 +84,11 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
             let rerun = match recover(&mut image, run.dir_addr) {
                 Ok(r) => r,
                 Err(e) => {
-                    fail(step, format!("budget {budget}: re-recovery failed: {e}"));
+                    fail(
+                        step,
+                        format!("budget {budget}: re-recovery failed: {e}"),
+                        &run.trace,
+                    );
                     continue;
                 }
             };
@@ -97,6 +100,7 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
                          image ({} writes were applied before the interrupt)",
                         partial.writes_applied
                     ),
+                    &run.trace,
                 );
                 continue;
             }
@@ -109,6 +113,7 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
                         format!(
                             "budget {budget}: timestamp cut regressed ({second:?} < {first:?})"
                         ),
+                        &run.trace,
                     );
                 }
             }
@@ -116,6 +121,7 @@ pub fn run_recovery_torture(cfg: &TortureConfig) -> TortureReport {
                 fail(
                     step,
                     format!("budget {budget}: logs dirty after convergence"),
+                    &run.trace,
                 );
             }
         }

@@ -11,12 +11,13 @@
 
 use std::sync::Arc;
 
+use crafty_common::trace;
 use crafty_common::{CompletionPath, PersistentTm};
 use crafty_core::{recover, Crafty, CraftyConfig};
 use crafty_htm::HtmConfig;
 use crafty_pmem::{CrashModel, LatencyModel, MemorySpace, PmemConfig};
 
-use crate::{TortureConfig, TortureFailure, TortureReport};
+use crate::{EventTraceArm, TortureConfig, TortureFailure, TortureReport};
 
 /// Consecutive doomed hardware transactions per storm cycle: far beyond
 /// the engine's retry budget (`max_phase_restarts × htm_retries_per_phase`
@@ -31,6 +32,8 @@ const PERIOD: u32 = 128;
 /// under storms; crash-point fields are unused (storms exercise the HTM
 /// layer, not the fault clock).
 pub fn run_storm_torture(cfg: &TortureConfig) -> TortureReport {
+    let _trace = EventTraceArm::arm();
+    trace::reset_rings();
     let mut failures = Vec::new();
     let mem = Arc::new(MemorySpace::new(PmemConfig {
         persistent_words: 1 << 15,
@@ -62,50 +65,57 @@ pub fn run_storm_torture(cfg: &TortureConfig) -> TortureReport {
         });
     }
     drop(thread);
+    // No fault clock here: the tail is the live flight-recorder state at
+    // the end of the stormed run.
+    let tail = trace::ring_snapshot_all();
 
     let breakdown = engine.breakdown();
     if breakdown.total_persistent() != cfg.txns {
-        failures.push(TortureFailure {
-            seed: cfg.seed,
-            step: 0,
-            detail: format!(
+        failures.push(TortureFailure::capture(
+            cfg.seed,
+            0,
+            format!(
                 "liveness violated: {} of {} transactions completed under storms",
                 breakdown.total_persistent(),
                 cfg.txns
             ),
-        });
+            &tail,
+        ));
     }
     if breakdown.completions(CompletionPath::Sgl) == 0 {
-        failures.push(TortureFailure {
-            seed: cfg.seed,
-            step: 0,
-            detail: format!(
+        failures.push(TortureFailure::capture(
+            cfg.seed,
+            0,
+            format!(
                 "storm too weak: no transaction fell back to the SGL \
                  (burst {BURST}, period {PERIOD})"
             ),
-        });
+            &tail,
+        ));
     }
 
     engine.quiesce();
     let mut image = mem.crash();
     match recover(&mut image, engine.directory_addr()) {
-        Err(e) => failures.push(TortureFailure {
-            seed: cfg.seed,
-            step: 0,
-            detail: format!("recovery failed after the storm run: {e}"),
-        }),
+        Err(e) => failures.push(TortureFailure::capture(
+            cfg.seed,
+            0,
+            format!("recovery failed after the storm run: {e}"),
+            &tail,
+        )),
         Ok(_) => {
             let recovered = image.read(cells);
             if recovered != cfg.txns {
-                failures.push(TortureFailure {
-                    seed: cfg.seed,
-                    step: 0,
-                    detail: format!(
+                failures.push(TortureFailure::capture(
+                    cfg.seed,
+                    0,
+                    format!(
                         "durability violated: counter {recovered} after quiesce + crash, \
                          expected {}",
                         cfg.txns
                     ),
-                });
+                    &tail,
+                ));
             }
         }
     }

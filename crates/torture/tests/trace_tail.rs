@@ -1,0 +1,45 @@
+//! Failure reports carry a flight-recorder tail: the last trace events
+//! each thread recorded before the injected crash step, frozen by the
+//! fault clock at the same tick as the crash image.
+//!
+//! This lives in its own test binary because the event rings are
+//! process-global: a concurrent test resetting them between the failing
+//! replay and the assertion would make the tail nondeterministic.
+
+use crafty_torture::{injected_violation_is_caught, TortureConfig, TAIL_EVENTS};
+
+#[test]
+fn failure_reports_carry_the_event_ring_tail() {
+    let failure = injected_violation_is_caught(&TortureConfig::quick(11))
+        .expect("the auditor self-test must catch the injected violation");
+
+    assert!(
+        !failure.trace_tail.is_empty(),
+        "no flight-recorder tail attached to the failure"
+    );
+    let tail = failure.trace_tail.join("\n");
+    // The bank replay is single-threaded on tid 0 under full event
+    // tracing, so the tail shows engine lifecycle events, not just a
+    // header line.
+    assert!(tail.contains("[tid 0]"), "missing tid header:\n{tail}");
+    assert!(
+        tail.contains("undo-append") || tail.contains("htm-commit"),
+        "tail shows no engine lifecycle events:\n{tail}"
+    );
+    // The window is capped at TAIL_EVENTS events for the one thread.
+    let events = failure
+        .trace_tail
+        .iter()
+        .filter(|l| l.trim_start().starts_with('['))
+        .count();
+    assert!(
+        events > 0 && events <= TAIL_EVENTS,
+        "expected 1..={TAIL_EVENTS} tail events, got {events}:\n{tail}"
+    );
+    // Display renders the tail under the failure line, indented.
+    let rendered = failure.to_string();
+    assert!(
+        rendered.contains("\n    trace tail [tid 0]"),
+        "Display does not render the tail:\n{rendered}"
+    );
+}

@@ -8,6 +8,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crafty_common::trace::{self, TraceEventKind};
 use crafty_common::{PersistentTm, SplitMix64, TxAbort, TxnOps};
 use crafty_pmem::MemorySpace;
 use crafty_stats::Measurement;
@@ -76,6 +77,10 @@ pub fn run_mix(
                 let mut handle = engine.register_thread(tid);
                 let mut rng = SplitMix64::new(seed ^ (tid as u64 + 1).wrapping_mul(0x9E37));
                 for i in 0..txns_per_thread {
+                    // Engine-agnostic lifecycle bracketing: every engine's
+                    // transactions show up as begin/end pairs in a trace
+                    // dump, whatever the engine does in between.
+                    trace::record(tid, TraceEventKind::TxnBegin, i);
                     if group <= 1 {
                         handle.execute(&mut |ops| mix.run_txn(tid, i, &mut rng, ops));
                     } else {
@@ -84,6 +89,7 @@ pub fn run_mix(
                             handle.flush_deferred();
                         }
                     }
+                    trace::record(tid, TraceEventKind::TxnEnd, i);
                 }
                 if group > 1 {
                     handle.flush_deferred();
