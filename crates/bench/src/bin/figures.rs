@@ -221,7 +221,7 @@ const SPECS: &[SubcommandSpec] = &[
             FlagDef {
                 name: "--suite",
                 value: Some("NAME"),
-                help: "bank | kv | storm | recovery | all (default all)",
+                help: "bank | kv | storm | recovery | service | all (default all)",
             },
             FlagDef {
                 name: "--seed",
@@ -304,6 +304,11 @@ const SPECS: &[SubcommandSpec] = &[
                 name: "--json-out",
                 value: Some("PATH"),
                 help: "artifact path (default BENCH_kvserve.json)",
+            },
+            FlagDef {
+                name: "--assert-no-shed",
+                value: None,
+                help: "exit 1 if any point sheds batches (BUSY) — keeps latency baselines honest",
             },
         ],
     },
@@ -656,7 +661,7 @@ fn run_compare(args: &[String]) -> ! {
 fn run_torture(args: &[String]) -> ! {
     use crafty_torture::{
         injected_violation_is_caught, run_bank_torture, run_kv_torture, run_recovery_torture,
-        run_storm_torture, TortureConfig, TortureReport,
+        run_service_torture, run_storm_torture, TortureConfig, TortureReport,
     };
 
     let p = parse_or_fail(spec("torture"), args);
@@ -669,7 +674,7 @@ fn run_torture(args: &[String]) -> ! {
         cfg.crash_step = Some(flag(p.parsed("--crash-step", 0)));
     }
 
-    let known = ["bank", "kv", "storm", "recovery", "all"];
+    let known = ["bank", "kv", "storm", "recovery", "service", "all"];
     if !known.contains(&suite.as_str()) {
         fail(&format!("--suite must be one of {known:?}, got `{suite}`"));
     }
@@ -739,6 +744,18 @@ fn run_torture(args: &[String]) -> ! {
     }
     if wants("storm") {
         failed |= show(&run_storm_torture(&cfg));
+    }
+    if wants("service") {
+        // The networked suite restarts a real server per crash point, and
+        // its step clock is not byte-deterministic (threads + sockets), so
+        // exhaustive enumeration buys nothing over sampling: bound the
+        // default instead of replaying thousands of boots.
+        let mut svc = cfg;
+        if svc.max_crash_points == 0 && svc.crash_step.is_none() {
+            svc.max_crash_points = 8;
+            println!("\n[service] sampling 8 crash points (use --steps to change)");
+        }
+        failed |= show(&run_service_torture(&svc));
     }
 
     if failed {
@@ -858,6 +875,21 @@ fn run_kvserve_cmd(args: &[String]) -> ! {
     println!("\n{}", render_kvserve_table(&points));
     std::fs::write(json_path, render_kvserve_json(&cfg, &points)).expect("write kvserve json");
     println!("[json written to {json_path}]");
+    if p.has("--assert-no-shed") {
+        let shed: Vec<_> = points.iter().filter(|pt| pt.shed_batches > 0).collect();
+        if !shed.is_empty() {
+            println!("\nASSERT-NO-SHED FAILED — overload shedding fired during the sweep:");
+            for pt in &shed {
+                println!(
+                    "  {:<12} @ {:>7}/s: {} batches shed (latency figures above are \
+                     survivorship-biased)",
+                    pt.engine, pt.rate_per_sec, pt.shed_batches,
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("[assert-no-shed: ok — no point shed a batch]");
+    }
     std::process::exit(0);
 }
 

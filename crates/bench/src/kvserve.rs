@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crafty_kv::{DirectOps, KvConfig, ShardedKv};
+use crafty_kv::{DirectOps, KvConfig, SessionTable, ShardedKv};
 use crafty_pmem::{LatencyModel, MemorySpace, PmemConfig};
 use crafty_server::{KvClient, KvServer, Request, ServerConfig};
 use crafty_stats::{Json, LatencyHistogram};
@@ -205,6 +205,10 @@ pub struct KvServePoint {
     /// Mean pipelined-batch depth the server saw (its group-commit
     /// amortization factor).
     pub mean_batch: f64,
+    /// Batches the server shed with `Busy`. Nominal-load sweeps must keep
+    /// this zero, or the tail percentiles describe a degraded server —
+    /// `figures kvserve --assert-no-shed` turns that into a hard failure.
+    pub shed_batches: u64,
     /// The full latency distribution, measured from intended send times.
     pub latency: LatencyHistogram,
 }
@@ -253,9 +257,11 @@ pub fn run_kvserve_point(cfg: &KvServeConfig, engine: KvServeEngine, rate: u64) 
         kv.persist_all(&mem, 0);
     }
 
+    let sessions = SessionTable::create(&mem, 64);
     let server = KvServer::start(
         Arc::clone(&tm),
         kv,
+        sessions,
         ServerConfig::loopback(cfg.workers, engine.group_commit()),
     )
     .expect("bind loopback server");
@@ -341,6 +347,7 @@ pub fn run_kvserve_point(cfg: &KvServeConfig, engine: KvServeEngine, rate: u64) 
         ops: histogram.count(),
         achieved_rate: histogram.count() as f64 / wall_s,
         mean_batch: stats.mean_batch(),
+        shed_batches: stats.shed_batches,
         latency: histogram,
     }
 }
@@ -358,6 +365,7 @@ pub fn render_kvserve_json(cfg: &KvServeConfig, points: &[KvServePoint]) -> Stri
                 .with("ops", Json::from(p.ops))
                 .with("achieved_rate", Json::Float(round2(p.achieved_rate)))
                 .with("mean_batch", Json::Float(round4(p.mean_batch)))
+                .with("shed_batches", Json::from(p.shed_batches))
                 .with("p50_ns", Json::UInt(p50))
                 .with("p99_ns", Json::UInt(p99))
                 .with("p999_ns", Json::UInt(p999))
@@ -434,6 +442,7 @@ mod tests {
         let p = run_kvserve_point(&cfg, KvServeEngine::NonDurable, 50_000);
         assert_eq!(p.ops, 400, "every scheduled op must be served and acked");
         assert_eq!(p.engine, "Non-durable");
+        assert_eq!(p.shed_batches, 0, "nominal load must never shed");
         assert!(p.achieved_rate > 0.0);
         assert!(p.latency.percentile(0.99) >= p.latency.percentile(0.50));
         assert!(p.mean_batch >= 1.0);
@@ -466,6 +475,7 @@ mod tests {
             "\"p99_ns\"",
             "\"p999_ns\"",
             "\"mean_batch\"",
+            "\"shed_batches\"",
             "\"arrival\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

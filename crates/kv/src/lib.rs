@@ -97,8 +97,10 @@
 
 pub mod direct;
 pub mod group;
+pub mod session;
 pub mod store;
 
 pub use direct::DirectOps;
 pub use group::GroupCommit;
+pub use session::{CachedReply, SeqCheck, SessionTable, REPLY_WINDOW};
 pub use store::{KvConfig, KvStats, ShardedKv, KEY_MAX};

@@ -139,7 +139,7 @@
 //! slot, and the NV-HTM checkpointer owns a dedicated slot). `drain(tid)`
 //! carries no such restriction.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -355,6 +355,21 @@ pub struct MemorySpace {
     /// thread was doing right before the injected crash. Empty unless the
     /// trace subsystem was at `Events` level when the trap fired.
     fault_trace: Mutex<Vec<trace::ThreadTrace>>,
+    /// Set (and never cleared) the instant the fault trap fires. Cheap to
+    /// poll, unlike the image mutex, so a live service can use it as a
+    /// *power rail*: the run continues past the non-destructive trap, and
+    /// any durability ack issued after this flag rises would be promising
+    /// state the captured crash image does not contain.
+    fault_tripped: AtomicBool,
+    /// Set once the trap's image capture has finished. Between the trip
+    /// and this flag, every *other* thread that reaches a fault tick parks
+    /// (see [`MemorySpace::fault_tick_armed`]): the capture loop photographs
+    /// the whole space word by word, and a concurrently running thread
+    /// could otherwise complete further transactions *during* the
+    /// photograph — leaking post-crash state into some regions of the
+    /// image while others (already photographed) predate it, a torn,
+    /// causally impossible crash state no real power failure can produce.
+    fault_capture_done: AtomicBool,
 }
 
 /// Stripe count for eviction sampling; lines hash onto stripes, so
@@ -398,6 +413,8 @@ impl MemorySpace {
             fault_step: AtomicU64::new(0),
             fault_image: Mutex::new(None),
             fault_trace: Mutex::new(Vec::new()),
+            fault_tripped: AtomicBool::new(false),
+            fault_capture_done: AtomicBool::new(false),
             cfg,
         }
     }
@@ -947,13 +964,51 @@ impl MemorySpace {
     #[cold]
     fn fault_tick_armed(&self) {
         let step = self.fault_step.fetch_add(1, Ordering::Relaxed) + 1;
-        if Some(step) == self.cfg.fault.crash_at_step {
+        let Some(target) = self.cfg.fault.crash_at_step else {
+            return;
+        };
+        if step == target {
+            // Raise the power rail FIRST. The capture loop below runs
+            // concurrently with other threads' drains and fences; a fence
+            // that completes while the image is being photographed may be
+            // only partially in it. Flag-first makes the ack rule sound:
+            // a fence that then polls the rail reads `true` and withholds
+            // its ack, while a fence whose poll read `false` completed
+            // strictly before this store — and therefore before every
+            // capture read — so its write-backs are all in the image.
+            self.fault_tripped.store(true, Ordering::SeqCst);
+            // SC-fence pairing with [`MemorySpace::fault_tripped`]: the
+            // flag store alone does not order this thread's *subsequent
+            // capture loads* against another thread's write-backs (the
+            // store-buffer litmus — both sides may read old). With a
+            // SeqCst fence here and one before the poller's load, either
+            // the poller reads `true`, or every write-back it issued
+            // before its fence is visible to the capture loads below.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            // Freeze the flight recorders before the image: the image is
+            // the "capture complete" signal ([`MemorySpace::take_fault_image`]
+            // returning `Some` implies the trace is already in place).
+            *self.fault_trace.lock().unwrap() = trace::ring_snapshot_all();
             let image = self.crash_with(self.cfg.fault.crash_model);
             *self.fault_image.lock().unwrap() = Some(image);
-            // Freeze the flight recorders at the same tick: the run
-            // continues past the trap, so a later snapshot would show
-            // post-crash events.
-            *self.fault_trace.lock().unwrap() = trace::ring_snapshot_all();
+            self.fault_capture_done.store(true, Ordering::Release);
+        } else if step > target {
+            // Capture barrier. The trap is non-destructive and other
+            // threads keep running, but the photograph must be a *moment*:
+            // a thread that kept mutating pmem while the capture loop
+            // walked the space would leak post-crash transactions into the
+            // regions photographed late, while regions photographed early
+            // still predate them — a torn image whose log can even miss
+            // sequences whose effects it contains. Parking every
+            // subsequent tick until the capture finishes bounds the leak
+            // to at most each thread's single in-flight operation, and an
+            // in-flight store is exactly a dirty word at crash — the coin
+            // resolution the model already applies. Single-threaded
+            // suites never spin here: the capturing thread sets the flag
+            // before its own next tick.
+            while !self.fault_capture_done.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
         }
     }
 
@@ -976,6 +1031,30 @@ impl MemorySpace {
     /// trap fired, or when event tracing was disarmed during the run.
     pub fn take_fault_trace(&self) -> Vec<trace::ThreadTrace> {
         std::mem::take(&mut self.fault_trace.lock().unwrap())
+    }
+
+    /// Whether the armed plan's crash step has been reached. The trap is
+    /// non-destructive — the run continues — so this is the *power rail* a
+    /// live service polls: a fence whose post-fence poll reads `false`
+    /// completed strictly before the image capture began and is fully in
+    /// the image; once a poll reads `true`, the fence may have raced the
+    /// capture, so no durability ack may be issued from that point on.
+    /// The flag is raised *before* the capture runs, so a supervisor that
+    /// observes it must wait for [`MemorySpace::take_fault_image`] to
+    /// return `Some` (the capture-complete signal; the frozen trace is in
+    /// place by then too). Stays `true` even after the image is taken;
+    /// always `false` under disarmed or count-only plans.
+    pub fn fault_tripped(&self) -> bool {
+        // SC-fence pairing with the capture in `fault_tick_armed`: drain
+        // this thread's preceding write-backs before reading the flag. A
+        // SeqCst *load* alone may be satisfied before earlier stores
+        // leave the store buffer (x86-TSO store→load reordering), which
+        // would let a fence poll `false` while the concurrent capture
+        // missed its write-backs — an acked-but-lost batch. With fences
+        // on both sides, reading `false` guarantees the capture sees
+        // every store this thread issued before the poll.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.fault_tripped.load(Ordering::SeqCst)
     }
 
     /// Reserves `words` consecutive words of persistent memory for a static

@@ -1,0 +1,283 @@
+//! Deterministic network fault injection under an unmodified client.
+//!
+//! [`FaultyStream`] wraps a real `TcpStream` and perturbs its blocking
+//! I/O from a seeded [`SplitMix64`] stream: reads and writes are split at
+//! arbitrary byte boundaries (so frames cross syscall edges), calls stall,
+//! and the connection dies mid-frame. Because it implements
+//! [`crate::NetStream`], it slots under [`crate::KvClient`] — and
+//! therefore under [`crate::SessionClient`]'s retry loop — without either
+//! knowing; the torture `service` suite uses exactly that stack to prove
+//! the exactly-once contract holds when the network misbehaves *and* the
+//! server crashes.
+//!
+//! Faults never corrupt data in flight. Bytes that are delivered are
+//! delivered intact and in order — this is TCP's contract too; the
+//! adversary controls *timing and truncation*, not content. (Content
+//! corruption is the protocol proptest's territory, where the decoder
+//! must survive arbitrary bytes.)
+//!
+//! Determinism caveat: the fault *decisions* are a pure function of the
+//! seed and the call sequence, but the call sequence itself depends on
+//! thread interleaving once a stream is cloned across threads. The suite
+//! therefore treats fault seeds as adversary strategies, not replayable
+//! schedules — replayability lives in the server's fault clock, which is
+//! strictly sequenced by the durability pipeline.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crafty_common::SplitMix64;
+
+use crate::client::NetStream;
+
+/// Fault probabilities and intensities for one [`FaultyStream`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Seed for the shared decision stream (clones continue it).
+    pub seed: u64,
+    /// Probability a read/write is truncated to a random prefix.
+    pub partial_io: f64,
+    /// Probability a call stalls for [`FaultConfig::stall`] first.
+    pub stall_chance: f64,
+    /// How long a stall lasts.
+    pub stall: Duration,
+    /// Probability a call kills the connection (possibly mid-frame: a
+    /// random prefix of a write may land before the cut).
+    pub disconnect: f64,
+}
+
+impl FaultConfig {
+    /// A lively mix for torture runs: frequent partial I/O, occasional
+    /// short stalls, rare disconnects.
+    pub fn quick(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            partial_io: 0.25,
+            stall_chance: 0.05,
+            stall: Duration::from_millis(2),
+            disconnect: 0.01,
+        }
+    }
+
+    /// Partial I/O only — no stalls, no disconnects. Useful where the
+    /// test wants framing stress without retry noise.
+    pub fn choppy(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            partial_io: 0.6,
+            stall_chance: 0.0,
+            stall: Duration::ZERO,
+            disconnect: 0.0,
+        }
+    }
+}
+
+/// Decision state shared by every clone of one stream, so the fault
+/// sequence is one stream regardless of how the halves are split.
+#[derive(Debug)]
+struct FaultState {
+    rng: SplitMix64,
+    /// Set when an injected disconnect fired; every later call fails.
+    dead: bool,
+}
+
+/// What the decision stream ordered for one I/O call.
+enum Verdict {
+    /// Proceed, truncating the buffer to this many bytes (`usize::MAX`
+    /// means the full buffer).
+    Proceed(usize),
+    /// Kill the connection; for writes, deliver this many bytes first.
+    Disconnect(usize),
+}
+
+/// A `TcpStream` with a seeded adversary between the caller and the
+/// kernel. See the module docs.
+#[derive(Debug)]
+pub struct FaultyStream {
+    inner: TcpStream,
+    cfg: FaultConfig,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyStream {
+    /// Wraps `inner`, seeding the decision stream from `cfg.seed`.
+    pub fn new(inner: TcpStream, cfg: FaultConfig) -> Self {
+        FaultyStream {
+            inner,
+            cfg,
+            state: Arc::new(Mutex::new(FaultState {
+                rng: SplitMix64::new(cfg.seed ^ 0xFAB7_1E57_0BAD_CA11),
+                dead: false,
+            })),
+        }
+    }
+
+    /// Connects to `addr` and wraps the stream.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from connecting.
+    pub fn connect(
+        addr: impl std::net::ToSocketAddrs,
+        cfg: FaultConfig,
+    ) -> std::io::Result<FaultyStream> {
+        Ok(FaultyStream::new(TcpStream::connect(addr)?, cfg))
+    }
+
+    fn injected_reset() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::ConnectionReset, "injected disconnect")
+    }
+
+    /// Rolls the dice for one call over a buffer of `len` bytes. Stalls
+    /// happen inside (with the lock released first).
+    fn decide(&self, len: usize) -> std::io::Result<Verdict> {
+        let (verdict, stall) = {
+            let mut st = self.state.lock().expect("fault state poisoned");
+            if st.dead {
+                return Err(Self::injected_reset());
+            }
+            let stall = st.rng.chance(self.cfg.stall_chance);
+            if st.rng.chance(self.cfg.disconnect) {
+                st.dead = true;
+                let delivered = if len > 1 {
+                    st.rng.next_below(len as u64) as usize
+                } else {
+                    0
+                };
+                (Verdict::Disconnect(delivered), stall)
+            } else if len > 1 && st.rng.chance(self.cfg.partial_io) {
+                let keep = 1 + st.rng.next_below(len as u64 - 1) as usize;
+                (Verdict::Proceed(keep), stall)
+            } else {
+                (Verdict::Proceed(usize::MAX), stall)
+            }
+        };
+        if stall && !self.cfg.stall.is_zero() {
+            std::thread::sleep(self.cfg.stall);
+        }
+        Ok(verdict)
+    }
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.decide(buf.len())? {
+            Verdict::Proceed(keep) => {
+                let upto = buf.len().min(keep);
+                self.inner.read(&mut buf[..upto])
+            }
+            Verdict::Disconnect(_) => {
+                // Cut both directions so the peer sees it too.
+                let _ = self.inner.shutdown(Shutdown::Both);
+                Err(Self::injected_reset())
+            }
+        }
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.decide(buf.len())? {
+            Verdict::Proceed(keep) => {
+                let upto = buf.len().min(keep);
+                self.inner.write(&buf[..upto])
+            }
+            Verdict::Disconnect(delivered) => {
+                // A mid-frame cut: a prefix may reach the wire, then the
+                // connection dies. The server must tolerate the torso.
+                if delivered > 0 {
+                    let _ = self.inner.write(&buf[..delivered]);
+                    let _ = self.inner.flush();
+                }
+                let _ = self.inner.shutdown(Shutdown::Both);
+                Err(Self::injected_reset())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.state.lock().expect("fault state poisoned").dead {
+            return Err(Self::injected_reset());
+        }
+        self.inner.flush()
+    }
+}
+
+impl NetStream for FaultyStream {
+    fn try_clone(&self) -> std::io::Result<Self> {
+        Ok(FaultyStream {
+            inner: self.inner.try_clone()?,
+            cfg: self.cfg,
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_write_timeout(dur)
+    }
+
+    fn set_nodelay(&self, on: bool) -> std::io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn choppy_io_delivers_every_byte_in_order() {
+        let (a, b) = pair();
+        let mut tx = FaultyStream::new(a, FaultConfig::choppy(7));
+        let mut rx = FaultyStream::new(b, FaultConfig::choppy(8));
+        let sent: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
+        let payload = sent.clone();
+        let writer = std::thread::spawn(move || {
+            tx.write_all(&payload).expect("write through chop");
+            tx // keep the socket open until the reader is done
+        });
+        let mut got = vec![0u8; sent.len()];
+        rx.read_exact(&mut got).expect("read through chop");
+        drop(writer.join().expect("writer"));
+        assert_eq!(got, sent, "partial I/O must not lose or reorder bytes");
+    }
+
+    #[test]
+    fn disconnect_is_sticky_across_clones() {
+        let (a, _b) = pair();
+        let cfg = FaultConfig {
+            seed: 3,
+            partial_io: 0.0,
+            stall_chance: 0.0,
+            stall: Duration::ZERO,
+            disconnect: 1.0,
+        };
+        let mut s = FaultyStream::new(a, cfg);
+        let mut clone = s.try_clone().expect("clone");
+        assert_eq!(
+            s.write(b"doomed").unwrap_err().kind(),
+            std::io::ErrorKind::ConnectionReset
+        );
+        // The clone shares the dead flag: the connection stays dead.
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            clone.read(&mut buf).unwrap_err().kind(),
+            std::io::ErrorKind::ConnectionReset
+        );
+    }
+}

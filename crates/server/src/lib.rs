@@ -30,14 +30,33 @@
 //! fence covering that write. Acked ⇒ durable, at every crash point; the
 //! workspace's crash tests kill the server mid-load and verify every
 //! acked write survives recovery.
+//!
+//! # Exactly-once contract
+//!
+//! Durability alone leaves retries ambiguous: a client whose ack was lost
+//! cannot tell "never applied" from "applied, ack dropped". The session
+//! layer closes that hole. [`SessionClient`] (module [`retry`])
+//! handshakes a session, sequences every write, and replays unacked
+//! batches through reconnects with bounded exponential backoff; the
+//! server persists each session's applied high-water mark and cached
+//! responses in the same heap — and the same transactions — as the data
+//! ([`crafty_kv::SessionTable`]), so replays are deduplicated across
+//! server crash-restarts. Retry + persistent dedup = **exactly-once for
+//! acked writes**, including non-idempotent increments, which the
+//! torture `service` suite audits under seeded network faults
+//! ([`FaultyStream`], module [`faults`]) and fault-clock crash-restarts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
-pub use client::KvClient;
+pub use client::{ClientError, KvClient, NetStream};
+pub use faults::{FaultConfig, FaultyStream};
 pub use protocol::{ProtocolError, Request, Response, StatsReport};
+pub use retry::{RetryPolicy, SessionClient, WriteOp};
 pub use server::{KvServer, ServerConfig, ServerStats};

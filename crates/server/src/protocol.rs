@@ -20,9 +20,9 @@
 //! [`crate::server`]).
 
 /// Largest legal payload: the biggest message is the stats reply — an
-/// opcode plus eleven `u64` fields. A length prefix above this is a
+/// opcode plus thirteen `u64` fields. A length prefix above this is a
 /// protocol violation, not a request to buffer 4 GiB.
-pub const MAX_PAYLOAD: usize = 89;
+pub const MAX_PAYLOAD: usize = 105;
 
 /// Bytes of the length prefix.
 pub const HEADER_LEN: usize = 4;
@@ -34,6 +34,10 @@ const OP_DELETE: u8 = 0x03;
 const OP_SCAN: u8 = 0x04;
 const OP_FLUSH: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
+const OP_HELLO: u8 = 0x07;
+const OP_INCR: u8 = 0x08;
+const OP_SEQ_PUT: u8 = 0x09;
+const OP_SEQ_DELETE: u8 = 0x0A;
 
 // Response opcodes (high bit set, so a stream desynchronization that
 // feeds a response to the request decoder is caught immediately).
@@ -42,6 +46,8 @@ const OP_MISSING: u8 = 0x82;
 const OP_SCANNED: u8 = 0x83;
 const OP_FLUSHED: u8 = 0x84;
 const OP_STATS_REPLY: u8 = 0x85;
+const OP_WELCOME: u8 = 0x86;
+const OP_BUSY: u8 = 0x87;
 
 /// A client request.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -81,6 +87,53 @@ pub enum Request {
     /// from the serving worker's shared state without touching the engine,
     /// so it is safe to poll a loaded server.
     Stats,
+    /// Session handshake. `session = 0` asks the server to allocate a
+    /// fresh session in its persistent session table; a nonzero value
+    /// resumes an existing session after a reconnect (or a server
+    /// restart), and the [`Response::Welcome`] reply reports the last
+    /// sequence number the table has applied — the client's replay point.
+    Hello {
+        /// Session to resume, or 0 to allocate.
+        session: u64,
+    },
+    /// Durably add `delta` to `key`'s value (missing keys count from 0),
+    /// exactly once: the session table dedups replays by `(session, seq)`.
+    /// Deliberately non-idempotent at the store level — the operation the
+    /// torture suite uses to make a double-apply visible instead of
+    /// masked. Responds [`Response::Found`] with the post-increment value.
+    Incr {
+        /// Key to increment.
+        key: u64,
+        /// Amount to add (wrapping).
+        delta: u64,
+        /// Owning session id from the [`Request::Hello`] handshake.
+        session: u64,
+        /// Per-session sequence number, starting at 1.
+        seq: u64,
+    },
+    /// A [`Request::Put`] guarded by the session table: replays of an
+    /// already-applied `(session, seq)` return the cached response instead
+    /// of re-executing.
+    SeqPut {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: u64,
+        /// Owning session id.
+        session: u64,
+        /// Per-session sequence number, starting at 1.
+        seq: u64,
+    },
+    /// A [`Request::Delete`] guarded by the session table, like
+    /// [`Request::SeqPut`].
+    SeqDelete {
+        /// Key to remove.
+        key: u64,
+        /// Owning session id.
+        session: u64,
+        /// Per-session sequence number, starting at 1.
+        seq: u64,
+    },
 }
 
 /// The live-metrics payload of a [`Response::Stats`]: the server's
@@ -110,11 +163,17 @@ pub struct StatsReport {
     pub latency_p999_ns: u64,
     /// Exact maximum service latency.
     pub latency_max_ns: u64,
+    /// Batches answered `BUSY` by the overload shedder without touching
+    /// the engine. Nonzero means the in-flight budget was hit; the
+    /// committed latency baselines are only meaningful when this is 0.
+    pub shed_batches: u64,
+    /// Sessions allocated by `Hello` handshakes over this server's life.
+    pub sessions: u64,
 }
 
 impl StatsReport {
-    /// Field order on the wire (and count: eleven `u64`s).
-    fn fields(&self) -> [u64; 11] {
+    /// Field order on the wire (and count: thirteen `u64`s).
+    fn fields(&self) -> [u64; 13] {
         [
             self.connections,
             self.requests,
@@ -127,6 +186,8 @@ impl StatsReport {
             self.latency_p99_ns,
             self.latency_p999_ns,
             self.latency_max_ns,
+            self.shed_batches,
+            self.sessions,
         ]
     }
 
@@ -144,6 +205,8 @@ impl StatsReport {
             latency_p99_ns: f(8),
             latency_p999_ns: f(9),
             latency_max_ns: f(10),
+            shed_batches: f(11),
+            sessions: f(12),
         }
     }
 }
@@ -172,6 +235,24 @@ pub enum Response {
         /// The live counters and latency percentiles.
         report: StatsReport,
     },
+    /// Reply to a [`Request::Hello`]. `session = 0` means the requested
+    /// resume was refused (the session was never allocated, or its table
+    /// slot has been reclaimed); a client must not replay into a refused
+    /// session. The allocation itself is fenced before this reply is sent,
+    /// so an acknowledged session survives a server crash-restart.
+    Welcome {
+        /// The allocated or resumed session id (0 = refused).
+        session: u64,
+        /// The highest sequence number the session table has applied —
+        /// everything at or below it is durably done and must not be
+        /// re-sent as new work (replays of it get cached responses).
+        last_seq: u64,
+    },
+    /// The server's in-flight-batch budget is exhausted: the whole batch
+    /// was shed without executing anything. Nothing was applied and
+    /// nothing was recorded in the session table — retry the identical
+    /// batch after backing off.
+    Busy,
 }
 
 /// A malformed frame or payload. Any of these on a connection is fatal to
@@ -266,13 +347,49 @@ impl Request {
             Request::Scan { key, limit } => encode_frame(out, OP_SCAN, &[key, limit]),
             Request::Flush => encode_frame(out, OP_FLUSH, &[]),
             Request::Stats => encode_frame(out, OP_STATS, &[]),
+            Request::Hello { session } => encode_frame(out, OP_HELLO, &[session]),
+            Request::Incr {
+                key,
+                delta,
+                session,
+                seq,
+            } => encode_frame(out, OP_INCR, &[key, delta, session, seq]),
+            Request::SeqPut {
+                key,
+                value,
+                session,
+                seq,
+            } => encode_frame(out, OP_SEQ_PUT, &[key, value, session, seq]),
+            Request::SeqDelete { key, session, seq } => {
+                encode_frame(out, OP_SEQ_DELETE, &[key, session, seq])
+            }
         }
     }
 
     /// Whether this request mutates the store (and therefore owes the
-    /// client a durability ack).
+    /// client a durability ack). `Hello` counts: a fresh session
+    /// allocation writes the persistent session table and must be fenced
+    /// before its `Welcome`.
     pub fn is_write(&self) -> bool {
-        matches!(self, Request::Put { .. } | Request::Delete { .. })
+        matches!(
+            self,
+            Request::Put { .. }
+                | Request::Delete { .. }
+                | Request::Hello { .. }
+                | Request::Incr { .. }
+                | Request::SeqPut { .. }
+                | Request::SeqDelete { .. }
+        )
+    }
+
+    /// The `(session, seq)` pair of a sequenced (dedup-guarded) request.
+    pub fn sequence(&self) -> Option<(u64, u64)> {
+        match *self {
+            Request::Incr { session, seq, .. }
+            | Request::SeqPut { session, seq, .. }
+            | Request::SeqDelete { session, seq, .. } => Some((session, seq)),
+            _ => None,
+        }
     }
 
     /// Decodes a request from a complete frame payload (opcode byte
@@ -325,6 +442,38 @@ impl Request {
                 expect(0)?;
                 Ok(Request::Stats)
             }
+            OP_HELLO => {
+                expect(1)?;
+                Ok(Request::Hello {
+                    session: read_u64(payload, 1),
+                })
+            }
+            OP_INCR => {
+                expect(4)?;
+                Ok(Request::Incr {
+                    key: read_u64(payload, 1),
+                    delta: read_u64(payload, 9),
+                    session: read_u64(payload, 17),
+                    seq: read_u64(payload, 25),
+                })
+            }
+            OP_SEQ_PUT => {
+                expect(4)?;
+                Ok(Request::SeqPut {
+                    key: read_u64(payload, 1),
+                    value: read_u64(payload, 9),
+                    session: read_u64(payload, 17),
+                    seq: read_u64(payload, 25),
+                })
+            }
+            OP_SEQ_DELETE => {
+                expect(3)?;
+                Ok(Request::SeqDelete {
+                    key: read_u64(payload, 1),
+                    session: read_u64(payload, 9),
+                    seq: read_u64(payload, 17),
+                })
+            }
             op => Err(ProtocolError::UnknownOp { op }),
         }
     }
@@ -339,6 +488,10 @@ impl Response {
             Response::Scanned { count, sum } => encode_frame(out, OP_SCANNED, &[count, sum]),
             Response::Flushed => encode_frame(out, OP_FLUSHED, &[]),
             Response::Stats { report } => encode_frame(out, OP_STATS_REPLY, &report.fields()),
+            Response::Welcome { session, last_seq } => {
+                encode_frame(out, OP_WELCOME, &[session, last_seq])
+            }
+            Response::Busy => encode_frame(out, OP_BUSY, &[]),
         }
     }
 
@@ -379,10 +532,21 @@ impl Response {
                 Ok(Response::Flushed)
             }
             OP_STATS_REPLY => {
-                expect(11)?;
+                expect(13)?;
                 Ok(Response::Stats {
                     report: StatsReport::from_payload(payload),
                 })
+            }
+            OP_WELCOME => {
+                expect(2)?;
+                Ok(Response::Welcome {
+                    session: read_u64(payload, 1),
+                    last_seq: read_u64(payload, 9),
+                })
+            }
+            OP_BUSY => {
+                expect(0)?;
+                Ok(Response::Busy)
             }
             op => Err(ProtocolError::UnknownOp { op }),
         }
@@ -405,6 +569,25 @@ mod tests {
             Request::Scan { key: 9, limit: 16 },
             Request::Flush,
             Request::Stats,
+            Request::Hello { session: 0 },
+            Request::Hello { session: 17 },
+            Request::Incr {
+                key: 3,
+                delta: 11,
+                session: 17,
+                seq: 1,
+            },
+            Request::SeqPut {
+                key: 4,
+                value: 44,
+                session: 17,
+                seq: 2,
+            },
+            Request::SeqDelete {
+                key: 4,
+                session: 17,
+                seq: u64::MAX,
+            },
         ]
     }
 
@@ -431,8 +614,15 @@ mod tests {
                     latency_p99_ns: 420_000,
                     latency_p999_ns: 1_300_000,
                     latency_max_ns: u64::MAX,
+                    shed_batches: 2,
+                    sessions: 5,
                 },
             },
+            Response::Welcome {
+                session: 9,
+                last_seq: 41,
+            },
+            Response::Busy,
         ]
     }
 
@@ -541,7 +731,7 @@ mod tests {
         // The stats reply opcode fed back to the request decoder is caught
         // by its high bit, like every other response (desync detection).
         assert_eq!(
-            Request::decode(&[OP_STATS_REPLY; 89]),
+            Request::decode(&[OP_STATS_REPLY; 105]),
             Err(ProtocolError::UnknownOp { op: OP_STATS_REPLY })
         );
         // A stats request smuggling a body is a framing violation: its
@@ -553,14 +743,48 @@ mod tests {
                 len: 9
             })
         );
-        // A truncated stats reply (ten fields instead of eleven).
+        // A truncated stats reply (twelve fields instead of thirteen).
         assert_eq!(
-            Response::decode(&[OP_STATS_REPLY; 81]),
+            Response::decode(&[OP_STATS_REPLY; 97]),
             Err(ProtocolError::BadLength {
                 op: OP_STATS_REPLY,
-                len: 81
+                len: 97
             })
         );
+        // A sequenced put missing its (session, seq) tail is malformed,
+        // not silently treated as unsequenced.
+        assert_eq!(
+            Request::decode(&[OP_SEQ_PUT; 17]),
+            Err(ProtocolError::BadLength {
+                op: OP_SEQ_PUT,
+                len: 17
+            })
+        );
+    }
+
+    #[test]
+    fn sequenced_requests_expose_their_session_and_seq() {
+        assert_eq!(
+            Request::Incr {
+                key: 1,
+                delta: 2,
+                session: 3,
+                seq: 4
+            }
+            .sequence(),
+            Some((3, 4))
+        );
+        assert_eq!(Request::Get { key: 1 }.sequence(), None);
+        assert_eq!(Request::Hello { session: 3 }.sequence(), None);
+        assert!(Request::Hello { session: 0 }.is_write());
+        assert!(Request::Incr {
+            key: 0,
+            delta: 1,
+            session: 1,
+            seq: 1
+        }
+        .is_write());
+        assert!(!Request::Stats.is_write());
     }
 
     #[test]

@@ -39,6 +39,43 @@
 //! accordingly. This is exactly the group-commit bargain measured by the
 //! `kvserve` benchmark.
 //!
+//! # Exactly-once sessions
+//!
+//! The server owns a persistent [`SessionTable`] living in the same heap
+//! as the store. `Hello` allocates or resumes a session *in a persistent
+//! transaction*, fenced before the `Welcome` leaves (an acked session id
+//! survives any crash). Sequenced writes (`Incr`, `SeqPut`, `SeqDelete`)
+//! run their dedup check, their store mutation, and their session-record
+//! update **inside one transaction**, so "applied" and "recorded as
+//! applied" are crash-atomic — a replayed batch after a lost ack
+//! re-applies nothing and gets its cached responses back. Sequence-number
+//! violations (gaps, replays older than the reply window, unknown
+//! sessions) drop the connection and count as protocol errors: a correct
+//! client never produces them, and inventing an answer would silently
+//! break the contract.
+//!
+//! # Degrading under overload and failure
+//!
+//! Three mechanisms keep the durability pipeline honest when the world
+//! misbehaves. **Shedding**: an optional in-flight-batch budget
+//! ([`ServerConfig::max_inflight_batches`]) answers every request of an
+//! over-budget batch with `Busy` — nothing executed, nothing recorded,
+//! the client backs off and resends; the pipeline sheds load instead of
+//! queueing toward collapse. **Write deadlines**
+//! ([`ServerConfig::write_timeout`]): a client that stops draining its
+//! socket cannot pin a worker forever; the connection is dropped (its
+//! unacked responses are replayable by construction). **The power rail**
+//! ([`ServerConfig::power`]): under the simulated-pmem fault clock, after
+//! a batch's fence and *before* any response byte is written, the worker
+//! polls [`MemorySpace::fault_tripped`] — if the simulated power is gone,
+//! the ack is withheld, because an ack must only describe states that
+//! exist in the crash image. (Causally sound: the fence itself advances
+//! the fault clock, so a trap during or before the fence is visible by
+//! the time we poll; a clean poll means the fence fully preceded the
+//! cut and its effects are in the image.) Graceful [`KvServer::shutdown`]
+//! ends every worker with a final deferred drain + fence, so nothing
+//! acknowledged is left unpinned when the sockets close.
+//!
 //! # Live metrics
 //!
 //! Workers record every batch's service time (decode → fence) into a
@@ -56,13 +93,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crafty_common::{PersistentTm, TmThread};
-use crafty_kv::ShardedKv;
+use crafty_kv::{CachedReply, SeqCheck, SessionTable, ShardedKv};
+use crafty_pmem::MemorySpace;
 use crafty_stats::LatencyHistogram;
 
 use crate::protocol::{frame_payload_len, Request, Response, StatsReport, HEADER_LEN};
 
-/// How a [`KvServer`] listens and persists.
-#[derive(Clone, Debug)]
+/// How a [`KvServer`] listens, persists, and degrades.
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 picks a free port;
     /// read the result from [`KvServer::local_addr`]).
@@ -74,16 +112,61 @@ pub struct ServerConfig {
     /// Whether a batch of pipelined writes shares one durability barrier
     /// (group commit) or each write drains individually before its ack.
     pub group_commit: bool,
+    /// In-flight pipelined-batch budget; batches beyond it are shed with
+    /// `Busy` before any engine work. `0` disables shedding.
+    pub max_inflight_batches: usize,
+    /// Deadline for writing a batch's responses. A client that stops
+    /// draining its socket is dropped instead of pinning a worker.
+    /// `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// The power rail: when serving a simulated-pmem space with an armed
+    /// fault clock, poll [`MemorySpace::fault_tripped`] after each fence
+    /// and withhold acks once the simulated power is gone. `None` (the
+    /// default, and the only sane choice on a space without an armed
+    /// fault plan) never withholds.
+    pub power: Option<Arc<MemorySpace>>,
 }
 
 impl ServerConfig {
-    /// Loopback on an ephemeral port, two workers, group commit on.
+    /// Loopback on an ephemeral port, group commit per the flag, no
+    /// shedding budget, a 5 s write deadline, no power rail.
     pub fn loopback(workers: usize, group_commit: bool) -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: workers.max(1),
             group_commit,
+            max_inflight_batches: 0,
+            write_timeout: Some(Duration::from_secs(5)),
+            power: None,
         }
+    }
+
+    /// Sets the in-flight-batch budget (see
+    /// [`ServerConfig::max_inflight_batches`]).
+    #[must_use]
+    pub fn with_inflight_budget(mut self, batches: usize) -> Self {
+        self.max_inflight_batches = batches;
+        self
+    }
+
+    /// Attaches the power rail (see [`ServerConfig::power`]).
+    #[must_use]
+    pub fn with_power(mut self, mem: Arc<MemorySpace>) -> Self {
+        self.power = Some(mem);
+        self
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("group_commit", &self.group_commit)
+            .field("max_inflight_batches", &self.max_inflight_batches)
+            .field("write_timeout", &self.write_timeout)
+            .field("power", &self.power.is_some())
+            .finish()
     }
 }
 
@@ -103,6 +186,10 @@ struct Counters {
     batches: AtomicU64,
     flushes: AtomicU64,
     protocol_errors: AtomicU64,
+    shed_batches: AtomicU64,
+    sessions: AtomicU64,
+    /// Batches currently between decode and ack, for the shedding budget.
+    inflight: AtomicU64,
     latency: Mutex<LatencyHistogram>,
 }
 
@@ -120,12 +207,26 @@ impl Counters {
             batches: self.batches.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            shed_batches: self.shed_batches.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
             latency_count: lat.count(),
             latency_mean_ns: lat.mean() as u64,
             latency_p50_ns: lat.percentile(0.5),
             latency_p99_ns: lat.percentile(0.99),
             latency_p999_ns: lat.percentile(0.999),
             latency_max_ns: lat.max(),
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            shed_batches: self.shed_batches.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
         }
     }
 }
@@ -141,8 +242,13 @@ pub struct ServerStats {
     pub batches: u64,
     /// Durability barriers actually issued for batches containing writes.
     pub flushes: u64,
-    /// Connections dropped for malformed frames.
+    /// Connections dropped for malformed frames or sequence violations.
     pub protocol_errors: u64,
+    /// Batches answered `Busy` under the in-flight budget, untouched by
+    /// the engine. Nominal-load runs must keep this at zero.
+    pub shed_batches: u64,
+    /// Client sessions allocated by `Hello` over this server's lifetime.
+    pub sessions: u64,
 }
 
 impl ServerStats {
@@ -168,7 +274,10 @@ pub struct KvServer {
 }
 
 impl KvServer {
-    /// Binds `cfg.addr` and starts serving `kv` through `engine`.
+    /// Binds `cfg.addr` and starts serving `kv` through `engine`, with
+    /// `sessions` providing the persistent exactly-once dedup state
+    /// (created next to the store via [`SessionTable::create`], or
+    /// reattached after a crash via [`SessionTable::open`]).
     ///
     /// # Errors
     ///
@@ -181,6 +290,7 @@ impl KvServer {
     pub fn start(
         engine: Arc<dyn PersistentTm>,
         kv: ShardedKv,
+        sessions: SessionTable,
         cfg: ServerConfig,
     ) -> std::io::Result<KvServer> {
         let listener = TcpListener::bind(&*cfg.addr)?;
@@ -193,12 +303,14 @@ impl KvServer {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
-            let group_commit = cfg.group_commit;
+            let cfg = cfg.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("kv-worker-{tid}"))
                     .spawn(move || {
-                        worker_loop(&*engine, kv, tid, &listener, &stop, &counters, group_commit)
+                        worker_loop(
+                            &*engine, kv, sessions, tid, &listener, &stop, &counters, &cfg,
+                        )
                     })?,
             );
         }
@@ -217,18 +329,13 @@ impl KvServer {
 
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            flushes: self.counters.flushes.load(Ordering::Relaxed),
-            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
-        }
+        self.counters.stats()
     }
 
     /// Stops accepting, drains the workers, and returns the final
-    /// counters. In-flight batches finish (their acks stay honest);
-    /// idle connections are dropped.
+    /// counters. In-flight batches finish (their acks stay honest), each
+    /// worker issues a final deferred drain + durability fence before its
+    /// socket closes, and idle connections are dropped.
     pub fn shutdown(self) -> ServerStats {
         self.stop.store(true, Ordering::SeqCst);
         // Wake every worker that is blocked in accept(): one dummy
@@ -239,13 +346,7 @@ impl KvServer {
         for w in self.workers {
             let _ = w.join();
         }
-        ServerStats {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            flushes: self.counters.flushes.load(Ordering::Relaxed),
-            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
-        }
+        self.counters.stats()
     }
 }
 
@@ -266,14 +367,16 @@ pub fn resolve_addr(addr: &str) -> std::io::Result<SocketAddr> {
         .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     engine: &dyn PersistentTm,
     kv: ShardedKv,
+    sessions: SessionTable,
     tid: usize,
     listener: &TcpListener,
     stop: &AtomicBool,
     counters: &Counters,
-    group_commit: bool,
+    cfg: &ServerConfig,
 ) {
     let mut handle = engine.register_thread(tid);
     while !stop.load(Ordering::SeqCst) {
@@ -288,30 +391,40 @@ fn worker_loop(
         serve_connection(
             engine,
             &kv,
+            &sessions,
             handle.as_mut(),
             tid,
             stream,
             stop,
             counters,
-            group_commit,
+            cfg,
         );
     }
+    // Graceful exit: whatever this worker deferred and never fenced (a
+    // connection dropped mid-batch, a final Flush-less pipeline) gets one
+    // last drain + fence before the thread dies. Shutdown must never
+    // leave acknowledged-adjacent state unpinned.
+    handle.flush_deferred();
+    engine.persist_fence(tid);
 }
 
-/// Serves one connection until EOF, error, or shutdown.
+/// Serves one connection until EOF, error, sequence violation, or
+/// shutdown.
 #[allow(clippy::too_many_arguments)]
 fn serve_connection(
     engine: &dyn PersistentTm,
     kv: &ShardedKv,
+    sessions: &SessionTable,
     handle: &mut dyn TmThread,
     tid: usize,
     mut stream: TcpStream,
     stop: &AtomicBool,
     counters: &Counters,
-    group_commit: bool,
+    cfg: &ServerConfig,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(cfg.write_timeout);
     let mut inbox: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     let mut batch: Vec<Request> = Vec::new();
@@ -358,6 +471,25 @@ fn serve_connection(
             continue;
         }
 
+        // Overload shedding: claim a slot in the in-flight budget or
+        // answer the whole batch `Busy` — no engine work, no session
+        // record, so resending the identical batch later is safe.
+        if cfg.max_inflight_batches > 0 {
+            let claimed = counters.inflight.fetch_add(1, Ordering::AcqRel);
+            if claimed >= cfg.max_inflight_batches as u64 {
+                counters.inflight.fetch_sub(1, Ordering::AcqRel);
+                counters.shed_batches.fetch_add(1, Ordering::Relaxed);
+                outbox.clear();
+                for _ in &batch {
+                    Response::Busy.encode(&mut outbox);
+                }
+                if stream.write_all(&outbox).is_err() {
+                    return;
+                }
+                continue;
+            }
+        }
+
         outbox.clear();
         let mut deferred = false;
         // An explicit Flush requests the fence even in a read-only batch.
@@ -365,6 +497,7 @@ fn serve_connection(
             .iter()
             .any(|r| r.is_write() || matches!(r, Request::Flush));
         let batch_start = Instant::now();
+        let mut doomed = false;
         for req in &batch {
             // Stats is answered from shared state, never from the engine:
             // polling a loaded server must not contend on its transactions.
@@ -372,7 +505,26 @@ fn serve_connection(
                 Request::Stats => Response::Stats {
                     report: counters.report(),
                 },
-                req => execute_request(kv, handle, req, group_commit, &mut deferred),
+                req => match execute_request(
+                    kv,
+                    sessions,
+                    handle,
+                    req,
+                    cfg.group_commit,
+                    &mut deferred,
+                    counters,
+                ) {
+                    Some(resp) => resp,
+                    None => {
+                        // Sequence violation: a correct client never sends
+                        // this. Drop the connection without acking the
+                        // batch — but finish the durability epilogue so the
+                        // worker's handle is clean for the next connection.
+                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        doomed = true;
+                        break;
+                    }
+                },
             };
             response.encode(&mut outbox);
         }
@@ -387,6 +539,12 @@ fn serve_connection(
         }
         if wrote {
             engine.persist_fence(tid);
+        }
+        if cfg.max_inflight_batches > 0 {
+            counters.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+        if doomed {
+            return;
         }
         counters.batches.fetch_add(1, Ordering::Relaxed);
         counters
@@ -405,22 +563,107 @@ fn serve_connection(
                 lat.record(service_ns);
             }
         }
+        // The power rail: if the simulated power was cut, the crash image
+        // is already frozen — anything this batch did may not be in it.
+        // Withholding the ack keeps the acked-implies-persisted contract;
+        // the client will time out and replay against the restarted
+        // server, where the session table dedups whatever *did* survive.
+        if let Some(power) = &cfg.power {
+            if power.fault_tripped() {
+                return;
+            }
+        }
         if stream.write_all(&outbox).is_err() {
             return;
         }
     }
 }
 
+/// The dedup classification for `(session, seq)` — the session-table
+/// lookup that makes replays at-most-once. The `no-session-dedup` feature
+/// (teeth test only) removes it: every sequenced request then looks
+/// fresh, a replayed batch double-applies, and the exactly-once audit
+/// must catch it.
+#[cfg(not(feature = "no-session-dedup"))]
+fn dedup_check(
+    sessions: &SessionTable,
+    ops: &mut dyn crafty_common::TxnOps,
+    session: u64,
+    seq: u64,
+) -> Result<SeqCheck, crafty_common::TxAbort> {
+    sessions.check(ops, session, seq)
+}
+
+#[cfg(feature = "no-session-dedup")]
+fn dedup_check(
+    _sessions: &SessionTable,
+    _ops: &mut dyn crafty_common::TxnOps,
+    _session: u64,
+    _seq: u64,
+) -> Result<SeqCheck, crafty_common::TxAbort> {
+    Ok(SeqCheck::Fresh)
+}
+
+/// Executes one sequenced write under session dedup: check, apply, and
+/// record in **one** transaction. `apply` runs only on a `Fresh`
+/// classification and returns the reply to cache; replays return the
+/// cached reply without touching the store. Returns `None` on a sequence
+/// violation (drop the connection).
+fn execute_sequenced(
+    sessions: &SessionTable,
+    handle: &mut dyn TmThread,
+    session: u64,
+    seq: u64,
+    group_commit: bool,
+    deferred: &mut bool,
+    apply: &mut dyn FnMut(
+        &mut dyn crafty_common::TxnOps,
+    ) -> Result<CachedReply, crafty_common::TxAbort>,
+) -> Option<Response> {
+    let mut verdict = SeqCheck::Unknown;
+    let mut reply = CachedReply::missing();
+    let mut body = |ops: &mut dyn crafty_common::TxnOps| {
+        verdict = dedup_check(sessions, ops, session, seq)?;
+        match verdict {
+            SeqCheck::Fresh => {
+                reply = apply(ops)?;
+                #[cfg(not(feature = "no-session-dedup"))]
+                sessions.record(ops, session, seq, reply)?;
+            }
+            SeqCheck::Replay(cached) => reply = cached,
+            _ => {}
+        }
+        Ok(())
+    };
+    if group_commit {
+        handle.execute_deferred(&mut body);
+        *deferred = true;
+    } else {
+        handle.execute(&mut body);
+    }
+    match verdict {
+        SeqCheck::Fresh | SeqCheck::Replay(_) => Some(if reply.found {
+            Response::Found { value: reply.value }
+        } else {
+            Response::Missing
+        }),
+        SeqCheck::Gap { .. } | SeqCheck::Stale | SeqCheck::Unknown => None,
+    }
+}
+
 /// Executes one request as one persistent transaction and forms its
 /// response. Under group commit, writes run deferred and set `deferred`
-/// so the caller fences the batch before acking.
+/// so the caller fences the batch before acking. `None` means a sequence
+/// violation: the caller drops the connection.
 fn execute_request(
     kv: &ShardedKv,
+    sessions: &SessionTable,
     handle: &mut dyn TmThread,
     req: Request,
     group_commit: bool,
     deferred: &mut bool,
-) -> Response {
+    counters: &Counters,
+) -> Option<Response> {
     match req {
         Request::Get { key } => {
             let mut got = None;
@@ -428,10 +671,10 @@ fn execute_request(
                 got = kv.get(ops, key)?;
                 Ok(())
             });
-            match got {
+            Some(match got {
                 Some(value) => Response::Found { value },
                 None => Response::Missing,
-            }
+            })
         }
         Request::Put { key, value } => {
             let mut prev = None;
@@ -445,10 +688,10 @@ fn execute_request(
             } else {
                 handle.execute(&mut body);
             }
-            match prev {
+            Some(match prev {
                 Some(value) => Response::Found { value },
                 None => Response::Missing,
-            }
+            })
         }
         Request::Delete { key } => {
             let mut prev = None;
@@ -462,10 +705,10 @@ fn execute_request(
             } else {
                 handle.execute(&mut body);
             }
-            match prev {
+            Some(match prev {
                 Some(value) => Response::Found { value },
                 None => Response::Missing,
-            }
+            })
         }
         Request::Scan { key, limit } => {
             let mut result = (0, 0);
@@ -473,21 +716,101 @@ fn execute_request(
                 result = kv.scan(ops, key, limit)?;
                 Ok(())
             });
-            Response::Scanned {
+            Some(Response::Scanned {
                 count: result.0,
                 sum: result.1,
-            }
+            })
         }
+        Request::Hello { session } => {
+            // Session allocation/resume is itself a persistent
+            // transaction; `is_write` makes the batch fence before the
+            // Welcome leaves, so an acked session id survives any crash.
+            let mut granted = None;
+            handle.execute(&mut |ops| {
+                granted = sessions.begin(ops, session)?;
+                Ok(())
+            });
+            Some(match granted {
+                Some((sid, last_seq)) => {
+                    if session == 0 {
+                        counters.sessions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Response::Welcome {
+                        session: sid,
+                        last_seq,
+                    }
+                }
+                // Refused resume: the client must start a fresh session.
+                None => Response::Welcome {
+                    session: 0,
+                    last_seq: 0,
+                },
+            })
+        }
+        Request::Incr {
+            key,
+            delta,
+            session,
+            seq,
+        } => execute_sequenced(
+            sessions,
+            handle,
+            session,
+            seq,
+            group_commit,
+            deferred,
+            &mut |ops| {
+                // Read-modify-write in the guarded transaction: exactly
+                // the shape that makes a double-applied replay visible.
+                let current = kv.get(ops, key)?.unwrap_or(0);
+                let next = current.wrapping_add(delta);
+                kv.put(ops, key, next)?;
+                Ok(CachedReply::found(next))
+            },
+        ),
+        Request::SeqPut {
+            key,
+            value,
+            session,
+            seq,
+        } => execute_sequenced(
+            sessions,
+            handle,
+            session,
+            seq,
+            group_commit,
+            deferred,
+            &mut |ops| {
+                Ok(match kv.put(ops, key, value)? {
+                    Some(prev) => CachedReply::found(prev),
+                    None => CachedReply::missing(),
+                })
+            },
+        ),
+        Request::SeqDelete { key, session, seq } => execute_sequenced(
+            sessions,
+            handle,
+            session,
+            seq,
+            group_commit,
+            deferred,
+            &mut |ops| {
+                Ok(match kv.remove(ops, key)? {
+                    Some(prev) => CachedReply::found(prev),
+                    None => CachedReply::missing(),
+                })
+            },
+        ),
         Request::Flush => {
             handle.flush_deferred();
             *deferred = false;
-            Response::Flushed
+            Some(Response::Flushed)
         }
         // Unreachable: serve_connection answers Stats from shared state
         // before dispatching to the engine.
-        Request::Stats => Response::Stats {
+        Request::Stats => Some(Response::Stats {
             report: StatsReport::default(),
-        },
+        }),
     }
 }
 
@@ -501,8 +824,12 @@ mod tests {
         assert_eq!(cfg.workers, 1, "worker count is clamped to at least one");
         assert!(cfg.group_commit);
         assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.max_inflight_batches, 0, "shedding defaults off");
+        assert!(cfg.power.is_none());
         let resolved = resolve_addr(&cfg.addr).expect("loopback resolves");
         assert!(resolved.ip().is_loopback());
+        let budgeted = cfg.with_inflight_budget(3);
+        assert_eq!(budgeted.max_inflight_batches, 3);
     }
 
     #[test]
@@ -513,6 +840,8 @@ mod tests {
             batches: 0,
             flushes: 0,
             protocol_errors: 0,
+            shed_batches: 0,
+            sessions: 0,
         };
         assert_eq!(empty.mean_batch(), 0.0);
         let busy = ServerStats {

@@ -8,9 +8,11 @@ use std::sync::Arc;
 
 use crafty_common::PersistentTm;
 use crafty_core::{Crafty, CraftyConfig};
-use crafty_kv::{DirectOps, KvConfig, ShardedKv};
+use crafty_kv::{DirectOps, KvConfig, SessionTable, ShardedKv};
 use crafty_pmem::{MemorySpace, PmemConfig};
-use crafty_server::{KvClient, KvServer, Request, ServerConfig};
+#[cfg(not(feature = "no-session-dedup"))]
+use crafty_server::ClientError;
+use crafty_server::{KvClient, KvServer, Request, Response, ServerConfig};
 
 const RECORDS: u64 = 256;
 const WORKERS: usize = 2;
@@ -31,9 +33,11 @@ fn boot() -> (Arc<MemorySpace>, Arc<Crafty>, KvServer) {
         }
         kv.persist_all(&mem, 0);
     }
+    let sessions = SessionTable::create(&mem, 64);
     let server = KvServer::start(
         Arc::clone(&engine) as Arc<dyn crafty_common::PersistentTm>,
         kv,
+        sessions,
         ServerConfig::loopback(WORKERS, true),
     )
     .expect("bind loopback server");
@@ -108,6 +112,196 @@ fn stats_reports_live_percentiles_from_a_loaded_server() {
     assert_eq!(client.get(0).expect("get"), Some(1000));
 
     server.shutdown();
+    engine.quiesce();
+}
+
+/// The live exactly-once contract, no crash involved: a replayed
+/// sequenced batch (lost-ack simulation) must return the *cached*
+/// responses and re-apply nothing — even for a non-idempotent increment.
+#[cfg(not(feature = "no-session-dedup"))]
+#[test]
+fn replayed_batch_returns_cached_replies_without_reapplying() {
+    let (_mem, engine, server) = boot();
+    let mut client = KvClient::connect(server.local_addr()).expect("connect");
+
+    let (sid, last_seq) = client.hello(0).expect("handshake");
+    assert!(sid > 0, "fresh session granted");
+    assert_eq!(last_seq, 0);
+
+    let batch = [
+        Request::Incr {
+            key: 9000,
+            delta: 5,
+            session: sid,
+            seq: 1,
+        },
+        Request::SeqPut {
+            key: 9001,
+            value: 77,
+            session: sid,
+            seq: 2,
+        },
+    ];
+    client.send(&batch).expect("send");
+    let first = client.recv(2).expect("recv");
+    assert_eq!(first[0], Response::Found { value: 5 });
+    assert_eq!(first[1], Response::Missing, "no previous value at 9001");
+
+    // The client "lost the ack": replay the identical batch. The session
+    // table must serve both responses from its cache.
+    client.send(&batch).expect("replay");
+    let second = client.recv(2).expect("recv replay");
+    assert_eq!(second, first, "replayed batch must get the cached replies");
+
+    // And the store shows exactly one application.
+    assert_eq!(client.get(9000).expect("get"), Some(5), "no double-apply");
+    assert_eq!(client.get(9001).expect("get"), Some(77));
+
+    // A resumed session reports the applied high-water mark.
+    let mut resumed = KvClient::connect(server.local_addr()).expect("reconnect");
+    assert_eq!(resumed.hello(sid).expect("resume"), (sid, 2));
+
+    server.shutdown();
+    engine.quiesce();
+}
+
+/// Teeth: with the session-table lookup feature-gated out, the same
+/// replay double-applies — proving the lookup is what provides
+/// exactly-once, exactly as the fence teeth test proves the fence.
+#[cfg(feature = "no-session-dedup")]
+#[test]
+fn dedup_teeth_replay_double_applies_without_the_lookup() {
+    let (_mem, engine, server) = boot();
+    let mut client = KvClient::connect(server.local_addr()).expect("connect");
+    let (sid, _) = client.hello(0).expect("handshake");
+
+    let batch = [Request::Incr {
+        key: 9000,
+        delta: 5,
+        session: sid,
+        seq: 1,
+    }];
+    client.send(&batch).expect("send");
+    assert_eq!(
+        client.recv(1).expect("recv")[0],
+        Response::Found { value: 5 }
+    );
+    client.send(&batch).expect("replay");
+    let replayed = client.recv(1).expect("recv replay")[0];
+
+    assert_eq!(
+        replayed,
+        Response::Found { value: 10 },
+        "without the dedup lookup the replay must double-apply — if this \
+         fails, the teeth test is no longer exercising the gated path"
+    );
+    assert_eq!(client.get(9000).expect("get"), Some(10));
+
+    server.shutdown();
+    engine.quiesce();
+}
+
+/// Sequence gaps are protocol violations: the server drops the
+/// connection without acking rather than applying out of order.
+#[cfg(not(feature = "no-session-dedup"))]
+#[test]
+fn sequence_gap_drops_the_connection() {
+    let (_mem, engine, server) = boot();
+    let mut client = KvClient::connect(server.local_addr()).expect("connect");
+    let (sid, _) = client.hello(0).expect("handshake");
+
+    client
+        .send(&[Request::Incr {
+            key: 9000, // outside the prefilled range
+            delta: 1,
+            session: sid,
+            seq: 7, // the session has applied nothing; seq 7 is a gap
+        }])
+        .expect("send");
+    match client.recv(1) {
+        Err(ClientError::Disconnected) => {}
+        other => panic!("gap must close the connection, got {other:?}"),
+    }
+
+    let mut fresh = KvClient::connect(server.local_addr()).expect("connect");
+    let stats = fresh.stats().expect("stats");
+    assert!(
+        stats.protocol_errors >= 1,
+        "the violation must be counted, got {stats:?}"
+    );
+    assert_eq!(
+        fresh.get(9000).expect("get"),
+        None,
+        "the gapped write must not have been applied"
+    );
+
+    server.shutdown();
+    engine.quiesce();
+}
+
+/// Under an in-flight budget of one, concurrent pipelined batches are
+/// shed with `Busy` — and a shed batch is *not* recorded, so resending
+/// it succeeds.
+#[test]
+fn overloaded_server_sheds_whole_batches_with_busy() {
+    let mem = Arc::new(MemorySpace::new(PmemConfig::small_for_tests()));
+    let engine = Arc::new(Crafty::new(
+        Arc::clone(&mem),
+        CraftyConfig::small_for_tests().with_max_threads(WORKERS),
+    ));
+    let kv = ShardedKv::create(&mem, &KvConfig::benchmark(RECORDS, 16));
+    let sessions = SessionTable::create(&mem, 64);
+    let server = KvServer::start(
+        Arc::clone(&engine) as Arc<dyn crafty_common::PersistentTm>,
+        kv,
+        sessions,
+        ServerConfig::loopback(WORKERS, true).with_inflight_budget(1),
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    // Two connections hammer wide write batches; with one budget slot and
+    // two workers, overlapping windows force the loser onto the shed
+    // path. Keep going until a Busy is observed (bounded, not timed).
+    let shed_seen = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut drivers = Vec::new();
+    for t in 0..2u64 {
+        let shed_seen = Arc::clone(&shed_seen);
+        drivers.push(std::thread::spawn(move || {
+            let mut client = KvClient::connect(addr).expect("connect");
+            let batch: Vec<Request> = (0..64)
+                .map(|i| Request::Put {
+                    key: t * 1000 + i,
+                    value: i,
+                })
+                .collect();
+            for _ in 0..200 {
+                if shed_seen.load(std::sync::atomic::Ordering::Relaxed) {
+                    return;
+                }
+                client.send(&batch).expect("send");
+                let responses = client.recv(batch.len()).expect("recv");
+                if responses.iter().any(|r| matches!(r, Response::Busy)) {
+                    // The whole batch is shed together, never partially.
+                    assert!(
+                        responses.iter().all(|r| matches!(r, Response::Busy)),
+                        "a shed batch must be Busy for every request"
+                    );
+                    shed_seen.store(true, std::sync::atomic::Ordering::Relaxed);
+                    return;
+                }
+            }
+        }));
+    }
+    for d in drivers {
+        d.join().expect("driver");
+    }
+    assert!(
+        shed_seen.load(std::sync::atomic::Ordering::Relaxed),
+        "two colliding pipelines against a budget of one never shed"
+    );
+    let stats = server.shutdown();
+    assert!(stats.shed_batches >= 1, "shed counter must record it");
     engine.quiesce();
 }
 

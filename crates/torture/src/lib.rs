@@ -24,11 +24,22 @@
 //! * **Abort storms** — [`storm::run_storm_torture`] dooms long bursts of
 //!   hardware transactions ([`crafty_htm::HtmConfig::with_abort_storm`])
 //!   and checks the retry→SGL fallback stays live *and* durable.
+//! * **Networked exactly-once** — [`service::run_service_torture`] puts
+//!   the whole service stack on the rack: resilient sequenced clients
+//!   ([`crafty_server::SessionClient`]) issue non-idempotent increments
+//!   over fault-injected connections while the fault clock kills the
+//!   server mid-load; a supervisor recovers the crash image and restarts
+//!   the server over it, and the audit demands every counter equal the
+//!   sum of *acked* increments exactly — no loss, no double-apply.
 //!
 //! Every failure carries a `(seed, step)` pair; replaying the same suite
 //! with that seed and `crash_step = Some(step)` reproduces it exactly —
 //! the runs are single-threaded and every random choice is drawn from
-//! seeded [`crafty_common::SplitMix64`] streams.
+//! seeded [`crafty_common::SplitMix64`] streams. (The networked `service`
+//! suite is the one exception: threads and sockets make its step clock
+//! non-deterministic, so `(seed, step)` re-runs the same adversary
+//! strategy rather than a byte-identical schedule, and its audited
+//! invariants are ones that must hold under any interleaving.)
 //!
 //! Every suite also runs its replays with the trace subsystem armed at
 //! [`crafty_common::trace::TraceLevel::Events`], and the fault clock
@@ -48,11 +59,13 @@ use crafty_common::SplitMix64;
 pub mod bank;
 pub mod kv;
 pub mod rec;
+pub mod service;
 pub mod storm;
 
 pub use bank::{injected_violation_is_caught, run_bank_torture};
 pub use kv::run_kv_torture;
 pub use rec::run_recovery_torture;
+pub use service::run_service_torture;
 pub use storm::run_storm_torture;
 
 /// Parameters shared by every torture suite.

@@ -1,0 +1,439 @@
+//! Crash-restart torture of the networked KV service: the exactly-once
+//! audit.
+//!
+//! This suite closes the loop the other suites leave open: they prove the
+//! *engine* recovers to a consistent prefix, but a service's contract is
+//! stronger — every write the server **acknowledged** must survive, and a
+//! client that retries an *unacknowledged* write through crashes and
+//! reconnects must never get it applied twice. The workload is built to
+//! make both failures visible: non-idempotent counter increments
+//! (`Incr`), where a lost acked write shows up as a low counter and a
+//! double-applied replay as a high one. Nothing masks; sums are exact.
+//!
+//! One run:
+//!
+//! 1. Boot a Crafty engine + [`ShardedKv`] + persistent [`SessionTable`]
+//!    on a simulated pmem space whose fault clock is armed to trap a
+//!    crash image at step N, and start the server with the **power rail**
+//!    attached ([`ServerConfig::with_power`]) so no ack escapes after the
+//!    simulated power cut.
+//! 2. Drive client threads through the full resilience stack:
+//!    [`SessionClient`] (sessions, sequencing, replay, backoff) over
+//!    seeded [`FaultyStream`] transports (partial frames, stalls,
+//!    mid-frame disconnects). Each client tallies the increments it got
+//!    **acked**.
+//! 3. A supervisor polls [`MemorySpace::fault_tripped`]; when the trap
+//!    fires it shuts the first server down, runs the audited recovery
+//!    pipeline (`recover_checked`: recovery + clean logs + idempotent
+//!    re-recovery) on the crash image, boots the image, replays the
+//!    deterministic layout ([`ShardedKv::open`], [`SessionTable::open`]),
+//!    and starts a second server over the recovered heap **on a fresh
+//!    port**, publishing the new address to the clients' connectors.
+//!    Clients ride their backoff loops through the outage.
+//! 4. When every client finishes, audit: store and session-table
+//!    integrity, and for every key the final counter must equal the sum
+//!    of acked deltas *exactly* — no loss (an acked increment vanished),
+//!    no excess (a replayed increment applied twice).
+//!
+//! Unlike the single-threaded suites, a networked run is not
+//! step-deterministic (thread interleaving moves the fault clock), so
+//! there is no replay-divergence check: the counting run's step total is
+//! a *scale estimate*, crash steps are adversary placements rather than
+//! replayable schedules, and the audited invariants are ones that must
+//! hold under **any** interleaving. A sampled step the run never reaches
+//! simply audits a crash-free life — still a real exactly-once check
+//! under network faults. `(seed, step)` reproduction re-runs the same
+//! adversary strategy, not the same byte-for-byte schedule.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crafty_common::trace::{self, ThreadTrace};
+use crafty_common::{PersistentTm, SplitMix64};
+use crafty_core::{Crafty, CraftyConfig};
+use crafty_kv::{KvConfig, SessionTable, ShardedKv};
+use crafty_pmem::{CrashModel, FaultPlan, LatencyModel, MemorySpace, PmemConfig};
+use crafty_server::{
+    FaultConfig, FaultyStream, KvServer, RetryPolicy, ServerConfig, SessionClient, WriteOp,
+};
+
+use crate::bank::recover_checked;
+use crate::{crash_points, EventTraceArm, TortureConfig, TortureFailure, TortureReport};
+
+/// Key space: a handful of hot counters, so every key accumulates many
+/// increments and any duplicate or loss moves a sum.
+const KEYS: u64 = 8;
+/// Concurrent resilient clients.
+const CLIENTS: u64 = 2;
+/// Max increments per pipelined sequenced batch (must stay within
+/// [`crafty_kv::REPLY_WINDOW`]).
+const BATCH: usize = 4;
+/// Server accept-and-serve workers.
+const WORKERS: usize = 2;
+/// Session slots — comfortably above `CLIENTS` plus handshake orphans
+/// (a lost `Welcome` strands a slot; see [`SessionTable`] reclaim rules).
+const SESSION_SLOTS: u64 = 64;
+
+/// Everything the supervisor keeps alive for the restarted (second)
+/// server life: the rebooted space, engine, store, session table, and
+/// the server itself, in teardown order.
+type ServerLife = (
+    Arc<MemorySpace>,
+    Arc<Crafty>,
+    ShardedKv,
+    SessionTable,
+    KvServer,
+);
+
+fn pmem_cfg(plan: FaultPlan) -> PmemConfig {
+    PmemConfig {
+        persistent_words: 1 << 16,
+        volatile_words: 1 << 14,
+        max_threads: WORKERS + 2,
+        latency: LatencyModel::instant(),
+        crash: CrashModel::strict(),
+        ..PmemConfig::small_for_tests()
+    }
+    .with_fault_plan(plan)
+}
+
+fn crafty_cfg() -> CraftyConfig {
+    CraftyConfig::small_for_tests()
+        .with_max_threads(WORKERS)
+        .with_undo_log_entries(128)
+}
+
+fn kv_cfg() -> KvConfig {
+    KvConfig::small_for_tests()
+        .with_shards(2)
+        .with_initial_capacity(8)
+}
+
+/// Record of one service run (and possibly its crash-restart).
+struct ServiceRun {
+    setup_steps: u64,
+    total_steps: u64,
+    /// True when the fault trap fired and a second life was booted.
+    restarted: bool,
+    /// Everything that went wrong: give-ups, recovery errors, audit
+    /// violations.
+    failures: Vec<String>,
+    /// Flight-recorder state frozen at the trap (empty without one).
+    trace: Vec<ThreadTrace>,
+}
+
+/// One client thread: `txns` exactly-once increments in pipelined batches
+/// of up to [`BATCH`], through session resume, replay, and backoff, over
+/// a fault-injected transport whose adversary reseeds per dial (so a
+/// reconnect never replays the previous connection's doom schedule).
+/// Tallies each *acked* delta into `expected`.
+fn drive_client(
+    cid: u64,
+    seed: u64,
+    txns: u64,
+    addr: Arc<Mutex<SocketAddr>>,
+    expected: Arc<Mutex<BTreeMap<u64, u64>>>,
+) -> Result<(), String> {
+    let mut dials = 0u64;
+    let fault_base = seed ^ (cid + 1).wrapping_mul(0x00FA_B715);
+    let connector = move || {
+        dials += 1;
+        let target = *addr.lock().expect("addr lock");
+        FaultyStream::connect(target, FaultConfig::quick(fault_base.wrapping_add(dials)))
+    };
+    let policy = RetryPolicy {
+        max_attempts: 60,
+        ..RetryPolicy::quick(seed ^ cid)
+    };
+    let mut client = SessionClient::new(connector, policy);
+    let mut rng = SplitMix64::new(seed ^ (cid + 1).wrapping_mul(0x5E55_10C1));
+    let mut issued = 0u64;
+    while issued < txns {
+        let n = BATCH.min((txns - issued) as usize);
+        let ops: Vec<WriteOp> = (0..n)
+            .map(|_| WriteOp::Incr {
+                key: rng.next_below(KEYS),
+                delta: 1 + rng.next_below(9),
+            })
+            .collect();
+        client
+            .write_batch(&ops)
+            .map_err(|e| format!("client {cid} gave up after retries: {e}"))?;
+        // Acked ⇒ exactly once ⇒ it belongs in the oracle sum.
+        let mut exp = expected.lock().expect("oracle lock");
+        for op in &ops {
+            if let WriteOp::Incr { key, delta } = *op {
+                *exp.entry(key).or_insert(0) += delta;
+            }
+        }
+        issued += n as u64;
+    }
+    Ok(())
+}
+
+/// Runs the service workload once under `plan`, supervising a
+/// crash-restart if the fault trap fires, and audits the final state.
+fn run_service_once(seed: u64, txns: u64, plan: FaultPlan) -> ServiceRun {
+    trace::reset_rings();
+    let mem = Arc::new(MemorySpace::new(pmem_cfg(plan)));
+    let engine = Arc::new(Crafty::new(Arc::clone(&mem), crafty_cfg()));
+    let dir_addr = engine.directory_addr();
+    let kv = ShardedKv::create(&mem, &kv_cfg());
+    let sessions = SessionTable::create(&mem, SESSION_SLOTS);
+    let setup_steps = mem.fault_steps();
+    let server = KvServer::start(
+        Arc::clone(&engine) as Arc<dyn PersistentTm>,
+        kv,
+        sessions,
+        ServerConfig::loopback(WORKERS, true).with_power(Arc::clone(&mem)),
+    )
+    .expect("bind first-life server");
+
+    let addr = Arc::new(Mutex::new(server.local_addr()));
+    let expected: Arc<Mutex<BTreeMap<u64, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let done = Arc::new(AtomicU64::new(0));
+    let mut failures: Vec<String> = Vec::new();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|cid| {
+            let addr = Arc::clone(&addr);
+            let expected = Arc::clone(&expected);
+            let done = Arc::clone(&done);
+            std::thread::Builder::new()
+                .name(format!("svc-client-{cid}"))
+                .spawn(move || {
+                    let verdict = drive_client(cid, seed, txns, addr, expected);
+                    done.fetch_add(1, Ordering::SeqCst);
+                    verdict
+                })
+                .expect("spawn client")
+        })
+        .collect();
+
+    // Supervision loop: the moment the simulated power dies, retire the
+    // first life and bring up the second over the audited crash image.
+    let mut life1 = Some(server);
+    let mut life2: Option<ServerLife> = None;
+    let mut trace_tail: Vec<ThreadTrace> = Vec::new();
+    while done.load(Ordering::SeqCst) < CLIENTS {
+        if life2.is_none() && mem.fault_tripped() {
+            if let Some(first) = life1.take() {
+                first.shutdown();
+            }
+            // The rail is raised before the capture runs; the image
+            // appearing is the capture-complete signal (and implies the
+            // frozen trace is in place).
+            let mut image = mem.take_fault_image();
+            for _ in 0..1_000 {
+                if image.is_some() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                image = mem.take_fault_image();
+            }
+            trace_tail = mem.take_fault_trace();
+            match image {
+                None => failures.push("fault tripped but no image was captured".to_string()),
+                Some(image) => match recover_checked(image, dir_addr) {
+                    Err(e) => failures.push(format!("crash-image recovery failed: {e}")),
+                    Ok(recovered) => {
+                        let mem2 = Arc::new(MemorySpace::boot(
+                            &recovered,
+                            pmem_cfg(FaultPlan::inactive()),
+                        ));
+                        let engine2 = Arc::new(Crafty::new(Arc::clone(&mem2), crafty_cfg()));
+                        let kv2 = ShardedKv::open(&mem2, &kv_cfg());
+                        let sessions2 = SessionTable::open(&mem2, SESSION_SLOTS);
+                        if let Err(e) = kv2.check_integrity(&mem2) {
+                            failures.push(format!("recovered store integrity: {e}"));
+                        }
+                        if let Err(e) = sessions2.check_integrity(&mem2) {
+                            failures.push(format!("recovered session table integrity: {e}"));
+                        }
+                        match KvServer::start(
+                            Arc::clone(&engine2) as Arc<dyn PersistentTm>,
+                            kv2,
+                            sessions2,
+                            ServerConfig::loopback(WORKERS, true),
+                        ) {
+                            Ok(second) => {
+                                *addr.lock().expect("addr lock") = second.local_addr();
+                                life2 = Some((mem2, engine2, kv2, sessions2, second));
+                            }
+                            Err(e) => failures.push(format!("second-life bind failed: {e}")),
+                        }
+                    }
+                },
+            }
+            // If the restart failed, the clients exhaust their retries
+            // and surface the outage as give-up failures below.
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for (cid, client) in clients.into_iter().enumerate() {
+        match client.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => failures.push(e),
+            Err(_) => failures.push(format!("client {cid} panicked")),
+        }
+    }
+
+    // Retire whichever life is serving and audit its heap.
+    let restarted = life2.is_some();
+    let (final_mem, final_kv, final_sessions) =
+        if let Some((mem2, engine2, kv2, sessions2, second)) = life2 {
+            second.shutdown();
+            engine2.quiesce();
+            (mem2, kv2, sessions2)
+        } else {
+            if let Some(first) = life1.take() {
+                first.shutdown();
+            }
+            engine.quiesce();
+            (Arc::clone(&mem), kv, sessions)
+        };
+    let total_steps = mem.fault_steps();
+
+    // The exactly-once verdict: every counter equals its acked sum.
+    // Skipped when a client gave up — the oracle is then incomplete and
+    // the give-up is already the failure.
+    if failures.is_empty() {
+        if let Err(e) = final_kv.check_integrity(&final_mem) {
+            failures.push(format!("final store integrity: {e}"));
+        }
+        if let Err(e) = final_sessions.check_integrity(&final_mem) {
+            failures.push(format!("final session table integrity: {e}"));
+        }
+        let oracle = expected.lock().expect("oracle lock");
+        for key in 0..KEYS {
+            let want = oracle.get(&key).copied();
+            let got = final_kv.get_direct(&final_mem, key);
+            if got != want {
+                failures.push(format!(
+                    "key {key}: counter is {got:?} but acked increments sum to {want:?} — \
+                     an acked increment was lost or a replay double-applied"
+                ));
+            }
+        }
+    }
+
+    ServiceRun {
+        setup_steps,
+        total_steps,
+        restarted,
+        failures,
+        trace: trace_tail,
+    }
+}
+
+/// Runs the service torture suite: one fault-free run to audit the happy
+/// path and estimate the step scale, then one crash-restart run per
+/// sampled step ([`TortureConfig::max_crash_points`] strata, or
+/// [`TortureConfig::crash_step`] for reproduction). `txns` is increments
+/// **per client**.
+pub fn run_service_torture(cfg: &TortureConfig) -> TortureReport {
+    let _trace = EventTraceArm::arm();
+    let count = run_service_once(cfg.seed, cfg.txns, FaultPlan::count_only());
+    let mut failures = Vec::new();
+    for detail in &count.failures {
+        failures.push(TortureFailure::capture(
+            cfg.seed,
+            0,
+            format!("fault-free run: {detail}"),
+            &count.trace,
+        ));
+    }
+    let points = crash_points(
+        cfg.seed,
+        count.setup_steps,
+        count.total_steps,
+        cfg.max_crash_points,
+        cfg.crash_step,
+    );
+    for &step in &points {
+        let run = run_service_once(
+            cfg.seed,
+            cfg.txns,
+            FaultPlan::crash_at(step, CrashModel::adversarial(cfg.seed ^ step)),
+        );
+        for detail in run.failures {
+            let phase = if run.restarted {
+                "crash-restart"
+            } else {
+                "pre-crash life"
+            };
+            failures.push(TortureFailure::capture(
+                cfg.seed,
+                step,
+                format!("{phase}: {detail}"),
+                &run.trace,
+            ));
+        }
+    }
+    TortureReport {
+        suite: "service",
+        seed: cfg.seed,
+        setup_steps: count.setup_steps,
+        total_steps: count.total_steps,
+        crash_points_tested: points.len() as u64,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_is_exactly_once() {
+        let run = run_service_once(11, 12, FaultPlan::count_only());
+        assert!(
+            run.failures.is_empty(),
+            "clean run must audit clean: {:?}",
+            run.failures
+        );
+        assert!(!run.restarted);
+        assert!(
+            run.total_steps > run.setup_steps,
+            "the load moved the clock"
+        );
+    }
+
+    #[test]
+    fn mid_load_crash_restart_is_exactly_once() {
+        let count = run_service_once(5, 12, FaultPlan::count_only());
+        let span = count.total_steps - count.setup_steps;
+        assert!(span > 0, "the load moved the clock");
+        // Networked step counts drift between runs, so each placement is
+        // a heuristic. Placements in the *early* part of the counted span
+        // land while the clients still have unacked work outstanding, so
+        // at least one trap reliably fires mid-load and the crash-restart
+        // path actually runs — which the test then *requires*, so a
+        // supervisor that silently never restarts cannot pass. (Late
+        // placements can drift past the drifted run's client phase and
+        // audit a crash-free life instead; the suite samples those too,
+        // but this test pins the restart.)
+        let mut restarted_any = false;
+        for eighth in [1u64, 2, 3] {
+            let step = count.setup_steps + span * eighth / 8;
+            let run = run_service_once(
+                5,
+                12,
+                FaultPlan::crash_at(step, CrashModel::adversarial(5 ^ eighth)),
+            );
+            assert!(
+                run.failures.is_empty(),
+                "crash-restart run at step {step} must stay exactly-once: {:?}",
+                run.failures
+            );
+            restarted_any |= run.restarted;
+        }
+        assert!(
+            restarted_any,
+            "no trap placement tripped — the crash-restart path was never exercised"
+        );
+    }
+}

@@ -16,7 +16,10 @@
 //!   store: a thread-per-core TCP server speaking a pipelined binary
 //!   protocol, where each pipelined batch of writes shares one
 //!   group-commit durability window and the ack is sent only after the
-//!   batch's drain fence.
+//!   batch's drain fence. Persistent client sessions dedup replayed
+//!   sequence numbers, so the retrying [`prelude::SessionClient`] is
+//!   **exactly-once** end to end — through timeouts, `Busy` shedding,
+//!   and server crash-restart, even for non-idempotent increments.
 //! * [`workloads`] / [`stats`] — the paper's benchmarks, the YCSB-style KV
 //!   mixes, the open-loop arrival schedules behind the service benchmark,
 //!   and the measurement and reporting layer (including the log-bucketed
@@ -65,10 +68,11 @@ pub mod prelude {
         BreakdownSnapshot, CompletionPath, PAddr, PersistentTm, TmThread, TxAbort, TxnOps, Zipfian,
     };
     pub use crafty_core::{recover, Crafty, CraftyConfig, CraftyVariant, ThreadingMode};
-    pub use crafty_kv::{DirectOps, GroupCommit, KvConfig, ShardedKv};
+    pub use crafty_kv::{DirectOps, GroupCommit, KvConfig, SeqCheck, SessionTable, ShardedKv};
     pub use crafty_pmem::{CrashModel, LatencyModel, MemorySpace, PersistentImage, PmemConfig};
     pub use crafty_server::{
-        KvClient, KvServer, ProtocolError, Request, Response, ServerConfig, ServerStats,
+        ClientError, FaultConfig, FaultyStream, KvClient, KvServer, NetStream, ProtocolError,
+        Request, Response, RetryPolicy, ServerConfig, ServerStats, SessionClient, WriteOp,
     };
     pub use crafty_stats::LatencyHistogram;
     pub use crafty_workloads::{

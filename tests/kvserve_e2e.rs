@@ -40,10 +40,12 @@ fn round_trips_and_pipelining_over_loopback() {
     let mem = Arc::new(MemorySpace::new(pmem_cfg(CrashModel::strict())));
     let crafty = Crafty::new(Arc::clone(&mem), crafty_cfg());
     let kv = ShardedKv::create(&mem, &kv_cfg());
+    let sessions = SessionTable::create(&mem, 16);
     let engine: Arc<dyn PersistentTm> = Arc::new(crafty);
     let server = KvServer::start(
         Arc::clone(&engine),
         kv,
+        sessions,
         ServerConfig::loopback(WORKERS, true),
     )
     .expect("server starts");
@@ -109,10 +111,12 @@ fn acked_writes_survive_mid_load_crash(model: CrashModel) {
     let crafty = Crafty::new(Arc::clone(&mem), crafty_cfg());
     let directory = crafty.directory_addr();
     let kv = ShardedKv::create(&mem, &kv_cfg());
+    let sessions = SessionTable::create(&mem, 16);
     let engine: Arc<dyn PersistentTm> = Arc::new(crafty);
     let server = KvServer::start(
         Arc::clone(&engine),
         kv,
+        sessions,
         ServerConfig::loopback(WORKERS, true),
     )
     .expect("server starts");

@@ -6,7 +6,7 @@
 
 use crafty_torture::{
     injected_violation_is_caught, run_bank_torture, run_kv_torture, run_recovery_torture,
-    run_storm_torture, TortureConfig,
+    run_service_torture, run_storm_torture, TortureConfig,
 };
 
 /// Exhaustive enumeration of a small bank run: every persistence step of
@@ -52,6 +52,22 @@ fn interrupted_recovery_converges_at_sampled_crash_points() {
 fn abort_storms_keep_the_engine_live_and_durable() {
     let report = run_storm_torture(&TortureConfig::quick(24));
     assert!(report.ok(), "violations: {:?}", report.failures);
+}
+
+/// The networked service suite, sampled: resilient sequenced clients
+/// drive non-idempotent increments through fault-injected connections
+/// while the fault clock kills and restarts the server; every sampled
+/// crash point must stay exactly-once (final counters equal the sum of
+/// acked increments — no loss, no double-apply).
+#[test]
+fn service_sampled_crash_points_stay_exactly_once() {
+    let cfg = TortureConfig {
+        max_crash_points: 3,
+        ..TortureConfig::quick(26)
+    };
+    let report = run_service_torture(&cfg);
+    assert!(report.ok(), "violations: {:?}", report.failures);
+    assert_eq!(report.crash_points_tested, 3);
 }
 
 /// The auditor itself is exercised: silently corrupting one committed
