@@ -11,8 +11,11 @@
 //!         [--suite hotpath|kv] [--tolerance 0.40] [--engine Crafty]
 //!         [--reference Non-durable] [--threads 1] [--absolute]
 //!
-//! figures torture [--suite bank|kv|storm|recovery|all] [--seed N]
+//! figures torture [--suite bank|fallback|kv|storm|recovery|all] [--seed N]
 //!         [--txns N] [--steps N] [--crash-step N]
+//!
+//! figures contention [--threads a,b,c] [--txns N] [--accounts N]
+//!         [--theta F] [--seed N] [--json-out PATH]
 //!
 //! figures kvserve [--rates a,b,c] [--ops N] [--engines e,e] [--connections N]
 //!         [--workers N] [--records N] [--read-pct N] [--fixed] [--seed N]
@@ -70,7 +73,18 @@
 //! carries a `(seed, step)` pair; replay it exactly with
 //! `figures -- torture --suite S --seed SEED --crash-step STEP`. The bank
 //! suite also self-tests the auditor by injecting a violation and
-//! requiring it to be caught.
+//! requiring it to be caught. The `fallback` suite forces every
+//! transaction through the per-line software fallback so crash points
+//! land inside lock-hold windows, and boots each recovered image into a
+//! second life that must keep running (no stuck lock survives a reboot).
+//!
+//! `contention` compares the two software-fallback policies head to head:
+//! every transaction is forced through the fallback and a zipfian-skewed
+//! transfer mix runs at each requested thread count under both the single
+//! global lock and the per-line write locks, with a conservation-of-money
+//! audit per point. It writes `BENCH_contention.json`; under the SGL the
+//! throughput column flatlines as threads are added, under per-line it
+//! scales — that separation is the artifact's point.
 //!
 //! `kvserve` boots the networked KV front-end (`crafty-server`) on
 //! loopback and drives it **open-loop** at a sweep of arrival rates,
@@ -221,7 +235,7 @@ const SPECS: &[SubcommandSpec] = &[
             FlagDef {
                 name: "--suite",
                 value: Some("NAME"),
-                help: "bank | kv | storm | recovery | service | all (default all)",
+                help: "bank | fallback | kv | storm | recovery | service | all (default all)",
             },
             FlagDef {
                 name: "--seed",
@@ -242,6 +256,43 @@ const SPECS: &[SubcommandSpec] = &[
                 name: "--crash-step",
                 value: Some("N"),
                 help: "pin the crash to one step (replaying a reported failure)",
+            },
+        ],
+    },
+    SubcommandSpec {
+        name: "contention",
+        positional: None,
+        summary: "forced-fallback zipfian sweep: SGL vs per-line lock policies",
+        flags: &[
+            FlagDef {
+                name: "--threads",
+                value: Some("a,b,c"),
+                help: "thread counts to sweep (default 2,4,8)",
+            },
+            FlagDef {
+                name: "--txns",
+                value: Some("N"),
+                help: "transfer transactions per thread per point (default 2000)",
+            },
+            FlagDef {
+                name: "--accounts",
+                value: Some("N"),
+                help: "accounts in the shared array (default 256)",
+            },
+            FlagDef {
+                name: "--theta",
+                value: Some("F"),
+                help: "zipfian skew of the account picks (default 0.9)",
+            },
+            FlagDef {
+                name: "--seed",
+                value: Some("N"),
+                help: "workload seed, fixed across both policies",
+            },
+            FlagDef {
+                name: "--json-out",
+                value: Some("PATH"),
+                help: "artifact path (default BENCH_contention.json)",
             },
         ],
     },
@@ -660,8 +711,8 @@ fn run_compare(args: &[String]) -> ! {
 /// 1 on any violation, 2 on usage errors.
 fn run_torture(args: &[String]) -> ! {
     use crafty_torture::{
-        injected_violation_is_caught, run_bank_torture, run_kv_torture, run_recovery_torture,
-        run_service_torture, run_storm_torture, TortureConfig, TortureReport,
+        injected_violation_is_caught, run_bank_torture, run_fallback_torture, run_kv_torture,
+        run_recovery_torture, run_service_torture, run_storm_torture, TortureConfig, TortureReport,
     };
 
     let p = parse_or_fail(spec("torture"), args);
@@ -674,7 +725,9 @@ fn run_torture(args: &[String]) -> ! {
         cfg.crash_step = Some(flag(p.parsed("--crash-step", 0)));
     }
 
-    let known = ["bank", "kv", "storm", "recovery", "service", "all"];
+    let known = [
+        "bank", "fallback", "kv", "storm", "recovery", "service", "all",
+    ];
     if !known.contains(&suite.as_str()) {
         fail(&format!("--suite must be one of {known:?}, got `{suite}`"));
     }
@@ -735,6 +788,9 @@ fn run_torture(args: &[String]) -> ! {
                 println!("  SELF-TEST FAILED: {e}");
             }
         }
+    }
+    if wants("fallback") {
+        failed |= show(&run_fallback_torture(&cfg));
     }
     if wants("kv") {
         failed |= show(&run_kv_torture(&cfg));
@@ -825,6 +881,58 @@ fn run_trace_cmd(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `contention` subcommand: the forced-fallback zipfian sweep that
+/// compares the SGL and per-line fallback policies head to head. Exits 0
+/// after writing `BENCH_contention.json`, 1 if any point fails its
+/// conservation audit, 2 on usage errors.
+fn run_contention_cmd(args: &[String]) -> ! {
+    use crafty_bench::{render_contention_json, run_contention_point, ContentionConfig};
+    use crafty_core::FallbackPolicy;
+
+    let p = parse_or_fail(spec("contention"), args);
+    let mut cfg = ContentionConfig::quick();
+    cfg.thread_counts = flag(p.parsed_list("--threads", cfg.thread_counts));
+    cfg.txns_per_thread = flag(p.parsed("--txns", cfg.txns_per_thread));
+    cfg.accounts = flag(p.parsed("--accounts", cfg.accounts));
+    cfg.theta = flag(p.parsed("--theta", cfg.theta));
+    cfg.seed = flag(p.parsed("--seed", cfg.seed));
+    let json_path = p.value("--json-out").unwrap_or("BENCH_contention.json");
+
+    println!(
+        "contention — forced-fallback zipfian transfers, {} accounts, theta {}, \
+         {} txns/thread, threads {:?}",
+        cfg.accounts, cfg.theta, cfg.txns_per_thread, cfg.thread_counts,
+    );
+    let mut points = Vec::new();
+    let mut audits_clean = true;
+    for policy in [FallbackPolicy::Sgl, FallbackPolicy::PerLine] {
+        for &threads in &cfg.thread_counts.clone() {
+            let point = run_contention_point(&cfg, policy, threads);
+            println!(
+                "  {:<8} @ {:>2} threads: {:>10.0} txns/s{}",
+                point.policy,
+                point.threads,
+                point.ops_per_sec,
+                if point.conserved {
+                    ""
+                } else {
+                    "  AUDIT FAILED (lost updates)"
+                },
+            );
+            audits_clean &= point.conserved;
+            points.push(point);
+        }
+    }
+    if !audits_clean {
+        println!("\nFAIL: a contention point lost updates; no artifact written.");
+        std::process::exit(1);
+    }
+    std::fs::write(json_path, render_contention_json(&cfg, &points))
+        .expect("write contention json");
+    println!("[json written to {json_path}]");
+    std::process::exit(0);
+}
+
 /// The `kvserve` subcommand: the open-loop service latency sweep. Exits 0
 /// after writing the artifact, 2 on usage errors.
 fn run_kvserve_cmd(args: &[String]) -> ! {
@@ -905,6 +1013,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("compare") => run_compare(&argv[1..]),
         Some("torture") => run_torture(&argv[1..]),
+        Some("contention") => run_contention_cmd(&argv[1..]),
         Some("kvserve") => run_kvserve_cmd(&argv[1..]),
         Some("breakdown") => run_breakdown_cmd(&argv[1..]),
         Some("trace") => run_trace_cmd(&argv[1..]),

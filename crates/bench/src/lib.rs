@@ -14,6 +14,7 @@
 
 pub mod breakdown;
 pub mod cli;
+pub mod contention;
 pub mod flushbound;
 pub mod hotpath;
 pub mod kvbench;
@@ -22,6 +23,9 @@ pub mod tracedump;
 
 pub use breakdown::{render_breakdown_json, run_breakdown, BreakdownRun};
 pub use cli::{parse, render_help, FlagDef, ParsedArgs, SubcommandSpec};
+pub use contention::{
+    render_contention_json, run_contention, run_contention_point, ContentionConfig, ContentionPoint,
+};
 pub use flushbound::{render_flushbound_json, run_flushbound, FlushboundPoint};
 pub use hotpath::{render_hotpath_json, run_hotpath, HotpathPoint};
 pub use kvbench::{render_kv_json, run_kv, KvPoint, KV_ENGINES};

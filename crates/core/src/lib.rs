@@ -72,7 +72,7 @@ pub mod thread;
 pub mod undo_log;
 
 pub use alloc_log::AllocLog;
-pub use config::{CraftyConfig, CraftyVariant, ThreadingMode};
+pub use config::{CraftyConfig, CraftyVariant, FallbackPolicy, ThreadingMode};
 pub use engine::Crafty;
 pub use recovery::{
     logs_are_clean, parse_sequences, recover, recover_interrupted, InterruptedRecovery,

@@ -22,11 +22,11 @@
 
 use crafty_common::trace::{self, AbortCause, TraceEventKind, TxnPhase};
 use crafty_common::{CompletionPath, PAddr, TmThread, TxAbort, TxnBody, TxnOps, TxnReport};
-use crafty_htm::{GenMap, HwTxn};
+use crafty_htm::{FallbackTxn, GenMap, HwTxn};
 use crafty_pmem::{MemorySpace, PmemAllocator};
 
 use crate::alloc_log::AllocLog;
-use crate::config::{CraftyVariant, ThreadingMode};
+use crate::config::{CraftyVariant, FallbackPolicy, ThreadingMode};
 use crate::engine::{Crafty, ABORT_REDO_TS_CHECK, ABORT_SGL_HELD, ABORT_VALIDATE_MISMATCH};
 use crate::undo_log::MarkerKind;
 
@@ -137,11 +137,16 @@ impl<'c> CraftyThread<'c> {
         let engine = self.engine;
         let mut hw_attempts = 0u32;
         let mut restarts = 0u32;
+        if engine.cfg.force_fallback {
+            return self.execute_fallback(body, &mut hw_attempts);
+        }
         loop {
             if restarts > engine.cfg.max_phase_restarts {
-                return self.execute_sgl(body, &mut hw_attempts);
+                return self.execute_fallback(body, &mut hw_attempts);
             }
-            self.wait_for_sgl_free();
+            if engine.cfg.fallback == FallbackPolicy::Sgl {
+                self.wait_for_sgl_free();
+            }
             let log_t0 = trace::phase_start();
             let logged = self.log_phase(body, &mut hw_attempts);
             if let Some(t0) = log_t0 {
@@ -239,15 +244,22 @@ impl<'c> CraftyThread<'c> {
             } else {
                 engine.htm.begin(self.tid)
             };
-            match txn.read(engine.sgl_addr) {
-                Ok(0) => {}
-                Ok(_) => {
-                    txn.abort_explicit(ABORT_SGL_HELD);
-                    drop(txn);
-                    self.wait_for_sgl_free();
-                    continue;
+            // Under the SGL policy every hardware phase subscribes to the
+            // global lock word. The per-line policy drops this global
+            // subscription entirely: fallback transactions announce
+            // themselves through the lock words of exactly the lines they
+            // write, and the per-line reads above already watch those.
+            if engine.cfg.fallback == FallbackPolicy::Sgl {
+                match txn.read(engine.sgl_addr) {
+                    Ok(0) => {}
+                    Ok(_) => {
+                        txn.abort_explicit(ABORT_SGL_HELD);
+                        drop(txn);
+                        self.wait_for_sgl_free();
+                        continue;
+                    }
+                    Err(_) => continue,
                 }
-                Err(_) => continue,
             }
 
             self.undo_buf.clear();
@@ -378,13 +390,15 @@ impl<'c> CraftyThread<'c> {
         for _ in 0..=engine.cfg.htm_retries_per_phase {
             *hw_attempts += 1;
             let mut txn = engine.htm.begin(self.tid);
-            match txn.read(engine.sgl_addr) {
-                Ok(0) => {}
-                Ok(_) => {
-                    txn.abort_explicit(ABORT_SGL_HELD);
-                    return CommitOutcome::Failed;
+            if engine.cfg.fallback == FallbackPolicy::Sgl {
+                match txn.read(engine.sgl_addr) {
+                    Ok(0) => {}
+                    Ok(_) => {
+                        txn.abort_explicit(ABORT_SGL_HELD);
+                        return CommitOutcome::Failed;
+                    }
+                    Err(_) => continue,
                 }
-                Err(_) => continue,
             }
             let g_last = match txn.read(engine.g_last_redo_ts_addr) {
                 Ok(v) => v,
@@ -460,13 +474,15 @@ impl<'c> CraftyThread<'c> {
         for _ in 0..=engine.cfg.htm_retries_per_phase {
             *hw_attempts += 1;
             let mut txn = engine.htm.begin(self.tid);
-            match txn.read(engine.sgl_addr) {
-                Ok(0) => {}
-                Ok(_) => {
-                    txn.abort_explicit(ABORT_SGL_HELD);
-                    return CommitOutcome::Failed;
+            if engine.cfg.fallback == FallbackPolicy::Sgl {
+                match txn.read(engine.sgl_addr) {
+                    Ok(0) => {}
+                    Ok(_) => {
+                        txn.abort_explicit(ABORT_SGL_HELD);
+                        return CommitOutcome::Failed;
+                    }
+                    Err(_) => continue,
                 }
-                Err(_) => continue,
             }
             self.alloc_log.start_replay();
             let (body_result, consumed, mismatch) = {
@@ -576,8 +592,179 @@ impl<'c> CraftyThread<'c> {
     }
 
     // ------------------------------------------------------------------
-    // SGL fallback and thread-unsafe mode (Figure 4)
+    // Software fallbacks and thread-unsafe mode (Figure 4)
     // ------------------------------------------------------------------
+
+    /// Dispatches to the configured software fallback once the hardware
+    /// phases have exhausted their restart budget (or immediately, under
+    /// `force_fallback`).
+    fn execute_fallback(&mut self, body: &mut TxnBody<'_>, hw_attempts: &mut u32) -> TxnReport {
+        match self.engine.cfg.fallback {
+            FallbackPolicy::Sgl => self.execute_sgl(body, hw_attempts),
+            FallbackPolicy::PerLine => self.execute_per_line(body, hw_attempts),
+        }
+    }
+
+    /// Per-line locking fallback: run the body against a snapshot with
+    /// versioned reads and buffered writes, lock exactly the write-set
+    /// lines (sorted order), bump `gLastRedoTS`, validate the read set,
+    /// persist the undo log, publish, and release at a fresh commit
+    /// version. No global lock is taken and nothing system-wide is
+    /// serialized: two fallbacks with disjoint footprints run fully in
+    /// parallel, and hardware transactions abort only if they actually
+    /// touched one of the locked lines.
+    ///
+    /// The `gLastRedoTS` bump sits *after* lock acquisition and *before*
+    /// read validation, and this ordering is load-bearing. A concurrent
+    /// Redo phase never re-reads its body's lines — the `gLastRedoTS`
+    /// check is its only conflict test — so the fallback must guarantee:
+    /// any Log phase that committed before the fallback's locks were all
+    /// held has a commit version below the bump (its Redo then fails the
+    /// check), and any Log phase committing after sees the fallback's
+    /// lock bits on every line it shares (its commit-time validation
+    /// aborts). A Redo that read `gLastRedoTS` before the bump and
+    /// commits after is aborted by its subscription to the bumped line.
+    ///
+    /// Durability ordering is the same as every other path: undo entries
+    /// appended, flushed, and **drained** strictly before the first
+    /// in-place write — here the whole sequence happens inside the
+    /// lock-hold window, which is why the fault clock ticks at each lock
+    /// transition (crash points land inside the window).
+    fn execute_per_line(&mut self, body: &mut TxnBody<'_>, hw_attempts: &mut u32) -> TxnReport {
+        let engine = self.engine;
+        let undo_log = engine.threads[self.tid].undo_log;
+        // Entering the fallback is a taxonomy event regardless of which
+        // fallback it is: the phase machinery gave up.
+        engine.recorder.record_abort_cause(AbortCause::SglFallback);
+        trace::record(
+            self.tid,
+            TraceEventKind::Abort,
+            AbortCause::SglFallback.index() as u64,
+        );
+        let fb_t0 = trace::phase_start();
+        let mut body_failures = 0u32;
+        let report = loop {
+            self.alloc_log.release_allocations(&engine.allocator);
+            let mut fb = engine.htm.begin_fallback(self.tid);
+            let conflicted = {
+                let mut ctx = FallbackCtx {
+                    fb: &mut fb,
+                    allocator: &engine.allocator,
+                    alloc_log: &mut self.alloc_log,
+                    conflicted: false,
+                };
+                match body(&mut ctx) {
+                    Ok(()) => None,
+                    Err(_) => Some(ctx.conflicted),
+                }
+            };
+            if let Some(conflicted) = conflicted {
+                drop(fb);
+                if !conflicted {
+                    // A body failure that was not a snapshot conflict is the
+                    // program refusing to commit; mirror the SGL path's
+                    // bounded patience instead of spinning forever.
+                    body_failures += 1;
+                    assert!(
+                        body_failures < 16,
+                        "transaction body kept aborting in the per-line fallback; bodies must eventually succeed when run in isolation"
+                    );
+                }
+                // Conflicts mean another transaction committed or holds a
+                // lock — system-wide progress exists; yield and retry with
+                // a fresh snapshot.
+                std::thread::yield_now();
+                continue;
+            }
+            if !fb.has_writes()
+                && self.alloc_log.allocations() == 0
+                && self.alloc_log.deferred_frees() == 0
+            {
+                // Read-only: every value handed to the body was consistent
+                // at the begin snapshot; nothing to lock or persist.
+                self.alloc_log.clear();
+                engine.recorder.record_completion(CompletionPath::ReadOnly);
+                break TxnReport::new(CompletionPath::ReadOnly, *hw_attempts);
+            }
+
+            fb.lock_write_set();
+            engine
+                .htm
+                .nontx_bump_commit_version(engine.g_last_redo_ts_addr);
+            if fb.validate_reads().is_err() {
+                drop(fb);
+                std::thread::yield_now();
+                continue;
+            }
+
+            // Undo entries: the pre-publish values of the persistent
+            // write-set words, read under the held locks.
+            self.persistent_addrs_buf.clear();
+            self.persistent_addrs_buf.extend(
+                fb.write_order()
+                    .iter()
+                    .copied()
+                    .filter(|a| engine.mem.is_persistent(*a)),
+            );
+            self.entries_buf.clear();
+            self.entries_buf.extend(
+                self.persistent_addrs_buf
+                    .iter()
+                    .map(|a| (*a, fb.read_locked(*a))),
+            );
+            let log_ts = engine.timestamp();
+            let info = undo_log.append_sequence_nontx(
+                &engine.htm,
+                &self.entries_buf,
+                MarkerKind::Logged,
+                log_ts,
+            );
+            undo_log.flush_entries(&engine.mem, self.tid, info.first_abs, info.marker_abs);
+            engine.mem.drain(self.tid);
+            engine.recorder.record_drain();
+            trace::record(
+                self.tid,
+                TraceEventKind::UndoAppend,
+                self.entries_buf.len() as u64,
+            );
+            if undo_log.crosses_half(info.first_abs, self.entries_buf.len() as u64 + 1) {
+                engine.maintain_ts_lower_bound(self.tid, log_ts.raw());
+            }
+
+            fb.publish();
+            for addr in &self.persistent_addrs_buf {
+                engine.mem.clwb(self.tid, *addr);
+            }
+            let commit_ts = engine.timestamp();
+            undo_log.commit_marker_nontx(
+                &engine.htm,
+                info.marker_abs,
+                info.data_entries,
+                commit_ts,
+            );
+            undo_log.flush_marker(&engine.mem, self.tid, info.marker_abs);
+            if !self.deferred_mode {
+                engine.mem.drain(self.tid);
+                engine.recorder.record_drain();
+            }
+            fb.commit_release();
+            drop(fb);
+            engine.note_sequence(self.tid, commit_ts);
+
+            self.alloc_log.apply_frees(&engine.allocator);
+            engine
+                .recorder
+                .record_persistent_writes(self.entries_buf.len() as u64);
+            engine.recorder.record_completion(CompletionPath::Sgl);
+            break TxnReport::new(CompletionPath::Sgl, *hw_attempts);
+        };
+        if let Some(t0) = fb_t0 {
+            engine
+                .recorder
+                .record_phase_cycles(TxnPhase::Sgl, trace::phase_elapsed(t0));
+        }
+        report
+    }
 
     fn execute_sgl(&mut self, body: &mut TxnBody<'_>, hw_attempts: &mut u32) -> TxnReport {
         let engine = self.engine;
@@ -913,6 +1100,51 @@ impl TxnOps for ValidateCtx<'_, '_> {
     fn dealloc(&mut self, _addr: PAddr, _words: u64) -> Result<(), TxAbort> {
         // The frees were already recorded during the Log phase; performing
         // them is deferred to commit either way (Section 6).
+        Ok(())
+    }
+}
+
+/// Per-line fallback context: reads are snapshot-consistent versioned
+/// reads through the [`FallbackTxn`], writes stay buffered in the fallback
+/// descriptor until the undo log has been persisted under the held line
+/// locks.
+struct FallbackCtx<'a, 'rt> {
+    fb: &'a mut FallbackTxn<'rt>,
+    allocator: &'a PmemAllocator,
+    alloc_log: &'a mut AllocLog,
+    /// Set when a read lost a version race: the body's failure is then a
+    /// snapshot conflict (retried without limit — some other transaction
+    /// made progress), not a program abort (bounded patience).
+    conflicted: bool,
+}
+
+impl TxnOps for FallbackCtx<'_, '_> {
+    fn read(&mut self, addr: PAddr) -> Result<u64, TxAbort> {
+        match self.fb.read(addr) {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                self.conflicted = true;
+                Err(TxAbort::hardware())
+            }
+        }
+    }
+
+    fn write(&mut self, addr: PAddr, value: u64) -> Result<(), TxAbort> {
+        self.fb.write(addr, value);
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<PAddr, TxAbort> {
+        let addr = self
+            .allocator
+            .alloc(words)
+            .expect("persistent heap exhausted; increase CraftyConfig::heap_words");
+        self.alloc_log.record_alloc(addr, words);
+        Ok(addr)
+    }
+
+    fn dealloc(&mut self, addr: PAddr, words: u64) -> Result<(), TxAbort> {
+        self.alloc_log.record_free(addr, words);
         Ok(())
     }
 }

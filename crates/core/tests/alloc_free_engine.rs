@@ -8,20 +8,32 @@
 //! thread can pollute the allocation counters.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 
 use crafty_common::{PersistentTm, SplitMix64, TxAbort, TxnOps};
 use crafty_core::{Crafty, CraftyConfig};
 use crafty_pmem::{MemorySpace, PmemConfig};
 
-struct CountingAllocator {
-    allocations: AtomicU64,
+std::thread_local! {
+    /// Allocations made by the current thread. Per-thread because the
+    /// libtest harness's main thread blocks on an event channel while the
+    /// test thread runs and may allocate at any moment (mpmc waker
+    /// registration) — a process-global count races against it on small
+    /// machines. Const-initialized so the thread-local itself never
+    /// allocates on first use.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
 }
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(|c| c.get())
+}
+
+struct CountingAllocator;
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -30,15 +42,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
 #[global_allocator]
-static GLOBAL: CountingAllocator = CountingAllocator {
-    allocations: AtomicU64::new(0),
-};
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn transfer(
     ops: &mut dyn TxnOps,
@@ -81,13 +91,13 @@ fn steady_state_bank_transactions_do_not_allocate() {
         thread.execute(&mut |ops| transfer(ops, from, to));
     }
 
-    let before = GLOBAL.allocations.load(Ordering::SeqCst);
+    let before = thread_allocations();
     for _ in 0..10_000 {
         let from = accounts.add(rng.next_below(accounts_n) * 8);
         let to = accounts.add(rng.next_below(accounts_n) * 8);
         thread.execute(&mut |ops| transfer(ops, from, to));
     }
-    let after = GLOBAL.allocations.load(Ordering::SeqCst);
+    let after = thread_allocations();
 
     assert_eq!(
         after - before,

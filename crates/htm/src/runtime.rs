@@ -85,19 +85,49 @@ impl AbortCode {
     }
 }
 
-const LOCK_BIT: u64 = 1 << 63;
+/// Transient lock bit: set while a hardware commit (or a non-transactional
+/// operation) holds a line for a bounded critical section. Holders never
+/// block while it is set, so waiting on it is deadlock-free.
+pub(crate) const LOCK_BIT: u64 = 1 << 63;
+
+/// Fallback write-lock bit: set by a software fallback transaction
+/// ([`HtmRuntime::begin_fallback`]) on each line of its write set, and held
+/// across the fallback's undo-durability and publish windows — arbitrarily
+/// long. Hardware transactions treat it exactly like [`LOCK_BIT`]
+/// (subscribe-and-abort); other fallbacks wait on it in sorted line order.
+pub(crate) const FALLBACK_BIT: u64 = 1 << 62;
+
+/// Either lock bit: a line is unavailable when any of these is set.
+pub(crate) const LOCKED_MASK: u64 = LOCK_BIT | FALLBACK_BIT;
+
+/// The version number carried by a lock word, lock bits stripped.
+pub(crate) const VERSION_MASK: u64 = !LOCKED_MASK;
+
+/// The portion of a line's lock word the HTM fast path *subscribes to*.
+/// Normally the whole word, so a fallback acquiring [`FALLBACK_BIT`] on a
+/// line aborts every hardware transaction that read it. The
+/// `no-fallback-subscription` teeth feature masks the fallback bit out of
+/// the fast path's view — and out of the fast path's view ONLY; the
+/// non-transactional paths always honor both bits — so the conflict
+/// stress tests can prove they fail without the subscription.
+#[cfg(not(feature = "no-fallback-subscription"))]
+pub(crate) const SUBSCRIBE_VIEW: u64 = u64::MAX;
+/// Teeth-mode subscribe view: the fallback lock bit is invisible to
+/// hardware transactions (see the non-feature doc above).
+#[cfg(feature = "no-fallback-subscription")]
+pub(crate) const SUBSCRIBE_VIEW: u64 = !FALLBACK_BIT;
 
 /// The shared state of the simulated HTM: one versioned lock per cache line
 /// plus a global version clock.
 pub struct HtmRuntime {
-    mem: Arc<MemorySpace>,
+    pub(crate) mem: Arc<MemorySpace>,
     cfg: HtmConfig,
     /// One versioned lock per cache line, sharded into lazily-allocated
     /// segments: an untouched segment reads as version 0 (unlocked, older
     /// than every snapshot), so a 256 MiB space no longer allocates tens of
     /// megabytes of dense lock words up front.
-    line_versions: LazyAtomicArray,
-    version_clock: AtomicU64,
+    pub(crate) line_versions: LazyAtomicArray,
+    pub(crate) version_clock: AtomicU64,
     recorder: Arc<BreakdownRecorder>,
     /// One reusable transaction descriptor per thread slot, held in a
     /// single-slot lock-free queue used as an atomic take/put cell:
@@ -151,7 +181,7 @@ impl HtmRuntime {
     /// Checks out thread `tid`'s reusable descriptor (creating it on first
     /// use), reset and ready for a new transaction. A single atomic pop on
     /// the slot's lock-free cell — no lock is taken.
-    fn checkout_scratch(&self, tid: usize) -> Box<TxnScratch> {
+    pub(crate) fn checkout_scratch(&self, tid: usize) -> Box<TxnScratch> {
         let mut scratch = self.scratch_pool[tid]
             .pop()
             .unwrap_or_else(|| Box::new(TxnScratch::new(self.zero_rng_seed(tid))));
@@ -165,7 +195,7 @@ impl HtmRuntime {
     /// thread's cumulative spurious-abort RNG stream) wins — `force_push`
     /// evicts the inner descriptor, which is then dropped — so descriptor
     /// reuse never rewinds a thread's abort schedule.
-    fn return_scratch(&self, tid: usize, scratch: Box<TxnScratch>) {
+    pub(crate) fn return_scratch(&self, tid: usize, scratch: Box<TxnScratch>) {
         drop(self.scratch_pool[tid].force_push(scratch));
     }
 
@@ -276,6 +306,26 @@ impl HtmRuntime {
         self.version_clock.fetch_add(1, Ordering::AcqRel) + 1
     }
 
+    /// Draws a fresh commit-order version and stores it at `addr` in one
+    /// versioned-lock critical section: the containing line is locked, the
+    /// version drawn *while the line is held*, the word written, and the
+    /// line released at that version.
+    ///
+    /// [`HtmRuntime::nontx_commit_version`] followed by a separate
+    /// [`HtmRuntime::nontx_write`] is only monotonic when the caller holds
+    /// a global lock (two racing callers can interleave draw/store and
+    /// publish a *smaller* version last). The per-line fallback has no
+    /// global lock, so its `gLastRedoTS` bump goes through this combined
+    /// operation; hardware transactions subscribed to the line abort the
+    /// moment it is taken, exactly as with `nontx_write`.
+    pub fn nontx_bump_commit_version(&self, addr: PAddr) -> u64 {
+        let slot = self.lock_line(addr.line());
+        let wv = self.version_clock.fetch_add(1, Ordering::AcqRel) + 1;
+        self.mem.write(addr, wv);
+        slot.store(wv, Ordering::Release);
+        wv
+    }
+
     /// Performs a non-transactional store that is still visible to the
     /// conflict-detection machinery (running transactions that have the
     /// line in their footprint will abort, as they would under RTM's strong
@@ -355,7 +405,7 @@ impl HtmRuntime {
         let mut backoff = Backoff::new();
         loop {
             let v = slot.load(Ordering::Acquire);
-            if v & LOCK_BIT != 0 {
+            if v & LOCKED_MASK != 0 {
                 backoff.snooze();
                 continue;
             }
@@ -382,7 +432,7 @@ impl HtmRuntime {
         let mut backoff = Backoff::new();
         loop {
             let v1 = self.version_of(line);
-            if v1 & LOCK_BIT != 0 {
+            if v1 & LOCKED_MASK != 0 {
                 backoff.snooze();
                 continue;
             }
@@ -397,8 +447,16 @@ impl HtmRuntime {
     /// The line's current versioned-lock word. Lines whose metadata segment
     /// was never touched are at version 0: unlocked and older than every
     /// snapshot, so readers need not materialize the segment.
-    fn version_of(&self, line: LineId) -> u64 {
+    pub(crate) fn version_of(&self, line: LineId) -> u64 {
         self.line_versions.load_or_zero(line.index())
+    }
+
+    /// The line's lock word as the HTM fast path observes it — the full
+    /// word normally, the fallback bit masked out under the
+    /// `no-fallback-subscription` teeth feature (see [`SUBSCRIBE_VIEW`]).
+    #[inline]
+    fn subscribed_version_of(&self, line: LineId) -> u64 {
+        self.version_of(line) & SUBSCRIBE_VIEW
     }
 }
 
@@ -511,12 +569,16 @@ impl<'rt> HwTxn<'rt> {
             return Ok(v);
         }
         let line = addr.line();
-        let v1 = self.rt.version_of(line);
-        if v1 & LOCK_BIT != 0 || (v1 & !LOCK_BIT) > self.rv {
+        // Per-line subscription: the fast path watches exactly this line's
+        // lock word — both the transient commit lock and the fallback
+        // write lock — instead of any global fallback indicator. A line
+        // locked either way, or versioned past the snapshot, aborts.
+        let v1 = self.rt.subscribed_version_of(line);
+        if v1 & LOCKED_MASK != 0 || (v1 & VERSION_MASK) > self.rv {
             return Err(self.fail(AbortCode::Conflict));
         }
         let value = self.rt.mem.read(addr);
-        let v2 = self.rt.version_of(line);
+        let v2 = self.rt.subscribed_version_of(line);
         if v2 != v1 {
             return Err(self.fail(AbortCode::Conflict));
         }
@@ -675,7 +737,7 @@ impl<'rt> HwTxn<'rt> {
         for &line in &s.line_order {
             let slot = self.rt.line_versions.get(line.index());
             let v = slot.load(Ordering::Acquire);
-            let lockable = v & LOCK_BIT == 0 && (v & !LOCK_BIT) <= self.rv;
+            let lockable = v & SUBSCRIBE_VIEW & LOCKED_MASK == 0 && (v & VERSION_MASK) <= self.rv;
             let acquired = lockable
                 && slot
                     .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
@@ -695,8 +757,8 @@ impl<'rt> HwTxn<'rt> {
             if s.write_lines.contains(line_idx) {
                 continue;
             }
-            let v = self.rt.version_of(LineId::new(line_idx));
-            if v & LOCK_BIT != 0 || (v & !LOCK_BIT) > self.rv {
+            let v = self.rt.subscribed_version_of(LineId::new(line_idx));
+            if v & LOCKED_MASK != 0 || (v & VERSION_MASK) > self.rv {
                 release(self.rt, &s.locked, None);
                 return Err(self.fail(AbortCode::Conflict));
             }

@@ -4,24 +4,34 @@
 //! write → commit cycle after a warmup phase that lets every scratch
 //! structure reach its steady-state capacity.
 //!
-//! This file intentionally holds a single `#[test]` so no concurrent test
-//! thread can pollute the allocation counters.
+//! The counter is per-thread: the libtest harness's main thread blocks on
+//! an event channel while the test thread runs and may allocate at any
+//! moment (mpmc waker registration), so a process-global count races
+//! against the harness on small machines.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 
 use crafty_common::{BreakdownRecorder, PAddr};
 use crafty_htm::{HtmConfig, HtmRuntime};
 use crafty_pmem::{MemorySpace, PmemConfig};
 
-struct CountingAllocator {
-    allocations: AtomicU64,
+std::thread_local! {
+    /// Allocations made by the current thread. Const-initialized so the
+    /// thread-local itself never allocates on first use.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
 }
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(|c| c.get())
+}
+
+struct CountingAllocator;
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -30,15 +40,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
 #[global_allocator]
-static GLOBAL: CountingAllocator = CountingAllocator {
-    allocations: AtomicU64::new(0),
-};
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// One bank-like transfer between two accounts spread over distinct lines,
 /// through the full transactional API (reads, buffered writes, commit-time
@@ -85,12 +93,12 @@ fn steady_state_transactions_do_not_allocate() {
     }
     mem.drain(0);
 
-    let before = GLOBAL.allocations.load(Ordering::SeqCst);
+    let before = thread_allocations();
     for _ in 0..10_000 {
         key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
         transfer(&rt, 0, accounts, key % 64, (key >> 8) % 64);
     }
-    let after = GLOBAL.allocations.load(Ordering::SeqCst);
+    let after = thread_allocations();
 
     assert_eq!(
         after - before,

@@ -1012,6 +1012,19 @@ impl MemorySpace {
         }
     }
 
+    /// Advances the fault clock for an event that is *not* a persistence
+    /// action on this space — a lock-word transition in the simulated HTM
+    /// runtime, for example. Fallback transactions hold per-line write
+    /// locks across their undo-durability and publish windows; ticking at
+    /// lock acquire / validate / release lets torture drivers enumerate
+    /// crash points that land *inside* a lock-hold window, even though the
+    /// lock words themselves are volatile and never appear in a crash
+    /// image. Disarmed plans (the default) return after a single
+    /// predictable branch, exactly like the internal persistence ticks.
+    pub fn fault_event(&self) {
+        self.fault_tick();
+    }
+
     /// Number of persistence steps the fault clock has counted so far.
     /// Always 0 when the configured plan is disarmed.
     pub fn fault_steps(&self) -> u64 {

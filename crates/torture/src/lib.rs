@@ -18,6 +18,13 @@
 //!   committed-transaction order replayed against a shadow oracle (plus
 //!   [`crafty_kv::ShardedKv::check_integrity`] deep structure checks for
 //!   the KV suite).
+//! * **Fallback lock-hold windows** — [`fallback::run_fallback_torture`]
+//!   forces every transaction through the per-line software fallback
+//!   ([`crafty_core::CraftyConfig::with_force_fallback`]), whose lock-word
+//!   transitions tick the fault clock, so crash points land while line
+//!   locks are held; every recovered image is additionally *booted* into a
+//!   second life that must run more transactions with conservation intact
+//!   (a rebooted heap never sees a stuck lock).
 //! * **Crash-during-recovery** — [`rec::run_recovery_torture`] interrupts
 //!   [`crafty_core::recover_interrupted`] at every write budget and checks
 //!   that re-running recovery converges to the uninterrupted image.
@@ -57,12 +64,14 @@ use crafty_common::trace::{self, ThreadTrace, TraceConfig, TraceLevel};
 use crafty_common::SplitMix64;
 
 pub mod bank;
+pub mod fallback;
 pub mod kv;
 pub mod rec;
 pub mod service;
 pub mod storm;
 
 pub use bank::{injected_violation_is_caught, run_bank_torture};
+pub use fallback::run_fallback_torture;
 pub use kv::run_kv_torture;
 pub use rec::run_recovery_torture;
 pub use service::run_service_torture;
@@ -190,7 +199,8 @@ impl fmt::Display for TortureFailure {
 /// Outcome of one torture suite.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TortureReport {
-    /// Which suite ran (`"bank"`, `"kv"`, `"recovery"`, `"storm"`).
+    /// Which suite ran (`"bank"`, `"fallback"`, `"kv"`, `"recovery"`,
+    /// `"storm"`).
     pub suite: &'static str,
     /// The master seed the suite ran under.
     pub seed: u64,

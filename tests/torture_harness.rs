@@ -5,8 +5,8 @@
 //! injected-violation self-check.
 
 use crafty_torture::{
-    injected_violation_is_caught, run_bank_torture, run_kv_torture, run_recovery_torture,
-    run_service_torture, run_storm_torture, TortureConfig,
+    injected_violation_is_caught, run_bank_torture, run_fallback_torture, run_kv_torture,
+    run_recovery_torture, run_service_torture, run_storm_torture, TortureConfig,
 };
 
 /// Exhaustive enumeration of a small bank run: every persistence step of
@@ -15,6 +15,24 @@ use crafty_torture::{
 #[test]
 fn bank_exhaustive_enumeration_is_violation_free() {
     let report = run_bank_torture(&TortureConfig::quick(21));
+    assert!(report.ok(), "violations: {:?}", report.failures);
+    assert_eq!(
+        report.crash_points_tested,
+        report.total_steps - report.setup_steps,
+        "exhaustive mode must audit every post-setup step"
+    );
+    assert!(report.crash_points_tested > 100, "run too small to matter");
+}
+
+/// Exhaustive enumeration of the forced per-line-fallback bank run: the
+/// fallback's lock-word transitions tick the fault clock, so the
+/// enumerated steps include crash points strictly inside lock-hold
+/// windows. Every crash image must recover to a commit-order prefix AND
+/// boot into a second life that keeps running with conservation intact —
+/// a rebooted heap must never see a stuck lock.
+#[test]
+fn fallback_exhaustive_enumeration_is_violation_free() {
+    let report = run_fallback_torture(&TortureConfig::quick(27));
     assert!(report.ok(), "violations: {:?}", report.failures);
     assert_eq!(
         report.crash_points_tested,
